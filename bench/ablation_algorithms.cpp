@@ -1,0 +1,132 @@
+// Ablation A4: learning-algorithm comparison on the pricing POMDP.
+//
+// The paper picks PPO; this bench runs four learners with matched budgets on
+// the Fig. 2 market and reports how close each gets to the Stackelberg
+// equilibrium:
+//   * PPO (the paper's choice)       — clipped surrogate, sample reuse;
+//   * REINFORCE                      — episodic policy gradient, no reuse;
+//   * tabular Q-grid                 — ε-greedy over 48 discretized prices;
+//   * greedy / random                — the paper's non-learning baselines.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/env.hpp"
+#include "core/equilibrium.hpp"
+#include "rl/qlearning.hpp"
+#include "rl/reinforce.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr std::size_t episodes = 300;
+constexpr std::size_t rounds = 100;
+
+double run_reinforce(const vtm::core::market_params& params, double& price) {
+  vtm::core::pricing_env_config env_config;
+  env_config.mode = vtm::core::reward_mode::shaped;
+  env_config.rounds_per_episode = rounds;
+  vtm::core::pricing_env env(vtm::core::migration_market(params), env_config);
+
+  vtm::util::rng gen(21);
+  vtm::rl::actor_critic_config net;
+  net.obs_dim = env.observation_dim();
+  net.hidden = {64, 64};
+  vtm::rl::actor_critic policy(net, gen);
+  vtm::rl::reinforce_config config;
+  config.learning_rate = 3e-4;
+  vtm::util::rng gen2(22);
+  vtm::rl::reinforce learner(policy, config, gen2);
+
+  for (std::size_t e = 0; e < episodes; ++e)
+    (void)learner.train_episode(env, rounds);
+
+  // Deterministic evaluation.
+  vtm::nn::tensor obs = env.reset();
+  double total = 0.0;
+  double mean_action = 0.0;
+  for (std::size_t k = 0; k < rounds; ++k) {
+    const auto sample = policy.act_deterministic(obs);
+    const auto result = env.step(sample.action);
+    total += result.info.at("leader_utility");
+    mean_action += sample.action.item();
+    obs = result.observation;
+    if (result.done) break;
+  }
+  price = env.price_from_action(mean_action / static_cast<double>(rounds));
+  return total / static_cast<double>(rounds);
+}
+
+double run_q_grid(const vtm::core::market_params& params, double& price) {
+  const vtm::core::migration_market market(params);
+  vtm::rl::q_pricing_config config;
+  config.bins = 48;
+  config.epsilon_decay = 0.9995;
+  vtm::rl::q_pricing_scheme agent(config);
+  vtm::util::rng gen(23);
+  // Same interaction budget as the DRL runs: episodes x rounds feedbacks.
+  for (std::size_t i = 0; i < episodes * rounds; ++i) {
+    const double p = agent.select_action(params.unit_cost, params.price_cap,
+                                         gen);
+    agent.feedback(p, market.leader_utility(p));
+  }
+  price = params.unit_cost +
+          (static_cast<double>(agent.greedy_bin()) + 0.5) *
+              (params.price_cap - params.unit_cost) / 48.0;
+  return market.leader_utility(price);
+}
+
+}  // namespace
+
+int main() {
+  vtm::bench::print_header("Ablation A4",
+                           "Learning algorithms on the pricing POMDP");
+
+  const auto params = vtm::bench::two_vmu_market(5.0);
+  const auto oracle = vtm::core::solve_equilibrium(
+      vtm::core::migration_market(params));
+
+  // PPO via the mechanism facade.
+  auto ppo_config = vtm::bench::sweep_mechanism_config(77);
+  ppo_config.trainer.episodes = episodes;
+  const auto ppo = vtm::core::run_learning_mechanism(params, ppo_config);
+
+  double reinforce_price = 0.0;
+  const double reinforce_utility = run_reinforce(params, reinforce_price);
+  double q_price = 0.0;
+  const double q_utility = run_q_grid(params, q_price);
+  const auto baselines = vtm::core::run_paper_baselines(params, 20, rounds, 7);
+
+  std::printf("\n--- CSV (ablation_algorithms.csv) ---\n");
+  vtm::util::csv_writer csv(std::cout,
+                            {"algorithm", "utility", "optimality", "price"});
+  vtm::util::ascii_table table(
+      {"algorithm", "U_s", "vs oracle", "price", "SE price"});
+  const auto row = [&](const std::string& name, double utility, double price) {
+    const double ratio = utility / oracle.leader_utility;
+    csv.row({name, vtm::util::format_number(utility),
+             vtm::util::format_number(ratio),
+             vtm::util::format_number(price)});
+    table.add_row({name, vtm::util::format_number(utility),
+                   vtm::util::format_number(ratio),
+                   vtm::util::format_number(price),
+                   vtm::util::format_number(oracle.price)});
+  };
+  row("oracle (SE)", oracle.leader_utility, oracle.price);
+  row("PPO (paper)", ppo.learned_utility, ppo.learned_price);
+  row("REINFORCE", reinforce_utility, reinforce_price);
+  row("q-grid", q_utility, q_price);
+  row("greedy", baselines[1].mean_utility, baselines[1].mean_price);
+  row("random", baselines[0].mean_utility, baselines[0].mean_price);
+  std::printf("\n%s", table.render().c_str());
+
+  std::printf(
+      "\nReading: PPO and the tabular q-grid both land on the equilibrium "
+      "(the stationary pricing problem is within a bandit's reach — the "
+      "POMDP machinery only pays off under non-stationary followers). "
+      "Unclipped REINFORCE is the cautionary tale: with the same network "
+      "and budget its mean drifts past the optimum toward the price cap — "
+      "the instability PPO's clipped surrogate exists to prevent, and an "
+      "empirical justification for the paper's algorithm choice.\n");
+  return 0;
+}

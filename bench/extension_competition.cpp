@@ -1,0 +1,72 @@
+// Extension E+ (paper §VI future work): multi-MSP price competition.
+//
+// Sweeps the number of competing MSPs and the share-rule sharpness λ, showing
+// how competition erodes the monopoly position of Fig. 3: prices fall from
+// the Stackelberg monopoly level toward cost, MSP profits shrink, and VMU
+// surplus grows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/equilibrium.hpp"
+#include "core/multi_msp.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+vtm::core::multi_msp_params competition(std::size_t n_msps, double lambda) {
+  vtm::core::multi_msp_params params;
+  params.msps.assign(n_msps, {5.0, 50.0, 50.0});
+  params.vmus = {{500.0, 200.0}, {500.0, 100.0}};
+  params.share_sharpness = lambda;
+  return params;
+}
+
+}  // namespace
+
+int main() {
+  vtm::bench::print_header(
+      "Extension: multi-MSP competition",
+      "Price competition vs the paper's monopoly Stackelberg game");
+
+  const auto monopoly = vtm::core::solve_equilibrium(
+      vtm::core::migration_market(vtm::bench::two_vmu_market(5.0)));
+  std::printf("\nMonopoly reference (paper): p* = %.3f, U_s = %.2f, "
+              "ΣU_n = %.2f\n",
+              monopoly.price, monopoly.leader_utility,
+              monopoly.total_vmu_utility);
+
+  std::printf("\n--- CSV (extension_competition.csv) ---\n");
+  vtm::util::csv_writer csv(
+      std::cout, {"n_msps", "lambda", "effective_price", "per_msp_profit",
+                  "total_vmu_utility", "iterations"});
+
+  vtm::util::ascii_table table({"M", "λ", "p_eff", "profit/MSP", "ΣU_n",
+                                "vs monopoly p*"});
+  for (std::size_t m : {1u, 2u, 3u, 4u}) {
+    for (double lambda : {0.1, 0.5, 2.0}) {
+      const auto eq = vtm::core::solve_price_competition(
+          vtm::core::multi_msp_market(competition(m, lambda)));
+      const double per_msp =
+          eq.utilities.empty() ? 0.0 : eq.utilities[0];
+      csv.row({static_cast<double>(m), lambda, eq.effective_price, per_msp,
+               eq.total_vmu_utility, static_cast<double>(eq.iterations)});
+      table.add_row(
+          {vtm::util::format_number(static_cast<double>(m)),
+           vtm::util::format_number(lambda),
+           vtm::util::format_number(eq.effective_price),
+           vtm::util::format_number(per_msp),
+           vtm::util::format_number(eq.total_vmu_utility),
+           vtm::util::format_number(eq.effective_price - monopoly.price)});
+    }
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  std::printf(
+      "\nReading: M = 1 reproduces the paper's monopoly price for any λ; "
+      "adding sellers or sharpening price sensitivity pushes the effective "
+      "price toward the unit cost (Bertrand limit) and transfers surplus "
+      "from the MSPs to the VMUs.\n");
+  return 0;
+}

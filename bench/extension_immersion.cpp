@@ -1,0 +1,76 @@
+// Extension E+ (paper §VI future work): alternative immersion metrics.
+//
+// Re-solves the Fig. 3(a) cost sweep under three immersion models — the
+// paper's logarithmic metric, a power-law metric, and a saturating metric —
+// using the generalized (closed-form-free) market. Shows which qualitative
+// conclusions survive a metric change and which are artifacts of the log
+// form.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/equilibrium.hpp"
+#include "core/immersion_models.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  vtm::bench::print_header(
+      "Extension: immersion metrics",
+      "Equilibrium under log / power / saturating immersion models");
+
+  const vtm::core::log_immersion log_model;
+  const vtm::core::power_immersion power_model(0.5);
+  const vtm::core::saturating_immersion saturating_model(2.0);
+  const std::vector<const vtm::core::immersion_model*> models{
+      &log_model, &power_model, &saturating_model};
+
+  std::printf("\n--- CSV (extension_immersion.csv) ---\n");
+  vtm::util::csv_writer csv(std::cout, {"model", "cost", "price",
+                                        "total_bandwidth", "msp_utility",
+                                        "total_vmu_utility"});
+
+  vtm::util::ascii_table table(
+      {"model", "C", "p*", "Σb (MHz)", "U_s", "ΣU_n"});
+  for (const auto* model : models) {
+    for (double cost = 5.0; cost <= 9.0; cost += 2.0) {
+      auto params = vtm::bench::two_vmu_market(cost);
+      const vtm::core::generalized_market market(params, *model);
+      const auto solution = market.solve();
+      csv.row({std::string(model->name()), vtm::util::format_number(cost),
+               vtm::util::format_number(solution.price),
+               vtm::util::format_number(solution.total_demand),
+               vtm::util::format_number(solution.leader_utility),
+               vtm::util::format_number(solution.total_vmu_utility)});
+      table.add_row({model->name(), vtm::util::format_number(cost),
+                     vtm::util::format_number(solution.price),
+                     vtm::util::format_number(solution.total_demand),
+                     vtm::util::format_number(solution.leader_utility),
+                     vtm::util::format_number(solution.total_vmu_utility)});
+    }
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  // Validation row: the log model must match the paper's closed form.
+  const auto closed = vtm::core::solve_equilibrium(
+      vtm::core::migration_market(vtm::bench::two_vmu_market(5.0)));
+  const vtm::core::generalized_market check(
+      vtm::bench::two_vmu_market(5.0), log_model);
+  const auto numeric = check.solve();
+  std::printf("\nValidation: log model numeric p* = %.4f vs closed form "
+              "%.4f (Δ = %.2g)\n",
+              numeric.price, closed.price,
+              std::abs(numeric.price - closed.price));
+
+  std::printf(
+      "\nReading: the paper's price-increasing-in-cost shape is a property "
+      "of the *interior* regime its log metric induces. The power metric's "
+      "flatter marginal-immersion curve makes demand so strong that B_max "
+      "binds — price sits at the capacity-clearing level, insensitive to C "
+      "(profit still falls with C). The saturating metric concentrates "
+      "willingness-to-pay at tiny bandwidths, so the MSP rides the price "
+      "cap and sells little. Conclusion-robustness depends on the metric: "
+      "a reason the paper's future work calls for better immersion "
+      "models.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Regenerates Fig. 2: convergence of the DRL-based incentive mechanism.
+//   (a) return of each episode -> converges to the max round K = 100;
+//   (b) utility of the MSP     -> converges to the Stackelberg equilibrium.
+// Setting (§V-A): two VMUs, α1 = α2 = 5 (×100 calibration), D1 = 200 MB,
+// D2 = 100 MB, C = 5; E = 500, K = 100, L = 4, |I| = 20, M = 10, 2x64 tanh.
+//
+// Trained twice: with the library default learning rate (3e-4) and with the
+// paper's 1e-5 — both reach the equilibrium price; the small rate keeps the
+// sampling entropy high for longer, so its episode *return* converges more
+// slowly while its deterministic policy is already optimal.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct curve {
+  std::vector<double> episode_return;
+  std::vector<double> final_utility;
+  vtm::core::mechanism_result result;
+};
+
+curve train(double learning_rate, std::size_t episodes) {
+  vtm::core::mechanism_config config = vtm::core::mechanism_config::paper();
+  config.trainer.episodes = episodes;
+  config.ppo.learning_rate = learning_rate;
+  config.seed = 42;
+  curve out;
+  out.result = vtm::core::run_learning_mechanism(
+      vtm::bench::two_vmu_market(5.0), config,
+      [&](const vtm::rl::episode_stats& stats) {
+        out.episode_return.push_back(stats.episode_return);
+        out.final_utility.push_back(stats.final_utility);
+      });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  vtm::bench::print_header(
+      "Fig. 2", "Convergence of the DRL-based incentive mechanism (N=2)");
+
+  constexpr std::size_t episodes = 500;
+  const curve fast = train(3e-4, episodes);
+  const curve paper_lr = train(1e-5, episodes);
+  const double oracle = fast.result.oracle.leader_utility;
+
+  std::printf("\nStackelberg equilibrium (analytic oracle): price %.3f, "
+              "U_s %.2f (%.3f display units)\n",
+              fast.result.oracle.price, oracle,
+              vtm::bench::display_units(oracle));
+
+  // CSV: one row per episode.
+  std::printf("\n--- CSV (fig2.csv) ---\n");
+  vtm::util::csv_writer csv(
+      std::cout, {"episode", "return_lr3e4", "return_lr1e5",
+                  "msp_utility_lr3e4", "msp_utility_lr1e5", "se_utility"});
+  for (std::size_t e = 0; e < episodes; e += 5) {
+    csv.row({static_cast<double>(e), fast.episode_return[e],
+             paper_lr.episode_return[e], fast.final_utility[e],
+             paper_lr.final_utility[e], oracle});
+  }
+
+  // Fig. 2(a): episode return.
+  const auto smooth_fast = vtm::util::moving_average(fast.episode_return, 20);
+  const auto smooth_paper =
+      vtm::util::moving_average(paper_lr.episode_return, 20);
+  vtm::util::ascii_chart chart_a(72, 14);
+  chart_a.set_title("Fig. 2(a): return per episode (20-episode moving avg; "
+                    "K = 100 is the max)");
+  chart_a.add_series({"lr=3e-4", smooth_fast, '*'});
+  chart_a.add_series({"lr=1e-5 (paper)", smooth_paper, 'o'});
+  std::printf("\n%s", chart_a.render().c_str());
+
+  // Fig. 2(b): MSP utility per episode vs the SE level.
+  const auto util_fast = vtm::util::moving_average(fast.final_utility, 20);
+  const auto util_paper =
+      vtm::util::moving_average(paper_lr.final_utility, 20);
+  vtm::util::ascii_chart chart_b(72, 14);
+  chart_b.set_title("Fig. 2(b): MSP utility per episode vs Stackelberg "
+                    "equilibrium");
+  chart_b.add_series({"lr=3e-4", util_fast, '*'});
+  chart_b.add_series({"lr=1e-5 (paper)", util_paper, 'o'});
+  chart_b.add_series(
+      {"SE (oracle)", std::vector<double>(episodes, oracle), '-'});
+  std::printf("\n%s", chart_b.render().c_str());
+
+  // Summary table.
+  vtm::util::ascii_table summary(
+      {"learning rate", "final return", "final eval U_s", "optimality",
+       "learned price", "SE price"});
+  const auto row = [&](const char* name, const curve& c) {
+    summary.add_row(
+        {name, vtm::util::format_number(c.episode_return.back()),
+         vtm::util::format_number(c.result.learned_utility),
+         vtm::util::format_number(c.result.optimality()),
+         vtm::util::format_number(c.result.learned_price),
+         vtm::util::format_number(c.result.oracle.price)});
+  };
+  row("3e-4", fast);
+  row("1e-5 (paper)", paper_lr);
+  std::printf("\n%s", summary.render().c_str());
+
+  std::printf("\nShape check: return(3e-4) rises to ~K=100; both policies' "
+              "deterministic evaluation reaches >= 99%% of the SE utility.\n");
+  return 0;
+}

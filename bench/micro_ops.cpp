@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) of the hot operations behind the
+// figures: equilibrium solves, market evaluation, environment steps, policy
+// inference, PPO updates, pre-copy migration, and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "core/env.hpp"
+#include "core/equilibrium.hpp"
+#include "core/mechanism.hpp"
+#include "rl/buffer.hpp"
+#include "rl/policy.hpp"
+#include "rl/ppo.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/precopy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+vtm::core::market_params market_of(std::size_t n_vmus) {
+  vtm::core::market_params params;
+  params.vmus.assign(n_vmus, vtm::core::vmu_profile{500.0, 100.0});
+  return params;
+}
+
+void bm_equilibrium_closed_form(benchmark::State& state) {
+  const vtm::core::migration_market market(
+      market_of(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(vtm::core::solve_equilibrium(market));
+}
+BENCHMARK(bm_equilibrium_closed_form)->Arg(2)->Arg(6)->Arg(32)->Arg(256);
+
+void bm_equilibrium_numeric(benchmark::State& state) {
+  const vtm::core::migration_market market(
+      market_of(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(vtm::core::solve_equilibrium_numeric(market));
+}
+BENCHMARK(bm_equilibrium_numeric)->Arg(2)->Arg(6)->Arg(32);
+
+void bm_market_demands(benchmark::State& state) {
+  const vtm::core::migration_market market(
+      market_of(static_cast<std::size_t>(state.range(0))));
+  double price = 20.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(market.demands(price));
+    price = price < 45.0 ? price + 0.01 : 20.0;
+  }
+}
+BENCHMARK(bm_market_demands)->Arg(2)->Arg(32)->Arg(256);
+
+void bm_env_step(benchmark::State& state) {
+  vtm::core::pricing_env env(
+      vtm::core::migration_market(market_of(2)), {});
+  (void)env.reset();
+  const vtm::nn::tensor action({1, 1}, {0.1});
+  std::size_t round = 0;
+  for (auto _ : state) {
+    if (round++ % 100 == 0) (void)env.reset();
+    benchmark::DoNotOptimize(env.step(action));
+  }
+}
+BENCHMARK(bm_env_step);
+
+void bm_policy_act(benchmark::State& state) {
+  vtm::util::rng gen(1);
+  vtm::rl::actor_critic_config config;
+  config.obs_dim = 12;
+  config.hidden = {64, 64};
+  const vtm::rl::actor_critic policy(config, gen);
+  const vtm::nn::tensor obs({1, 12}, 0.3);
+  vtm::util::rng act_gen(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(policy.act(obs, act_gen));
+}
+BENCHMARK(bm_policy_act);
+
+void bm_ppo_update(benchmark::State& state) {
+  vtm::util::rng gen(3);
+  vtm::rl::actor_critic_config net_config;
+  net_config.obs_dim = 12;
+  net_config.hidden = {64, 64};
+  vtm::rl::actor_critic policy(net_config, gen);
+  vtm::rl::ppo_config ppo_config;
+  ppo_config.epochs = 10;
+  ppo_config.minibatch_size = 20;
+  vtm::util::rng ppo_gen(4);
+  vtm::rl::ppo learner(policy, ppo_config, ppo_gen);
+
+  vtm::rl::rollout_buffer buffer(20, 12, 1);
+  vtm::util::rng fill(5);
+  const vtm::nn::tensor obs({1, 12}, 0.3);
+  for (int i = 0; i < 20; ++i) {
+    vtm::nn::tensor action({1, 1}, {fill.normal()});
+    buffer.add(obs, action, fill.uniform(), 0.0, -1.0, false);
+  }
+  buffer.compute_advantages(0.95, 0.95, 0.0);
+  for (auto _ : state) benchmark::DoNotOptimize(learner.update(buffer));
+}
+BENCHMARK(bm_ppo_update);
+
+void bm_precopy_migration(benchmark::State& state) {
+  const auto twin = vtm::sim::vehicular_twin::with_total_mb(1, 200.0);
+  vtm::sim::precopy_params params;
+  params.dirty_rate_mb_s = static_cast<double>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(vtm::sim::run_precopy(twin, 500.0, params));
+}
+BENCHMARK(bm_precopy_migration)->Arg(0)->Arg(100)->Arg(400);
+
+void bm_event_queue_throughput(benchmark::State& state) {
+  for (auto _ : state) {
+    vtm::sim::event_queue queue;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i)
+      queue.schedule(static_cast<double>(i % 97), [&counter] { ++counter; });
+    queue.run_all();
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(bm_event_queue_throughput)->Unit(benchmark::kMicrosecond);
+
+void bm_rng_normal(benchmark::State& state) {
+  vtm::util::rng gen(7);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.normal());
+}
+BENCHMARK(bm_rng_normal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

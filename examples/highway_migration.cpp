@@ -1,0 +1,60 @@
+// Highway scenario: the full pipeline the paper motivates — vehicles moving
+// along an RSU chain, coverage handovers triggering VT migrations, spot
+// pricing at the Stackelberg equilibrium, bandwidth grants from the OFDMA
+// pool, and pre-copy live migration with dirty-page retransmission.
+//
+// Compares the closed-form AoTM (eq. 1) against the AoTM measured from the
+// simulated block timeline for every migration.
+//
+//   $ ./highway_migration [vehicles] [duration_s] [dirty_rate_mb_s]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/scenario.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  vtm::core::scenario_config config;
+  if (argc > 1) config.vehicle_count = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) config.duration_s = std::strtod(argv[2], nullptr);
+  if (argc > 3) config.dirty_rate_mb_s = std::strtod(argv[3], nullptr);
+
+  std::printf("Highway: %zu RSUs every %.0f m (coverage %.0f m), %zu "
+              "vehicles, %.0f s horizon, dirty rate %.0f MB/s\n\n",
+              config.rsu_count, config.rsu_spacing_m,
+              config.coverage_radius_m, config.vehicle_count,
+              config.duration_s, config.dirty_rate_mb_s);
+
+  const auto result = vtm::core::run_highway_scenario(config);
+
+  vtm::util::ascii_table table({"t (s)", "veh", "RSU", "price", "b (MHz)",
+                                "AoTM eq.1", "AoTM sim", "downtime",
+                                "sent (MB)", "U_vmu", "U_msp"});
+  for (const auto& m : result.migrations) {
+    table.add_row({vtm::util::format_number(m.start_s),
+                   std::to_string(m.vehicle),
+                   std::to_string(m.from_rsu) + "->" +
+                       std::to_string(m.to_rsu),
+                   vtm::util::format_number(m.price),
+                   vtm::util::format_number(m.bandwidth_mhz),
+                   vtm::util::format_number(m.aotm_closed_form),
+                   vtm::util::format_number(m.aotm_simulated),
+                   vtm::util::format_number(m.downtime_s),
+                   vtm::util::format_number(m.data_sent_mb),
+                   vtm::util::format_number(m.vmu_utility),
+                   vtm::util::format_number(m.msp_utility)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nHandovers: %zu (deferred %zu), migrations completed: %zu\n",
+              result.handovers, result.deferred, result.migrations.size());
+  std::printf("MSP total utility: %.1f | VMU total utility: %.1f\n",
+              result.msp_total_utility, result.vmu_total_utility);
+  std::printf("Mean AoTM: %.3f | pre-copy data amplification: %.3fx\n",
+              result.mean_aotm, result.mean_amplification);
+  std::printf("\nNote: AoTM(sim) >= AoTM(eq.1) because live pre-copy re-sends"
+              " pages dirtied during the transfer; they match exactly when "
+              "the dirty rate is 0 (try: %s 3 120 0).\n", argv[0]);
+  return 0;
+}

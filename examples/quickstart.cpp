@@ -1,0 +1,60 @@
+// Quickstart: the paper's model in ~60 lines of public API.
+//
+// Builds the two-VMU migration market from §V-A, computes AoTM and immersion
+// for a hand-picked bandwidth, then solves the Stackelberg equilibrium and
+// certifies it.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/aotm.hpp"
+#include "core/equilibrium.hpp"
+#include "core/market.hpp"
+
+int main() {
+  // 1. Market: one MSP, two VMUs. α is in the ×100 unit calibration
+  //    (paper's "α = 5" ⇒ 500; see DESIGN.md §3), D in MB.
+  vtm::core::market_params params;
+  params.vmus = {{/*alpha=*/500.0, /*data_mb=*/200.0},
+                 {/*alpha=*/500.0, /*data_mb=*/100.0}};
+  params.bandwidth_cap_mhz = 50.0;  // B_max
+  params.unit_cost = 5.0;           // C
+  params.price_cap = 50.0;          // p_max
+  const vtm::core::migration_market market(params);
+
+  std::printf("Channel: SNR %.3g, spectral efficiency R = %.2f bit/s/Hz\n",
+              market.link().snr(), market.spectral_efficiency());
+
+  // 2. Age of Twin Migration (eq. 1) for VMU 0 at 10 MHz.
+  const double bandwidth = 10.0;
+  const double aotm = market.aotm(0, bandwidth);
+  std::printf("VMU 0 at %.0f MHz: AoTM = %.3f, immersion = %.1f, "
+              "utility at p=25: %.1f\n",
+              bandwidth, aotm, vtm::core::immersion(500.0, aotm),
+              market.vmu_utility(0, bandwidth, 25.0));
+
+  // 3. Best responses (eq. 8) at a posted price.
+  const double price = 25.0;
+  for (std::size_t n = 0; n < market.vmu_count(); ++n)
+    std::printf("VMU %zu best response to p=%.0f: %.2f MHz\n", n, price,
+                market.best_response(n, price));
+
+  // 4. Stackelberg equilibrium (Theorems 1-2) and its certificate.
+  const auto eq = vtm::core::solve_equilibrium(market);
+  std::printf("\nStackelberg equilibrium (%s regime):\n",
+              vtm::core::to_string(eq.regime));
+  std::printf("  price p* = %.3f, total bandwidth %.2f MHz\n", eq.price,
+              eq.total_demand);
+  std::printf("  MSP utility %.1f, total VMU utility %.1f\n",
+              eq.leader_utility, eq.total_vmu_utility);
+  for (std::size_t n = 0; n < market.vmu_count(); ++n)
+    std::printf("  VMU %zu: b* = %.2f MHz, AoTM %.3f, U_n %.1f\n", n,
+                eq.demands[n], eq.aotm[n], eq.vmu_utilities[n]);
+
+  const auto certificate = vtm::core::verify_equilibrium(market, eq);
+  std::printf("No-deviation certificate: leader gain %.2g, follower gain "
+              "%.2g -> %s\n",
+              certificate.max_leader_gain, certificate.max_follower_gain,
+              certificate.holds(1e-3) ? "equilibrium verified" : "VIOLATED");
+  return 0;
+}

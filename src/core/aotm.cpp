@@ -1,0 +1,32 @@
+#include "core/aotm.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+double aotm_closed_form(double data_mb, double bandwidth_mhz,
+                        double spectral_efficiency) {
+  VTM_EXPECTS(data_mb >= 0.0);
+  VTM_EXPECTS(bandwidth_mhz > 0.0);
+  VTM_EXPECTS(spectral_efficiency > 0.0);
+  return data_mb / (bandwidth_mhz * spectral_efficiency);
+}
+
+double aotm_closed_form(double data_mb, double bandwidth_mhz,
+                        const wireless::link_budget& link) {
+  return aotm_closed_form(data_mb, bandwidth_mhz, link.spectral_efficiency());
+}
+
+double aotm_from_migration(const sim::migration_report& report) {
+  return report.total_time_s;
+}
+
+double immersion(double alpha, double aotm) {
+  VTM_EXPECTS(alpha > 0.0);
+  VTM_EXPECTS(aotm > 0.0);
+  return alpha * std::log(1.0 + 1.0 / aotm);
+}
+
+}  // namespace vtm::core

@@ -1,0 +1,39 @@
+// Age of Twin Migration (AoTM) — the paper's freshness metric.
+//
+// AoTM is "the time elapsed between the last successfully received VT block
+// and the generation of the first VT block in the VT migration" (§III-A):
+// the end-to-end completion time of a twin's transfer. In closed form, with
+// purchased bandwidth b_n and spectral efficiency R = log2(1 + SNR), the
+// transmission rate is γ_n = b_n·R and the AoTM is A_n = D_n / γ_n (eq. 1).
+//
+// Two evaluation paths are provided and cross-validated in the tests:
+//   * the closed form, in the paper's normalized units (D in MB, b in MHz);
+//   * the measured first-block-to-last-block time of a simulated pre-copy
+//     migration (sim/precopy.hpp), which reduces to the closed form when the
+//     dirty-page rate is zero.
+#pragma once
+
+#include "sim/precopy.hpp"
+#include "wireless/link.hpp"
+
+namespace vtm::core {
+
+/// Closed-form AoTM (eq. 1): data_mb / (bandwidth_mhz · spectral_efficiency),
+/// in the paper's normalized seconds. Requires positive bandwidth and
+/// efficiency, non-negative data.
+[[nodiscard]] double aotm_closed_form(double data_mb, double bandwidth_mhz,
+                                      double spectral_efficiency);
+
+/// Closed-form AoTM over an explicit link budget.
+[[nodiscard]] double aotm_closed_form(double data_mb, double bandwidth_mhz,
+                                      const wireless::link_budget& link);
+
+/// Measured AoTM of a completed pre-copy migration: the total time from the
+/// first block's generation to the last block's reception.
+[[nodiscard]] double aotm_from_migration(const sim::migration_report& report);
+
+/// Immersion obtained by a VMU whose twin migrated with the given AoTM:
+/// G = α · ln(1 + 1/A) (§III-B1). Requires alpha > 0 and aotm > 0.
+[[nodiscard]] double immersion(double alpha, double aotm);
+
+}  // namespace vtm::core

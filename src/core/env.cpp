@@ -1,0 +1,149 @@
+#include "core/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/equilibrium.hpp"
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+const char* to_string(reward_mode mode) noexcept {
+  switch (mode) {
+    case reward_mode::paper_binary:
+      return "paper-binary";
+    case reward_mode::persistent_binary:
+      return "persistent-binary";
+    case reward_mode::shaped:
+      return "shaped";
+  }
+  return "?";
+}
+
+pricing_env::pricing_env(migration_market market,
+                         const pricing_env_config& config)
+    : market_(std::move(market)),
+      config_(config),
+      gen_(config.seed),
+      best_utility_(-std::numeric_limits<double>::infinity()) {
+  VTM_EXPECTS(config.history_length >= 1);
+  VTM_EXPECTS(config.rounds_per_episode >= 1);
+  VTM_EXPECTS(config.reward_tolerance >= 0.0 && config.reward_tolerance < 1.0);
+  history_.assign(observation_dim(), 0.0);
+  if (config_.mode == reward_mode::shaped) {
+    // Dense-reward normalization: the oracle utility sets the scale so a
+    // perfect policy earns ~1 per round.
+    const equilibrium oracle = solve_equilibrium(market_);
+    shaped_scale_ = std::max(1.0, oracle.leader_utility);
+  }
+}
+
+std::size_t pricing_env::observation_dim() const {
+  return config_.history_length * (1 + market_.vmu_count());
+}
+
+double pricing_env::price_from_action(double raw_action) const {
+  const double clipped = std::clamp(raw_action, action_low(), action_high());
+  const auto& p = market_.params();
+  return p.unit_cost +
+         (clipped - action_low()) / (action_high() - action_low()) *
+             (p.price_cap - p.unit_cost);
+}
+
+double pricing_env::action_from_price(double price) const {
+  const auto& p = market_.params();
+  VTM_EXPECTS(price >= p.unit_cost && price <= p.price_cap);
+  return action_low() + (price - p.unit_cost) / (p.price_cap - p.unit_cost) *
+                            (action_high() - action_low());
+}
+
+void pricing_env::push_history(double price,
+                               const std::vector<double>& demands) {
+  const std::size_t stride = 1 + market_.vmu_count();
+  // Shift one round out, append the newest at the back (oldest-first layout).
+  std::rotate(history_.begin(), history_.begin() + stride, history_.end());
+  const std::size_t base = history_.size() - stride;
+  history_[base] = price / market_.params().price_cap;
+  for (std::size_t n = 0; n < market_.vmu_count(); ++n)
+    history_[base + 1 + n] =
+        demands[n] / market_.params().bandwidth_cap_mhz;
+}
+
+nn::tensor pricing_env::observation_tensor() const {
+  return nn::tensor({1, history_.size()},
+                    std::vector<double>(history_.begin(), history_.end()));
+}
+
+double pricing_env::reward_for(double utility) {
+  switch (config_.mode) {
+    case reward_mode::paper_binary:
+    case reward_mode::persistent_binary: {
+      // "1 if U_s^k >= U_best^k" with a relative tolerance band; sign-safe
+      // threshold: U_best − η·max(|U_best|, 1).
+      const bool first = !std::isfinite(best_utility_);
+      const double slack =
+          config_.reward_tolerance * std::max(std::abs(best_utility_), 1.0);
+      const bool matched = first || utility >= best_utility_ - slack;
+      best_utility_ = first ? utility : std::max(best_utility_, utility);
+      return matched ? 1.0 : 0.0;
+    }
+    case reward_mode::shaped:
+      best_utility_ = std::max(best_utility_, utility);
+      return utility / shaped_scale_;
+  }
+  VTM_ASSERT(false);
+}
+
+nn::tensor pricing_env::reset() {
+  round_ = 0;
+  if (config_.mode != reward_mode::persistent_binary)
+    best_utility_ = -std::numeric_limits<double>::infinity();
+  // Random warm-up history (k < L rounds "generated randomly").
+  for (std::size_t i = 0; i < config_.history_length; ++i) {
+    const double price = gen_.uniform(market_.params().unit_cost,
+                                      market_.params().price_cap);
+    push_history(price, market_.demands(price));
+  }
+  return observation_tensor();
+}
+
+rl::step_result pricing_env::step(const nn::tensor& action) {
+  VTM_EXPECTS(action.dims() == (nn::shape{1, 1}));
+  VTM_EXPECTS(round_ < config_.rounds_per_episode);
+
+  const double price = price_from_action(action.item());
+  const std::vector<double> demands = market_.demands(price);
+  const double utility = market_.leader_utility(price, demands);
+
+  push_history(price, demands);
+  ++round_;
+
+  rl::step_result result;
+  result.reward = reward_for(utility);
+  result.observation = observation_tensor();
+  result.done = round_ >= config_.rounds_per_episode;
+  result.info["leader_utility"] = utility;
+  result.info["price"] = price;
+
+  double total = 0.0;
+  double vmu_total = 0.0;
+  double aotm_sum = 0.0;
+  std::size_t active = 0;
+  for (std::size_t n = 0; n < market_.vmu_count(); ++n) {
+    total += demands[n];
+    vmu_total += market_.vmu_utility(n, demands[n], price);
+    if (demands[n] > 0.0) {
+      aotm_sum += market_.aotm(n, demands[n]);
+      ++active;
+    }
+  }
+  result.info["total_demand"] = total;
+  result.info["total_vmu_utility"] = vmu_total;
+  result.info["mean_aotm"] =
+      active > 0 ? aotm_sum / static_cast<double>(active) : 0.0;
+  result.info["active_vmus"] = static_cast<double>(active);
+  return result;
+}
+
+}  // namespace vtm::core

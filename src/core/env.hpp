@@ -1,0 +1,100 @@
+// POMDP formulation of the Stackelberg game (§IV-A).
+//
+// The MSP is the learning agent. At round k it observes the last L rounds of
+// posted prices and VMU bandwidth demands (eq. 11), posts a price p_k, the
+// VMUs best-respond through the market (Algorithm 1 line 7), and the MSP
+// receives the binary reward of eq. 12: 1 when its utility matches-or-beats
+// the best utility seen so far, else 0.
+//
+// Implementation notes (documented substitutions, DESIGN.md §5):
+//  * Actions arrive in the normalized box [-1, 1] and map affinely onto
+//    [C, p_max]; observations are normalized (price / p_max, demand / B_max)
+//    so the network sees O(1) inputs.
+//  * "Matches" uses a relative tolerance η, since a continuous stochastic
+//    policy almost never reproduces U_best exactly.
+//  * Before round L the history is filled with random rounds (the paper:
+//    "generated randomly during the initial stage").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/market.hpp"
+#include "rl/env.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::core {
+
+/// Reward definitions selectable for the ablation study.
+enum class reward_mode {
+  paper_binary,       ///< Eq. 12 with per-episode U_best (reset each episode).
+  persistent_binary,  ///< Eq. 12 with U_best persisting across episodes.
+  shaped,             ///< Normalized utility U_s / U_oracle (dense signal).
+};
+
+/// Name of a reward mode ("paper-binary", ...).
+[[nodiscard]] const char* to_string(reward_mode mode) noexcept;
+
+/// Environment knobs (paper defaults).
+struct pricing_env_config {
+  std::size_t history_length = 4;        ///< L — observed past rounds.
+  std::size_t rounds_per_episode = 100;  ///< K — episode length.
+  reward_mode mode = reward_mode::paper_binary;
+  double reward_tolerance = 0.01;        ///< η — "matched best" tolerance.
+  std::uint64_t seed = 7;                ///< Initial-history randomization.
+};
+
+/// The bandwidth-pricing POMDP over a migration market.
+class pricing_env final : public rl::environment {
+ public:
+  /// Validates the configuration (L >= 1, K >= 1, η in [0, 1)).
+  pricing_env(migration_market market, const pricing_env_config& config);
+
+  /// Observation width: L · (1 + N).
+  [[nodiscard]] std::size_t observation_dim() const override;
+  /// One scalar action (the price).
+  [[nodiscard]] std::size_t action_dim() const override { return 1; }
+  /// Normalized action box.
+  [[nodiscard]] double action_low() const override { return -1.0; }
+  [[nodiscard]] double action_high() const override { return 1.0; }
+
+  nn::tensor reset() override;
+  rl::step_result step(const nn::tensor& action) override;
+
+  /// Affine map from a raw action in [-1, 1] to a price in [C, p_max]
+  /// (out-of-box actions are clamped first).
+  [[nodiscard]] double price_from_action(double raw_action) const;
+
+  /// Inverse of price_from_action (for tests and diagnostics).
+  [[nodiscard]] double action_from_price(double price) const;
+
+  /// The underlying market.
+  [[nodiscard]] const migration_market& market() const noexcept {
+    return market_;
+  }
+
+  /// U_best tracked by the binary reward (−inf before the first step).
+  [[nodiscard]] double best_utility() const noexcept { return best_utility_; }
+
+  /// Rounds taken in the current episode.
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  [[nodiscard]] const pricing_env_config& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void push_history(double price, const std::vector<double>& demands);
+  [[nodiscard]] nn::tensor observation_tensor() const;
+  [[nodiscard]] double reward_for(double utility);
+
+  migration_market market_;
+  pricing_env_config config_;
+  util::rng gen_;
+  std::vector<double> history_;  ///< L·(1+N) ring, flattened oldest-first.
+  double best_utility_;
+  double shaped_scale_ = 1.0;
+  std::size_t round_ = 0;
+};
+
+}  // namespace vtm::core

@@ -1,0 +1,143 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "nn/serialize.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace vtm::core {
+
+namespace {
+
+std::size_t convergence_episode(const std::vector<rl::episode_stats>& history,
+                                double oracle_utility) {
+  const double target = 0.95 * oracle_utility;
+  std::vector<double> utilities;
+  utilities.reserve(history.size());
+  for (const auto& episode : history)
+    utilities.push_back(episode.mean_utility);
+  const auto smoothed = util::moving_average(utilities, 10);
+  for (std::size_t e = 0; e < smoothed.size(); ++e)
+    if (smoothed[e] >= target) return e;
+  return history.size();
+}
+
+}  // namespace
+
+robustness_report evaluate_robustness(const market_params& params,
+                                      const mechanism_config& base,
+                                      std::size_t n_seeds) {
+  VTM_EXPECTS(n_seeds >= 1);
+  robustness_report report;
+  report.oracle = solve_equilibrium(migration_market(params));
+  report.min_optimality = 1e300;
+
+  util::running_stats optimality_stats;
+  util::running_stats convergence_stats;
+  for (std::size_t i = 0; i < n_seeds; ++i) {
+    mechanism_config config = base;
+    config.seed = base.seed + 1000 * (i + 1);
+    const auto result = run_learning_mechanism(params, config);
+
+    seed_outcome outcome;
+    outcome.seed = config.seed;
+    outcome.optimality = result.optimality();
+    outcome.learned_price = result.learned_price;
+    outcome.final_return = result.history.back().episode_return;
+    outcome.convergence_episode =
+        convergence_episode(result.history, report.oracle.leader_utility);
+    report.outcomes.push_back(outcome);
+
+    optimality_stats.push(outcome.optimality);
+    convergence_stats.push(static_cast<double>(outcome.convergence_episode));
+    report.min_optimality =
+        std::min(report.min_optimality, outcome.optimality);
+  }
+  report.mean_optimality = optimality_stats.mean();
+  report.std_optimality = optimality_stats.stddev();
+  report.mean_convergence_episode = convergence_stats.mean();
+  return report;
+}
+
+checkpointed_result train_with_checkpoint(const market_params& params,
+                                          const mechanism_config& config) {
+  checkpointed_result out;
+
+  migration_market market(params);
+  pricing_env_config env_config = config.env;
+  env_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  pricing_env env(market, env_config);
+
+  util::rng net_gen(config.seed);
+  rl::actor_critic_config net_config;
+  net_config.obs_dim = env.observation_dim();
+  net_config.act_dim = env.action_dim();
+  net_config.hidden = config.hidden;
+  net_config.initial_log_std = config.initial_log_std;
+  rl::actor_critic policy(net_config, net_gen);
+
+  util::rng ppo_gen(config.seed + 1);
+  rl::ppo learner(policy, config.ppo, ppo_gen);
+
+  rl::trainer_config trainer_config = config.trainer;
+  trainer_config.rounds_per_episode = env_config.rounds_per_episode;
+  trainer_config.seed = config.seed + 2;
+  rl::trainer driver(env, policy, learner, trainer_config);
+
+  out.result.oracle = solve_equilibrium(market);
+  out.result.history = driver.train();
+  out.result.final_eval = driver.evaluate();
+  out.result.learned_utility = out.result.final_eval.mean_utility;
+  out.result.learned_price =
+      env.price_from_action(out.result.final_eval.mean_action);
+  out.result.learned_total_demand =
+      market.total_demand(out.result.learned_price);
+  out.result.learned_vmu_utility =
+      market.total_vmu_utility(out.result.learned_price);
+
+  std::ostringstream blob;
+  auto parameters = policy.parameters();
+  nn::save_parameters(blob, parameters);
+  out.checkpoint = blob.str();
+  return out;
+}
+
+double evaluate_checkpoint(const market_params& params,
+                           const mechanism_config& config,
+                           const std::string& checkpoint) {
+  migration_market market(params);
+  pricing_env_config env_config = config.env;
+  env_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  pricing_env env(market, env_config);
+
+  util::rng net_gen(config.seed);
+  rl::actor_critic_config net_config;
+  net_config.obs_dim = env.observation_dim();
+  net_config.act_dim = env.action_dim();
+  net_config.hidden = config.hidden;
+  net_config.initial_log_std = config.initial_log_std;
+  rl::actor_critic policy(net_config, net_gen);
+
+  auto parameters = policy.parameters();
+  std::istringstream blob(checkpoint);
+  nn::load_parameters(blob, parameters);
+
+  // One deterministic episode.
+  nn::tensor observation = env.reset();
+  double total_utility = 0.0;
+  std::size_t rounds = 0;
+  for (std::size_t k = 0; k < env_config.rounds_per_episode; ++k) {
+    const auto sample = policy.act_deterministic(observation);
+    const auto result = env.step(sample.action);
+    total_utility += result.info.at("leader_utility");
+    observation = result.observation;
+    ++rounds;
+    if (result.done) break;
+  }
+  return total_utility / static_cast<double>(rounds);
+}
+
+}  // namespace vtm::core

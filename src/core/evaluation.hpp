@@ -1,0 +1,63 @@
+// Statistical evaluation of the learning mechanism across seeds, and policy
+// checkpointing for deployment without retraining.
+//
+// The paper reports single training runs; a downstream user needs to know the
+// variance. `evaluate_robustness` trains across independent seeds and reports
+// optimality statistics plus the episode at which each run first reached 95%
+// of the oracle utility (its "convergence episode").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/equilibrium.hpp"
+#include "core/mechanism.hpp"
+
+namespace vtm::core {
+
+/// Outcome of one seeded training run.
+struct seed_outcome {
+  std::uint64_t seed = 0;
+  double optimality = 0.0;        ///< Final deterministic eval / oracle.
+  double learned_price = 0.0;
+  double final_return = 0.0;      ///< Episode return of the last episode.
+  std::size_t convergence_episode = 0;  ///< First episode with 10-episode
+                                        ///< mean utility >= 95% of oracle
+                                        ///< (== episode count if never).
+};
+
+/// Aggregate statistics over the seeds.
+struct robustness_report {
+  equilibrium oracle;
+  std::vector<seed_outcome> outcomes;
+  double mean_optimality = 0.0;
+  double std_optimality = 0.0;
+  double min_optimality = 0.0;
+  double mean_convergence_episode = 0.0;
+};
+
+/// Train `n_seeds` independent runs (base.seed + i) and aggregate.
+/// Requires n_seeds >= 1.
+[[nodiscard]] robustness_report evaluate_robustness(
+    const market_params& params, const mechanism_config& base,
+    std::size_t n_seeds);
+
+/// Train once and additionally return the serialized policy (the
+/// `policy_checkpoint` field of the result is filled).
+struct checkpointed_result {
+  mechanism_result result;
+  std::string checkpoint;  ///< nn::save_parameters text blob.
+};
+[[nodiscard]] checkpointed_result train_with_checkpoint(
+    const market_params& params, const mechanism_config& config);
+
+/// Rebuild the policy from a checkpoint and evaluate it deterministically on
+/// a (possibly different) market without any training. The architecture in
+/// `config` must match the checkpoint's. Returns the mean MSP utility of one
+/// deterministic episode.
+[[nodiscard]] double evaluate_checkpoint(const market_params& params,
+                                         const mechanism_config& config,
+                                         const std::string& checkpoint);
+
+}  // namespace vtm::core

@@ -1,0 +1,61 @@
+#include "core/game_adapter.hpp"
+
+#include <algorithm>
+
+#include "game/maximize.hpp"
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+vmu_follower::vmu_follower(const migration_market& market, std::size_t index)
+    : market_(market), index_(index) {
+  VTM_EXPECTS(index < market.vmu_count());
+}
+
+double vmu_follower::utility(double own, double leader_action,
+                             std::span<const double> /*others*/) const {
+  if (own <= 0.0) return 0.0;
+  return market_.vmu_utility(index_, own, leader_action);
+}
+
+double vmu_follower::best_response(double leader_action,
+                                   std::span<const double> others) const {
+  VTM_EXPECTS(leader_action > 0.0);
+  // Numeric search over [0, hi]; hi chosen from the interior optimum scale.
+  const double hi =
+      std::max(1.0, 4.0 * market_.params().vmus[index_].alpha / leader_action);
+  const auto result = game::golden_section_maximize(
+      [&](double b) { return utility(b, leader_action, others); }, 0.0, hi,
+      1e-10);
+  // Participation: never return a negative-utility positive purchase.
+  return result.value > 0.0 ? result.arg : 0.0;
+}
+
+std::vector<std::unique_ptr<game::follower>> make_followers(
+    const migration_market& market) {
+  std::vector<std::unique_ptr<game::follower>> followers;
+  followers.reserve(market.vmu_count());
+  for (std::size_t n = 0; n < market.vmu_count(); ++n)
+    followers.push_back(std::make_unique<vmu_follower>(market, n));
+  return followers;
+}
+
+game::leader_problem make_leader_problem(const migration_market& market) {
+  game::leader_problem problem;
+  problem.action_lo = market.params().unit_cost;
+  problem.action_hi = market.params().price_cap;
+  problem.utility = [&market](double price, std::span<const double> requests) {
+    // Apply the capacity rationing rule to the requested bandwidths.
+    double total = 0.0;
+    for (double b : requests) total += b;
+    const double cap = market.params().bandwidth_cap_mhz;
+    const double scale = total > cap && total > 0.0 ? cap / total : 1.0;
+    double utility = 0.0;
+    for (double b : requests)
+      utility += (price - market.params().unit_cost) * b * scale;
+    return utility;
+  };
+  return problem;
+}
+
+}  // namespace vtm::core

@@ -1,0 +1,43 @@
+// Adapter from the migration market to the generic vtm::game machinery.
+//
+// Used to cross-validate the closed-form oracle: the generic Stackelberg
+// solver knows nothing about eq. (8) — each VMU best-responds by numeric
+// 1-D concave maximization of its utility — so agreement between the two
+// solution paths certifies both.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/market.hpp"
+#include "game/stackelberg.hpp"
+
+namespace vtm::core {
+
+/// A VMU as a generic game follower; best response by golden-section search.
+class vmu_follower final : public game::follower {
+ public:
+  /// `market` must outlive the follower; `index` < market.vmu_count().
+  vmu_follower(const migration_market& market, std::size_t index);
+
+  [[nodiscard]] double utility(double own, double leader_action,
+                               std::span<const double> others) const override;
+
+  [[nodiscard]] double best_response(
+      double leader_action, std::span<const double> others) const override;
+
+ private:
+  const migration_market& market_;
+  std::size_t index_;
+};
+
+/// Build the follower list for the generic solver.
+[[nodiscard]] std::vector<std::unique_ptr<game::follower>> make_followers(
+    const migration_market& market);
+
+/// Build the leader problem (price box + leader utility with the capacity
+/// rationing rule applied to the followers' requested bandwidths).
+[[nodiscard]] game::leader_problem make_leader_problem(
+    const migration_market& market);
+
+}  // namespace vtm::core

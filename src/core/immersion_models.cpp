@@ -1,0 +1,121 @@
+#include "core/immersion_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "game/maximize.hpp"
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+double log_immersion::gain(double alpha, double aotm) const {
+  VTM_EXPECTS(alpha > 0.0);
+  VTM_EXPECTS(aotm > 0.0);
+  return alpha * std::log(1.0 + 1.0 / aotm);
+}
+
+power_immersion::power_immersion(double theta) : theta_(theta) {
+  VTM_EXPECTS(theta > 0.0 && theta < 1.0);
+}
+
+double power_immersion::gain(double alpha, double aotm) const {
+  VTM_EXPECTS(alpha > 0.0);
+  VTM_EXPECTS(aotm > 0.0);
+  return alpha * std::pow(1.0 / aotm, theta_);
+}
+
+saturating_immersion::saturating_immersion(double theta) : theta_(theta) {
+  VTM_EXPECTS(theta > 0.0);
+}
+
+double saturating_immersion::gain(double alpha, double aotm) const {
+  VTM_EXPECTS(alpha > 0.0);
+  VTM_EXPECTS(aotm > 0.0);
+  return alpha * (1.0 - std::exp(-theta_ / aotm));
+}
+
+generalized_market::generalized_market(market_params params,
+                                       const immersion_model& model)
+    : params_(std::move(params)), link_(params_.link), model_(model) {
+  VTM_EXPECTS(!params_.vmus.empty());
+  VTM_EXPECTS(params_.bandwidth_cap_mhz > 0.0);
+  VTM_EXPECTS(params_.unit_cost > 0.0);
+  VTM_EXPECTS(params_.price_cap >= params_.unit_cost);
+  for (const auto& vmu : params_.vmus) {
+    VTM_EXPECTS(vmu.alpha > 0.0);
+    VTM_EXPECTS(vmu.data_mb > 0.0);
+  }
+}
+
+double generalized_market::vmu_utility(std::size_t n, double bandwidth_mhz,
+                                       double price) const {
+  VTM_EXPECTS(n < vmu_count());
+  VTM_EXPECTS(bandwidth_mhz >= 0.0);
+  if (bandwidth_mhz == 0.0) return 0.0;
+  const double aotm =
+      params_.vmus[n].data_mb / (bandwidth_mhz * spectral_efficiency());
+  return model_.gain(params_.vmus[n].alpha, aotm) - price * bandwidth_mhz;
+}
+
+double generalized_market::best_response(std::size_t n, double price) const {
+  VTM_EXPECTS(price > 0.0);
+  const auto result = game::golden_section_maximize(
+      [&](double b) { return vmu_utility(n, b, price); }, 0.0,
+      params_.bandwidth_cap_mhz, 1e-9);
+  return result.value > 0.0 ? result.arg : 0.0;
+}
+
+std::vector<double> generalized_market::demands(double price) const {
+  std::vector<double> out(vmu_count());
+  double total = 0.0;
+  for (std::size_t n = 0; n < vmu_count(); ++n) {
+    out[n] = best_response(n, price);
+    total += out[n];
+  }
+  if (total > params_.bandwidth_cap_mhz && total > 0.0) {
+    const double scale = params_.bandwidth_cap_mhz / total;
+    for (double& b : out) b *= scale;
+  }
+  return out;
+}
+
+double generalized_market::leader_utility(double price) const {
+  double total = 0.0;
+  for (double b : demands(price)) total += b;
+  return (price - params_.unit_cost) * total;
+}
+
+generalized_market::solution generalized_market::solve(
+    std::size_t grid_points) const {
+  VTM_EXPECTS(grid_points >= 2);
+  const double lo = params_.unit_cost;
+  const double hi = params_.price_cap;
+  double best_price = lo;
+  double best_value = leader_utility(lo);
+  for (std::size_t i = 1; i < grid_points; ++i) {
+    const double p = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(grid_points - 1);
+    const double v = leader_utility(p);
+    if (v > best_value) {
+      best_value = v;
+      best_price = p;
+    }
+  }
+  const double cell = (hi - lo) / static_cast<double>(grid_points - 1);
+  const auto refined = game::golden_section_maximize(
+      [&](double p) { return leader_utility(p); },
+      std::max(lo, best_price - cell), std::min(hi, best_price + cell), 1e-9);
+  const double price =
+      refined.value >= best_value ? refined.arg : best_price;
+
+  solution out;
+  out.price = price;
+  out.demands = demands(price);
+  for (double b : out.demands) out.total_demand += b;
+  out.leader_utility = (price - params_.unit_cost) * out.total_demand;
+  for (std::size_t n = 0; n < vmu_count(); ++n)
+    out.total_vmu_utility += vmu_utility(n, out.demands[n], price);
+  return out;
+}
+
+}  // namespace vtm::core

@@ -1,0 +1,118 @@
+// Pluggable immersion metrics (the paper's stated future work, §VI: "adopt
+// more effective immersive metrics in conjunction with AoTM").
+//
+// The paper fixes G_n = α_n·ln(1 + 1/A_n). This module abstracts the
+// immersion function and provides a `generalized_market` whose follower best
+// responses and leader optimum are solved numerically (no closed form
+// required), so any concave-in-bandwidth metric drops in. Three models ship:
+//
+//   * log_immersion          — the paper's (validated against the closed form);
+//   * power_immersion        — G = α·(1/A)^θ, θ ∈ (0,1): heavier reward for
+//                              ultra-fresh migrations, no saturation;
+//   * saturating_immersion   — G = α·(1 − exp(−θ/A)): hard saturation at α,
+//                              modelling perception limits of HMD users.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/market.hpp"
+
+namespace vtm::core {
+
+/// Immersion as a function of the freshness metric (I.25 interface).
+class immersion_model {
+ public:
+  virtual ~immersion_model() = default;
+
+  /// Immersion gain for unit-profit α at freshness A (> 0). Must be
+  /// increasing in 1/A and concave in bandwidth through A = D/(b·R).
+  [[nodiscard]] virtual double gain(double alpha, double aotm) const = 0;
+
+  /// Model name for reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The paper's metric: G = α·ln(1 + 1/A) (eq. 2).
+class log_immersion final : public immersion_model {
+ public:
+  [[nodiscard]] double gain(double alpha, double aotm) const override;
+  [[nodiscard]] const char* name() const override { return "log"; }
+};
+
+/// Power-law metric: G = α·(1/A)^θ with θ ∈ (0, 1).
+class power_immersion final : public immersion_model {
+ public:
+  explicit power_immersion(double theta = 0.5);
+  [[nodiscard]] double gain(double alpha, double aotm) const override;
+  [[nodiscard]] const char* name() const override { return "power"; }
+
+ private:
+  double theta_;
+};
+
+/// Saturating metric: G = α·(1 − exp(−θ/A)).
+class saturating_immersion final : public immersion_model {
+ public:
+  explicit saturating_immersion(double theta = 0.5);
+  [[nodiscard]] double gain(double alpha, double aotm) const override;
+  [[nodiscard]] const char* name() const override { return "saturating"; }
+
+ private:
+  double theta_;
+};
+
+/// The migration market generalized over an immersion model. Follower best
+/// responses are numeric (golden-section on the concave utility); the leader
+/// optimum is numeric over [C, p_max] with proportional rationing, mirroring
+/// migration_market's rules.
+class generalized_market {
+ public:
+  /// `model` must outlive the market. Same parameter validation as
+  /// migration_market.
+  generalized_market(market_params params, const immersion_model& model);
+
+  [[nodiscard]] const market_params& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::size_t vmu_count() const noexcept {
+    return params_.vmus.size();
+  }
+  [[nodiscard]] double spectral_efficiency() const noexcept {
+    return link_.spectral_efficiency();
+  }
+  [[nodiscard]] const immersion_model& model() const noexcept {
+    return model_;
+  }
+
+  /// U_n(b; p) = G(α_n, A_n(b)) − p·b, zero at b = 0.
+  [[nodiscard]] double vmu_utility(std::size_t n, double bandwidth_mhz,
+                                   double price) const;
+
+  /// Numeric best response in [0, B_max].
+  [[nodiscard]] double best_response(std::size_t n, double price) const;
+
+  /// Rationed demand vector at a price.
+  [[nodiscard]] std::vector<double> demands(double price) const;
+
+  /// (p − C)·Σ demands(p).
+  [[nodiscard]] double leader_utility(double price) const;
+
+  /// Numeric leader optimum: price, demands, utilities.
+  struct solution {
+    double price = 0.0;
+    std::vector<double> demands;
+    double total_demand = 0.0;
+    double leader_utility = 0.0;
+    double total_vmu_utility = 0.0;
+  };
+  [[nodiscard]] solution solve(std::size_t grid_points = 256) const;
+
+ private:
+  market_params params_;
+  wireless::link_budget link_;
+  const immersion_model& model_;
+};
+
+}  // namespace vtm::core

@@ -1,0 +1,135 @@
+#include "core/mechanism.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+mechanism_config mechanism_config::paper() {
+  mechanism_config config;
+  config.env.history_length = 4;        // L
+  config.env.rounds_per_episode = 100;  // K
+  config.env.mode = reward_mode::paper_binary;
+  config.trainer.episodes = 500;        // E
+  config.trainer.rounds_per_episode = 100;
+  config.trainer.update_interval = 20;  // |I|
+  config.ppo.learning_rate = 1e-5;      // paper lr
+  config.ppo.minibatch_size = 20;
+  config.ppo.epochs = 10;               // M
+  config.hidden = {64, 64};
+  return config;
+}
+
+mechanism_result run_learning_mechanism(
+    const market_params& params, const mechanism_config& config,
+    const rl::trainer::episode_callback& on_episode) {
+  migration_market market(params);
+
+  pricing_env_config env_config = config.env;
+  env_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  pricing_env env(market, env_config);
+
+  util::rng net_gen(config.seed);
+  rl::actor_critic_config net_config;
+  net_config.obs_dim = env.observation_dim();
+  net_config.act_dim = env.action_dim();
+  net_config.hidden = config.hidden;
+  net_config.initial_log_std = config.initial_log_std;
+  rl::actor_critic policy(net_config, net_gen);
+
+  util::rng ppo_gen(config.seed + 1);
+  rl::ppo learner(policy, config.ppo, ppo_gen);
+
+  rl::trainer_config trainer_config = config.trainer;
+  trainer_config.rounds_per_episode = env_config.rounds_per_episode;
+  trainer_config.seed = config.seed + 2;
+  rl::trainer driver(env, policy, learner, trainer_config);
+
+  mechanism_result result;
+  result.oracle = solve_equilibrium(market);
+  result.history = driver.train(on_episode);
+  result.final_eval = driver.evaluate();
+
+  result.learned_utility = result.final_eval.mean_utility;
+  result.learned_price =
+      env.price_from_action(result.final_eval.mean_action);
+  result.learned_total_demand = market.total_demand(result.learned_price);
+  result.learned_vmu_utility = market.total_vmu_utility(result.learned_price);
+  return result;
+}
+
+baseline_result run_baseline(const market_params& params,
+                             rl::pricing_agent& agent, std::size_t episodes,
+                             std::size_t rounds, std::uint64_t seed) {
+  VTM_EXPECTS(episodes >= 1);
+  VTM_EXPECTS(rounds >= 1);
+  migration_market market(params);
+  pricing_env_config env_config;
+  env_config.rounds_per_episode = rounds;
+  env_config.seed = seed ^ 0xabcdef1234567890ULL;
+  pricing_env env(market, env_config);
+
+  // Baselines act in price space directly; expose the price box to them
+  // through a thin adapter around the normalized environment action.
+  class price_space_agent final : public rl::pricing_agent {
+   public:
+    price_space_agent(rl::pricing_agent& inner, const pricing_env& env)
+        : inner_(inner), env_(env) {}
+    double select_action(double /*low*/, double /*high*/,
+                         util::rng& gen) override {
+      const auto& p = env_.market().params();
+      last_price_ = inner_.select_action(p.unit_cost, p.price_cap, gen);
+      return env_.action_from_price(last_price_);
+    }
+    void feedback(double /*action*/, double payoff) override {
+      inner_.feedback(last_price_, payoff);
+    }
+    void reset() override { inner_.reset(); }
+    [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+   private:
+    rl::pricing_agent& inner_;
+    const pricing_env& env_;
+    double last_price_ = 0.0;
+  };
+
+  price_space_agent adapter(agent, env);
+  util::rng gen(seed);
+
+  baseline_result result;
+  result.name = agent.name();
+  result.best_utility = -1e300;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    agent.reset();
+    const auto stats = rl::run_agent_episode(env, adapter, rounds, gen);
+    result.mean_utility += stats.mean_utility;
+    result.best_utility = std::max(result.best_utility, stats.best_utility);
+    result.final_utility += stats.final_utility;
+    // Recover price statistics from the market response at the final action.
+    result.mean_price += env.price_from_action(stats.mean_action);
+  }
+  const auto n = static_cast<double>(episodes);
+  result.mean_utility /= n;
+  result.final_utility /= n;
+  result.mean_price /= n;
+  result.mean_total_demand = market.total_demand(result.mean_price);
+  result.mean_vmu_utility = market.total_vmu_utility(result.mean_price);
+  return result;
+}
+
+std::vector<baseline_result> run_paper_baselines(const market_params& params,
+                                                 std::size_t episodes,
+                                                 std::size_t rounds,
+                                                 std::uint64_t seed) {
+  rl::random_scheme random_agent;
+  rl::greedy_scheme greedy_agent;
+  std::vector<baseline_result> results;
+  results.push_back(
+      run_baseline(params, random_agent, episodes, rounds, seed));
+  results.push_back(
+      run_baseline(params, greedy_agent, episodes, rounds, seed + 1));
+  return results;
+}
+
+}  // namespace vtm::core

@@ -1,0 +1,85 @@
+// The learning-based incentive mechanism — the paper's headline system.
+//
+// Wires the migration market into the pricing POMDP, trains the MSP's PPO
+// agent (Algorithm 1), evaluates the learned policy deterministically, and
+// runs the paper's baseline schemes (random / greedy) plus the analytic
+// Stackelberg oracle for comparison. One call produces everything a figure
+// needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/equilibrium.hpp"
+#include "core/market.hpp"
+#include "rl/agents.hpp"
+#include "rl/policy.hpp"
+#include "rl/ppo.hpp"
+#include "rl/trainer.hpp"
+
+namespace vtm::core {
+
+/// Everything configurable about one mechanism run.
+struct mechanism_config {
+  pricing_env_config env{};        ///< L, K, reward mode, tolerance.
+  rl::trainer_config trainer{};    ///< E, K, |I| (K mirrored from env).
+  rl::ppo_config ppo{};            ///< Learning hyper-parameters.
+  std::vector<std::size_t> hidden{64, 64};  ///< Trunk sizes (paper: 2x64).
+  double initial_log_std = -0.7;   ///< Exploration scale in action units.
+  std::uint64_t seed = 42;         ///< Master seed (env/net/trainer derive).
+
+  /// Paper-faithful hyper-parameters (§V-A): E=500, K=100, L=4, |I|=20,
+  /// M=10, lr=1e-5, 2x64 network. Note: with lr=1e-5 convergence needs the
+  /// full 500-episode budget; the library default (this struct's defaults
+  /// with lr from rl::ppo_config) trades strict faithfulness for wall-clock.
+  [[nodiscard]] static mechanism_config paper();
+};
+
+/// Summary of a non-learning baseline scheme's performance.
+struct baseline_result {
+  std::string name;            ///< "random" or "greedy".
+  double mean_utility = 0.0;   ///< Mean per-round MSP utility (across episodes).
+  double best_utility = 0.0;   ///< Best single-round utility observed.
+  double final_utility = 0.0;  ///< Mean last-round utility.
+  double mean_price = 0.0;     ///< Mean posted price.
+  double mean_total_demand = 0.0;
+  double mean_vmu_utility = 0.0;  ///< Mean per-round total VMU utility.
+};
+
+/// Full outcome of training + evaluation on one market.
+struct mechanism_result {
+  equilibrium oracle;                       ///< Analytic SE for reference.
+  std::vector<rl::episode_stats> history;   ///< Per-episode training curve.
+  rl::episode_stats final_eval;             ///< Deterministic post-training run.
+  double learned_price = 0.0;               ///< Mean price of final_eval.
+  double learned_utility = 0.0;             ///< Mean MSP utility of final_eval.
+  double learned_total_demand = 0.0;        ///< At the learned price.
+  double learned_vmu_utility = 0.0;         ///< Total VMU utility at it.
+  /// Optimality ratio vs the oracle (1.0 = matched the equilibrium).
+  [[nodiscard]] double optimality() const noexcept {
+    return oracle.leader_utility > 0.0
+               ? learned_utility / oracle.leader_utility
+               : 0.0;
+  }
+};
+
+/// Train the PPO-based mechanism on a market and evaluate it.
+[[nodiscard]] mechanism_result run_learning_mechanism(
+    const market_params& params, const mechanism_config& config = {},
+    const rl::trainer::episode_callback& on_episode = {});
+
+/// Run a baseline scheme for `episodes` episodes of `rounds` rounds each.
+[[nodiscard]] baseline_result run_baseline(const market_params& params,
+                                           rl::pricing_agent& agent,
+                                           std::size_t episodes,
+                                           std::size_t rounds,
+                                           std::uint64_t seed);
+
+/// Convenience: run both paper baselines with the given budget.
+[[nodiscard]] std::vector<baseline_result> run_paper_baselines(
+    const market_params& params, std::size_t episodes, std::size_t rounds,
+    std::uint64_t seed);
+
+}  // namespace vtm::core

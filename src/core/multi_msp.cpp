@@ -1,0 +1,162 @@
+#include "core/multi_msp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "game/maximize.hpp"
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+multi_msp_market::multi_msp_market(multi_msp_params params)
+    : params_(std::move(params)), link_(params_.link) {
+  VTM_EXPECTS(!params_.msps.empty());
+  VTM_EXPECTS(!params_.vmus.empty());
+  VTM_EXPECTS(params_.share_sharpness > 0.0);
+  for (const auto& msp : params_.msps) {
+    VTM_EXPECTS(msp.unit_cost > 0.0);
+    VTM_EXPECTS(msp.bandwidth_cap_mhz > 0.0);
+    VTM_EXPECTS(msp.price_cap >= msp.unit_cost);
+  }
+  for (const auto& vmu : params_.vmus) {
+    VTM_EXPECTS(vmu.alpha > 0.0);
+    VTM_EXPECTS(vmu.data_mb > 0.0);
+  }
+}
+
+std::vector<double> multi_msp_market::shares(
+    std::span<const double> prices) const {
+  VTM_EXPECTS(prices.size() == msp_count());
+  // Numerically-stable softmin: subtract the minimum price.
+  const double p_min = *std::min_element(prices.begin(), prices.end());
+  std::vector<double> weights(prices.size());
+  double total = 0.0;
+  for (std::size_t m = 0; m < prices.size(); ++m) {
+    VTM_EXPECTS(prices[m] > 0.0);
+    weights[m] = std::exp(-params_.share_sharpness * (prices[m] - p_min));
+    total += weights[m];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+double multi_msp_market::effective_price(
+    std::span<const double> prices) const {
+  const auto w = shares(prices);
+  double effective = 0.0;
+  for (std::size_t m = 0; m < prices.size(); ++m)
+    effective += w[m] * prices[m];
+  return effective;
+}
+
+double multi_msp_market::vmu_demand(std::size_t n,
+                                    std::span<const double> prices) const {
+  VTM_EXPECTS(n < vmu_count());
+  const double p_eff = effective_price(prices);
+  const double kappa = params_.vmus[n].data_mb / spectral_efficiency();
+  const double interior = params_.vmus[n].alpha / p_eff - kappa;
+  return interior > 0.0 ? interior : 0.0;
+}
+
+std::vector<double> multi_msp_market::msp_sales(
+    std::span<const double> prices) const {
+  const auto w = shares(prices);
+  double total_demand = 0.0;
+  for (std::size_t n = 0; n < vmu_count(); ++n)
+    total_demand += vmu_demand(n, prices);
+  std::vector<double> sales(msp_count());
+  for (std::size_t m = 0; m < msp_count(); ++m) {
+    sales[m] =
+        std::min(w[m] * total_demand, params_.msps[m].bandwidth_cap_mhz);
+  }
+  return sales;
+}
+
+std::vector<double> multi_msp_market::msp_utilities(
+    std::span<const double> prices) const {
+  const auto sales = msp_sales(prices);
+  std::vector<double> utilities(msp_count());
+  for (std::size_t m = 0; m < msp_count(); ++m)
+    utilities[m] = (prices[m] - params_.msps[m].unit_cost) * sales[m];
+  return utilities;
+}
+
+double multi_msp_market::best_response_price(
+    std::size_t m, std::span<const double> prices) const {
+  VTM_EXPECTS(m < msp_count());
+  VTM_EXPECTS(prices.size() == msp_count());
+  std::vector<double> candidate(prices.begin(), prices.end());
+  const auto objective = [&](double price) {
+    candidate[m] = price;
+    return msp_utilities(candidate)[m];
+  };
+  // Softmin shares make the profit non-concave in corner cases; grid-restart
+  // before the golden-section refinement, as in the generic solver.
+  const double lo = params_.msps[m].unit_cost;
+  const double hi = params_.msps[m].price_cap;
+  constexpr std::size_t grid = 48;
+  double best_price = lo;
+  double best_value = objective(lo);
+  for (std::size_t i = 1; i < grid; ++i) {
+    const double p = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(grid - 1);
+    const double v = objective(p);
+    if (v > best_value) {
+      best_value = v;
+      best_price = p;
+    }
+  }
+  const double cell = (hi - lo) / static_cast<double>(grid - 1);
+  const auto refined = game::golden_section_maximize(
+      objective, std::max(lo, best_price - cell),
+      std::min(hi, best_price + cell), 1e-9);
+  return refined.value >= best_value ? refined.arg : best_price;
+}
+
+multi_msp_equilibrium solve_price_competition(const multi_msp_market& market,
+                                              double tol,
+                                              std::size_t max_sweeps) {
+  VTM_EXPECTS(tol > 0.0);
+  const auto& params = market.params();
+
+  multi_msp_equilibrium result;
+  // Start from each MSP's cap midpoint (any interior point works; the
+  // iteration is a contraction for smoothed shares).
+  result.prices.resize(market.msp_count());
+  for (std::size_t m = 0; m < market.msp_count(); ++m)
+    result.prices[m] =
+        0.5 * (params.msps[m].unit_cost + params.msps[m].price_cap);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t m = 0; m < market.msp_count(); ++m) {
+      const double updated = market.best_response_price(m, result.prices);
+      max_change = std::max(max_change, std::abs(updated - result.prices[m]));
+      result.prices[m] = updated;
+    }
+    ++result.iterations;
+    if (max_change <= tol) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.sales = market.msp_sales(result.prices);
+  result.utilities = market.msp_utilities(result.prices);
+  result.effective_price = market.effective_price(result.prices);
+  for (double s : result.sales) result.total_demand += s;
+
+  // Total VMU utility at the effective price (immersion minus payment).
+  const double r = market.spectral_efficiency();
+  for (std::size_t n = 0; n < market.vmu_count(); ++n) {
+    const double b = market.vmu_demand(n, result.prices);
+    if (b <= 0.0) continue;
+    const auto& vmu = params.vmus[n];
+    const double aotm = vmu.data_mb / (b * r);
+    result.total_vmu_utility +=
+        vmu.alpha * std::log(1.0 + 1.0 / aotm) - result.effective_price * b;
+  }
+  return result;
+}
+
+}  // namespace vtm::core

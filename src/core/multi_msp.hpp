@@ -1,0 +1,109 @@
+// Multi-MSP extension (the paper's stated future work, §VI).
+//
+// M MSPs post unit prices simultaneously; each VMU splits its bandwidth
+// purchase across MSPs with a softmin share rule on price (logit demand with
+// sharpness λ — the standard smoothing of Bertrand competition that keeps
+// best responses well-defined):
+//
+//   w_m(p) = exp(−λ·p_m) / Σ_j exp(−λ·p_j)
+//   p̄_n   = Σ_m w_m·p_m                      (effective price faced by VMU n)
+//   b_n    = max(0, α_n/p̄_n − κ_n)           (paper's eq. 8 at p̄)
+//   b_nm   = b_n · w_m                        (allocation to MSP m)
+//
+// Each MSP m maximizes (p_m − C_m)·Σ_n b_nm given the other prices; the
+// price-competition equilibrium is the fixed point of best responses.
+// Economics recovered in the tests: one MSP reduces to the monopoly model;
+// competition pushes prices below the monopoly level toward cost as λ grows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/market.hpp"
+
+namespace vtm::core {
+
+/// One competing bandwidth seller.
+struct msp_profile {
+  double unit_cost = 5.0;          ///< C_m.
+  double bandwidth_cap_mhz = 50.0; ///< Per-MSP capacity.
+  double price_cap = 50.0;         ///< p_max,m.
+};
+
+/// Market with M MSPs and N VMUs.
+struct multi_msp_params {
+  std::vector<msp_profile> msps;  ///< The competing leaders (M >= 1).
+  std::vector<vmu_profile> vmus;  ///< The buyers (N >= 1).
+  wireless::link_params link{};   ///< Shared migration channel model.
+  double share_sharpness = 0.25;  ///< λ — price sensitivity of the split.
+};
+
+/// Stateless evaluator of the oligopoly market.
+class multi_msp_market {
+ public:
+  /// Validates: at least one MSP and VMU, positive α/D/caps, λ > 0,
+  /// 0 < C_m <= p_max,m.
+  explicit multi_msp_market(multi_msp_params params);
+
+  [[nodiscard]] const multi_msp_params& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::size_t msp_count() const noexcept {
+    return params_.msps.size();
+  }
+  [[nodiscard]] std::size_t vmu_count() const noexcept {
+    return params_.vmus.size();
+  }
+  [[nodiscard]] double spectral_efficiency() const noexcept {
+    return link_.spectral_efficiency();
+  }
+
+  /// Softmin market shares at a price vector (sums to 1).
+  [[nodiscard]] std::vector<double> shares(
+      std::span<const double> prices) const;
+
+  /// Effective (share-weighted) price faced by every VMU.
+  [[nodiscard]] double effective_price(std::span<const double> prices) const;
+
+  /// Total bandwidth demanded by VMU n at the effective price.
+  [[nodiscard]] double vmu_demand(std::size_t n,
+                                  std::span<const double> prices) const;
+
+  /// Bandwidth sold by each MSP (after per-MSP capacity rationing).
+  [[nodiscard]] std::vector<double> msp_sales(
+      std::span<const double> prices) const;
+
+  /// Per-MSP utilities (p_m − C_m)·sales_m.
+  [[nodiscard]] std::vector<double> msp_utilities(
+      std::span<const double> prices) const;
+
+  /// MSP m's best-response price to the others' prices (numeric 1-D solve
+  /// within [C_m, p_max,m]).
+  [[nodiscard]] double best_response_price(
+      std::size_t m, std::span<const double> prices) const;
+
+ private:
+  multi_msp_params params_;
+  wireless::link_budget link_;
+};
+
+/// Outcome of price-competition best-response iteration.
+struct multi_msp_equilibrium {
+  std::vector<double> prices;         ///< One price per MSP.
+  std::vector<double> sales;          ///< Bandwidth sold per MSP.
+  std::vector<double> utilities;      ///< Profit per MSP.
+  double effective_price = 0.0;       ///< Share-weighted price seen by VMUs.
+  double total_demand = 0.0;          ///< Σ over MSPs of sales.
+  double total_vmu_utility = 0.0;     ///< Σ_n U_n at the effective price.
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Gauss–Seidel best-response iteration from the monopoly price; converges
+/// for the smoothed share rule. Requires tol > 0.
+[[nodiscard]] multi_msp_equilibrium solve_price_competition(
+    const multi_msp_market& market, double tol = 1e-7,
+    std::size_t max_sweeps = 200);
+
+}  // namespace vtm::core

@@ -1,0 +1,80 @@
+// End-to-end vehicular-metaverse scenario (DESIGN.md experiment S1).
+//
+// Vehicles carrying VMUs drive along an RSU-covered highway. Each coverage
+// handover triggers a VT migration: the MSP prices bandwidth at the
+// Stackelberg-equilibrium price for the current set of concurrent migrations,
+// the VMU purchases its best-response bandwidth from the destination link's
+// OFDMA pool, and the twin is moved with the pre-copy engine. The record
+// compares the closed-form AoTM (eq. 1) with the AoTM measured from the
+// simulated block timeline, and accumulates both sides' utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/market.hpp"
+
+namespace vtm::core {
+
+/// Scenario shape and economics.
+struct scenario_config {
+  // Geometry / mobility.
+  std::size_t rsu_count = 4;
+  double rsu_spacing_m = 1000.0;
+  double coverage_radius_m = 600.0;
+  std::size_t vehicle_count = 3;
+  double min_speed_mps = 20.0;   ///< Speeds drawn uniformly per vehicle.
+  double max_speed_mps = 35.0;
+  double duration_s = 120.0;     ///< Simulated horizon.
+
+  // Economics (paper ranges; α enters ×100 per the unit calibration).
+  double min_alpha = 500.0;
+  double max_alpha = 2000.0;
+  double min_data_mb = 100.0;    ///< D_n ∈ [100, 300] MB.
+  double max_data_mb = 300.0;
+  double bandwidth_cap_mhz = 50.0;
+  double unit_cost = 5.0;
+  double price_cap = 50.0;
+  wireless::link_params link{};  ///< d is overridden by actual RSU spacing.
+
+  // Migration machinery.
+  double dirty_rate_mb_s = 50.0;     ///< Memory dirtying while live.
+  double page_mb = 0.25;
+  double stop_copy_threshold_mb = 1.0;
+
+  std::uint64_t seed = 2023;
+};
+
+/// One completed migration.
+struct migration_record {
+  double start_s = 0.0;          ///< Handover (market) time.
+  std::size_t vehicle = 0;
+  std::size_t from_rsu = 0;
+  std::size_t to_rsu = 0;
+  double price = 0.0;            ///< Equilibrium unit price charged.
+  double bandwidth_mhz = 0.0;    ///< Purchased (granted) bandwidth.
+  double aotm_closed_form = 0.0; ///< D/(b·R), eq. 1.
+  double aotm_simulated = 0.0;   ///< Pre-copy first-to-last-block time.
+  double downtime_s = 0.0;       ///< Stop-and-copy pause.
+  double data_sent_mb = 0.0;     ///< Includes dirty-page retransmissions.
+  double vmu_utility = 0.0;
+  double msp_utility = 0.0;
+  bool precopy_converged = true;
+};
+
+/// Aggregate outcome of a scenario run.
+struct scenario_result {
+  std::vector<migration_record> migrations;
+  std::size_t handovers = 0;         ///< Triggered handover events.
+  std::size_t deferred = 0;          ///< Migrations delayed by a full pool.
+  double msp_total_utility = 0.0;
+  double vmu_total_utility = 0.0;
+  double mean_aotm = 0.0;
+  double mean_amplification = 0.0;   ///< Sent / footprint (pre-copy overhead).
+};
+
+/// Run the scenario to completion (deterministic given the seed).
+[[nodiscard]] scenario_result run_highway_scenario(
+    const scenario_config& config);
+
+}  // namespace vtm::core

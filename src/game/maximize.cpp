@@ -1,0 +1,88 @@
+#include "game/maximize.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vtm::game {
+
+maximize_result golden_section_maximize(
+    const std::function<double(double)>& f, double lo, double hi, double tol,
+    std::size_t max_iter) {
+  VTM_EXPECTS(lo <= hi);
+  VTM_EXPECTS(tol > 0.0);
+  maximize_result result;
+  if (hi - lo < tol) {
+    result.arg = 0.5 * (lo + hi);
+    result.value = f(result.arg);
+    result.converged = true;
+    return result;
+  }
+  constexpr double inv_phi = 0.6180339887498949;  // 1/φ
+  double a = lo, b = hi;
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  std::size_t it = 0;
+  while (it < max_iter && (b - a) > tol) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    }
+    ++it;
+  }
+  result.arg = 0.5 * (a + b);
+  result.value = f(result.arg);
+  result.iterations = it;
+  result.converged = (b - a) <= tol;
+  return result;
+}
+
+root_result bisect_decreasing_root(const std::function<double(double)>& df,
+                                   double lo, double hi, double tol,
+                                   std::size_t max_iter) {
+  VTM_EXPECTS(lo <= hi);
+  VTM_EXPECTS(tol > 0.0);
+  root_result result;
+  double f_lo = df(lo);
+  double f_hi = df(hi);
+  if (f_lo <= 0.0) {  // decreasing and already non-positive: root at/below lo
+    result.root = lo;
+    result.converged = true;
+    result.bracketed = false;
+    return result;
+  }
+  if (f_hi >= 0.0) {  // still non-negative at hi: root at/above hi
+    result.root = hi;
+    result.converged = true;
+    result.bracketed = false;
+    return result;
+  }
+  double a = lo, b = hi;
+  std::size_t it = 0;
+  while (it < max_iter && (b - a) > tol) {
+    const double mid = 0.5 * (a + b);
+    const double f_mid = df(mid);
+    if (f_mid > 0.0)
+      a = mid;
+    else
+      b = mid;
+    ++it;
+  }
+  result.root = 0.5 * (a + b);
+  result.iterations = it;
+  result.converged = (b - a) <= tol;
+  return result;
+}
+
+}  // namespace vtm::game

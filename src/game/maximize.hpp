@@ -1,0 +1,44 @@
+// One-dimensional maximization utilities for concave objectives.
+//
+// The Stackelberg analysis needs two primitives: maximizing a strictly
+// concave utility over an interval (golden-section search) and locating the
+// unique zero of a strictly decreasing first derivative (bisection). Both are
+// derivative-free / derivative-only respectively and robust to flat regions
+// at the boundary.
+#pragma once
+
+#include <functional>
+
+namespace vtm::game {
+
+/// Result of a 1-D maximization.
+struct maximize_result {
+  double arg = 0.0;         ///< Argmax within the search interval.
+  double value = 0.0;       ///< Objective at arg.
+  std::size_t iterations = 0;
+  bool converged = false;   ///< Interval shrank below tolerance.
+};
+
+/// Golden-section search for the maximum of a unimodal `f` on [lo, hi].
+/// Requires lo <= hi, tol > 0. For strictly concave f the result is within
+/// tol of the true argmax.
+[[nodiscard]] maximize_result golden_section_maximize(
+    const std::function<double(double)>& f, double lo, double hi,
+    double tol = 1e-10, std::size_t max_iter = 200);
+
+/// Result of a root bracketing search.
+struct root_result {
+  double root = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  bool bracketed = true;  ///< False when df has the same sign at both ends.
+};
+
+/// Bisection for the zero of a strictly decreasing function `df` on [lo, hi].
+/// When df(lo) <= 0 the root is clamped to lo; when df(hi) >= 0, to hi
+/// (`bracketed` is false in those cases). Requires lo <= hi, tol > 0.
+[[nodiscard]] root_result bisect_decreasing_root(
+    const std::function<double(double)>& df, double lo, double hi,
+    double tol = 1e-12, std::size_t max_iter = 200);
+
+}  // namespace vtm::game

@@ -1,0 +1,118 @@
+#include "game/stackelberg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "game/maximize.hpp"
+#include "util/contracts.hpp"
+
+namespace vtm::game {
+
+subgame_result solve_subgame(
+    std::span<const std::unique_ptr<follower>> followers, double leader_action,
+    double tol, std::size_t max_sweeps) {
+  VTM_EXPECTS(tol > 0.0);
+  subgame_result result;
+  result.actions.assign(followers.size(), 0.0);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < followers.size(); ++i) {
+      const double updated =
+          followers[i]->best_response(leader_action, result.actions);
+      max_change = std::max(max_change, std::abs(updated - result.actions[i]));
+      result.actions[i] = updated;
+    }
+    ++result.sweeps;
+    if (max_change <= tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+stackelberg_solution solve_stackelberg(
+    const leader_problem& problem,
+    std::span<const std::unique_ptr<follower>> followers,
+    std::size_t grid_points, double tol) {
+  VTM_EXPECTS(problem.action_lo <= problem.action_hi);
+  VTM_EXPECTS(static_cast<bool>(problem.utility));
+  VTM_EXPECTS(grid_points >= 2);
+
+  const auto leader_objective = [&](double action) {
+    const auto subgame = solve_subgame(followers, action);
+    return problem.utility(action, subgame.actions);
+  };
+
+  // Coarse grid scan: find the best cell, then refine inside its neighbours.
+  const double span_len = problem.action_hi - problem.action_lo;
+  double best_action = problem.action_lo;
+  double best_value = leader_objective(best_action);
+  for (std::size_t i = 1; i < grid_points; ++i) {
+    const double a = problem.action_lo +
+                     span_len * static_cast<double>(i) /
+                         static_cast<double>(grid_points - 1);
+    const double v = leader_objective(a);
+    if (v > best_value) {
+      best_value = v;
+      best_action = a;
+    }
+  }
+  const double cell = span_len / static_cast<double>(grid_points - 1);
+  const double lo = std::max(problem.action_lo, best_action - cell);
+  const double hi = std::min(problem.action_hi, best_action + cell);
+  const auto refined = golden_section_maximize(leader_objective, lo, hi, tol);
+
+  stackelberg_solution solution;
+  solution.leader_action =
+      refined.value >= best_value ? refined.arg : best_action;
+  const auto subgame = solve_subgame(followers, solution.leader_action);
+  solution.follower_actions = subgame.actions;
+  solution.subgame_converged = subgame.converged;
+  solution.leader_utility =
+      problem.utility(solution.leader_action, solution.follower_actions);
+  solution.follower_utilities.reserve(followers.size());
+  for (std::size_t i = 0; i < followers.size(); ++i) {
+    solution.follower_utilities.push_back(followers[i]->utility(
+        solution.follower_actions[i], solution.leader_action,
+        solution.follower_actions));
+  }
+  return solution;
+}
+
+deviation_report check_no_deviation(
+    const leader_problem& problem,
+    std::span<const std::unique_ptr<follower>> followers,
+    const stackelberg_solution& candidate, std::size_t samples,
+    double follower_action_hi) {
+  VTM_EXPECTS(samples >= 2);
+  deviation_report report;
+
+  // Leader deviations: recompute follower equilibrium per deviation (the
+  // leader moves first, followers re-respond).
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double action =
+        problem.action_lo + (problem.action_hi - problem.action_lo) *
+                                static_cast<double>(i) /
+                                static_cast<double>(samples - 1);
+    const auto subgame = solve_subgame(followers, action);
+    const double utility = problem.utility(action, subgame.actions);
+    report.leader_gain =
+        std::max(report.leader_gain, utility - candidate.leader_utility);
+  }
+
+  // Follower deviations: others held fixed at the candidate equilibrium.
+  for (std::size_t n = 0; n < followers.size(); ++n) {
+    const double base = candidate.follower_utilities[n];
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double own = follower_action_hi * static_cast<double>(i) /
+                         static_cast<double>(samples - 1);
+      const double utility = followers[n]->utility(
+          own, candidate.leader_action, candidate.follower_actions);
+      report.follower_gain = std::max(report.follower_gain, utility - base);
+    }
+  }
+  return report;
+}
+
+}  // namespace vtm::game

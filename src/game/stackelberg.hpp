@@ -1,0 +1,93 @@
+// Generic single-leader / multi-follower Stackelberg machinery.
+//
+// The leader posts a scalar action (here: a unit price) in a box; each
+// follower best-responds, possibly coupled to the other followers' actions;
+// the leader maximizes its utility anticipating the follower equilibrium.
+// Solving is numeric and assumption-light: iterated best response for the
+// follower subgame (exact in one pass when followers are decoupled, as in
+// the paper) and golden-section search with a coarse grid restart for the
+// leader. Closed forms for the paper's model live in vtm::core and are
+// validated against this solver in the tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace vtm::game {
+
+/// A follower in the subgame induced by a leader action (I.25 interface).
+class follower {
+ public:
+  virtual ~follower() = default;
+
+  /// Utility of playing `own` when the leader plays `leader_action` and the
+  /// other followers play `others` (this follower's slot is ignored).
+  [[nodiscard]] virtual double utility(
+      double own, double leader_action,
+      std::span<const double> others) const = 0;
+
+  /// Best response to the leader action given the others' actions.
+  [[nodiscard]] virtual double best_response(
+      double leader_action, std::span<const double> others) const = 0;
+};
+
+/// Outcome of the follower subgame under a fixed leader action.
+struct subgame_result {
+  std::vector<double> actions;  ///< One action per follower.
+  std::size_t sweeps = 0;       ///< Best-response sweeps performed.
+  bool converged = false;       ///< Max action change fell below tolerance.
+};
+
+/// Iterated (Gauss–Seidel) best response across followers.
+/// Decoupled followers converge in one sweep. Requires tol > 0.
+[[nodiscard]] subgame_result solve_subgame(
+    std::span<const std::unique_ptr<follower>> followers, double leader_action,
+    double tol = 1e-10, std::size_t max_sweeps = 100);
+
+/// Leader-side description of the Stackelberg game.
+struct leader_problem {
+  double action_lo = 0.0;  ///< Lower bound of the leader action box.
+  double action_hi = 1.0;  ///< Upper bound of the leader action box.
+  /// Leader utility given its action and the follower equilibrium actions.
+  std::function<double(double, std::span<const double>)> utility;
+};
+
+/// Full equilibrium of the game.
+struct stackelberg_solution {
+  double leader_action = 0.0;
+  double leader_utility = 0.0;
+  std::vector<double> follower_actions;
+  std::vector<double> follower_utilities;
+  bool subgame_converged = false;
+};
+
+/// Solve the game: grid-scan the leader box (guards against non-concave
+/// leader objectives induced by constraints), refine with golden-section,
+/// then recompute the subgame at the winner.
+/// Requires action_lo <= action_hi and a callable utility; grid_points >= 2.
+[[nodiscard]] stackelberg_solution solve_stackelberg(
+    const leader_problem& problem,
+    std::span<const std::unique_ptr<follower>> followers,
+    std::size_t grid_points = 64, double tol = 1e-9);
+
+/// Equilibrium certificate: verify no profitable unilateral deviation exists
+/// on a sampled grid. Returns the largest observed utility gain from any
+/// deviation (<= tolerance means the certificate holds).
+struct deviation_report {
+  double leader_gain = 0.0;            ///< Max leader improvement found.
+  double follower_gain = 0.0;          ///< Max follower improvement found.
+  [[nodiscard]] bool holds(double tolerance = 1e-6) const noexcept {
+    return leader_gain <= tolerance && follower_gain <= tolerance;
+  }
+};
+
+/// Probe `samples` deviations per player around a candidate solution.
+[[nodiscard]] deviation_report check_no_deviation(
+    const leader_problem& problem,
+    std::span<const std::unique_ptr<follower>> followers,
+    const stackelberg_solution& candidate, std::size_t samples = 256,
+    double follower_action_hi = 1e4);
+
+}  // namespace vtm::game

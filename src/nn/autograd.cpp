@@ -1,0 +1,430 @@
+#include "nn/autograd.hpp"
+
+#include <cmath>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace vtm::nn {
+
+namespace detail {
+
+struct node {
+  tensor value;
+  tensor grad;
+  bool requires_grad = false;
+  bool is_leaf = true;
+  std::vector<std::shared_ptr<node>> parents;
+  // Reads this->grad and accumulates into parents' grads.
+  std::function<void(const node&)> backprop;
+};
+
+}  // namespace detail
+
+using detail::node;
+
+// Shared helpers for building interior nodes. Kept in a struct so it can be
+// friended by `variable` once instead of per-function.
+struct graph_ops {
+  static std::shared_ptr<node> raw(const variable& v) { return v.node_; }
+
+  static variable wrap(std::shared_ptr<node> n) {
+    return variable(std::move(n));
+  }
+
+  static variable make(tensor value, std::vector<variable> parents,
+                       std::function<void(const node&)> backprop) {
+    auto n = std::make_shared<node>();
+    n->value = std::move(value);
+    n->grad = tensor(n->value.dims());
+    n->is_leaf = false;
+    for (const auto& p : parents) {
+      VTM_EXPECTS(p.valid());
+      n->requires_grad = n->requires_grad || p.requires_grad();
+      n->parents.push_back(raw(p));
+    }
+    if (n->requires_grad) n->backprop = std::move(backprop);
+    return wrap(std::move(n));
+  }
+};
+
+namespace {
+
+node& parent(const node& n, std::size_t i) { return *n.parents[i]; }
+
+}  // namespace
+
+variable variable::constant(tensor value) {
+  auto n = std::make_shared<node>();
+  n->grad = tensor(value.dims());
+  n->value = std::move(value);
+  n->requires_grad = false;
+  return graph_ops::wrap(std::move(n));
+}
+
+variable variable::parameter(tensor value) {
+  auto n = std::make_shared<node>();
+  n->grad = tensor(value.dims());
+  n->value = std::move(value);
+  n->requires_grad = true;
+  return graph_ops::wrap(std::move(n));
+}
+
+const tensor& variable::value() const {
+  VTM_EXPECTS(valid());
+  return node_->value;
+}
+
+const tensor& variable::grad() const {
+  VTM_EXPECTS(valid());
+  return node_->grad;
+}
+
+shape variable::dims() const { return value().dims(); }
+
+bool variable::requires_grad() const {
+  VTM_EXPECTS(valid());
+  return node_->requires_grad;
+}
+
+void variable::set_value(tensor value) {
+  VTM_EXPECTS(valid());
+  VTM_EXPECTS(node_->is_leaf);
+  VTM_EXPECTS(value.dims() == node_->value.dims());
+  node_->value = std::move(value);
+}
+
+void variable::zero_grad() {
+  VTM_EXPECTS(valid());
+  node_->grad.fill(0.0);
+}
+
+void variable::accumulate_grad(const tensor& delta) {
+  VTM_EXPECTS(valid());
+  VTM_EXPECTS(delta.dims() == node_->value.dims());
+  node_->grad += delta;
+}
+
+void backward(const variable& root) {
+  VTM_EXPECTS(root.valid());
+  VTM_EXPECTS(root.dims() == (shape{1, 1}));
+
+  // Iterative post-order DFS -> topological order (parents before children in
+  // `order` reversed form).
+  std::vector<node*> order;
+  std::unordered_set<const node*> visited;
+  struct frame {
+    node* n;
+    std::size_t next_parent;
+  };
+  std::vector<frame> stack;
+  node* root_node = graph_ops::raw(root).get();
+  stack.push_back({root_node, 0});
+  visited.insert(root_node);
+  while (!stack.empty()) {
+    frame& top = stack.back();
+    if (top.next_parent < top.n->parents.size()) {
+      node* p = top.n->parents[top.next_parent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      order.push_back(top.n);
+      stack.pop_back();
+    }
+  }
+
+  // Fresh gradient accumulation for this pass over interior nodes. Leaf
+  // (parameter) gradients are preserved so callers control accumulation via
+  // zero_grad() / the optimizer.
+  for (node* n : order) {
+    if (!n->is_leaf) n->grad.fill(0.0);
+  }
+  root_node->grad.fill(1.0);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    node* n = *it;
+    if (n->requires_grad && n->backprop) n->backprop(*n);
+  }
+}
+
+// ---- elementwise binary ops ----------------------------------------------
+
+variable operator+(const variable& a, const variable& b) {
+  VTM_EXPECTS(a.dims() == b.dims());
+  return graph_ops::make(a.value() + b.value(), {a, b},
+                         [](const node& self) {
+                           if (parent(self, 0).requires_grad)
+                             parent(self, 0).grad += self.grad;
+                           if (parent(self, 1).requires_grad)
+                             parent(self, 1).grad += self.grad;
+                         });
+}
+
+variable operator-(const variable& a, const variable& b) {
+  VTM_EXPECTS(a.dims() == b.dims());
+  return graph_ops::make(a.value() - b.value(), {a, b},
+                         [](const node& self) {
+                           if (parent(self, 0).requires_grad)
+                             parent(self, 0).grad += self.grad;
+                           if (parent(self, 1).requires_grad)
+                             parent(self, 1).grad += self.grad * -1.0;
+                         });
+}
+
+variable operator*(const variable& a, const variable& b) {
+  VTM_EXPECTS(a.dims() == b.dims());
+  return graph_ops::make(
+      a.value().hadamard(b.value()), {a, b}, [](const node& self) {
+        if (parent(self, 0).requires_grad)
+          parent(self, 0).grad += self.grad.hadamard(parent(self, 1).value);
+        if (parent(self, 1).requires_grad)
+          parent(self, 1).grad += self.grad.hadamard(parent(self, 0).value);
+      });
+}
+
+variable operator/(const variable& a, const variable& b) {
+  VTM_EXPECTS(a.dims() == b.dims());
+  tensor out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    VTM_EXPECTS(b.value().flat()[i] != 0.0);
+    out.flat()[i] /= b.value().flat()[i];
+  }
+  return graph_ops::make(std::move(out), {a, b}, [](const node& self) {
+    const tensor& bv = parent(self, 1).value;
+    if (parent(self, 0).requires_grad) {
+      tensor g = self.grad;
+      for (std::size_t i = 0; i < g.size(); ++i) g.flat()[i] /= bv.flat()[i];
+      parent(self, 0).grad += g;
+    }
+    if (parent(self, 1).requires_grad) {
+      // d(a/b)/db = -a / b^2 = -value / b
+      tensor g = self.grad.hadamard(self.value);
+      for (std::size_t i = 0; i < g.size(); ++i) g.flat()[i] /= -bv.flat()[i];
+      parent(self, 1).grad += g;
+    }
+  });
+}
+
+// ---- scalar ops -----------------------------------------------------------
+
+variable operator*(const variable& a, double s) {
+  return graph_ops::make(a.value() * s, {a}, [s](const node& self) {
+    if (parent(self, 0).requires_grad) parent(self, 0).grad += self.grad * s;
+  });
+}
+
+variable operator*(double s, const variable& a) { return a * s; }
+
+variable operator+(const variable& a, double s) {
+  return graph_ops::make(a.value() + s, {a}, [](const node& self) {
+    if (parent(self, 0).requires_grad) parent(self, 0).grad += self.grad;
+  });
+}
+
+variable operator-(const variable& a, double s) { return a + (-s); }
+
+variable operator-(const variable& a) { return a * -1.0; }
+
+// ---- linear algebra --------------------------------------------------------
+
+variable matmul(const variable& a, const variable& b) {
+  VTM_EXPECTS(a.dims().cols == b.dims().rows);
+  return graph_ops::make(
+      a.value().matmul(b.value()), {a, b}, [](const node& self) {
+        // dL/dA = dL/dY · Bᵀ ;  dL/dB = Aᵀ · dL/dY
+        if (parent(self, 0).requires_grad)
+          parent(self, 0).grad +=
+              self.grad.matmul(parent(self, 1).value.transposed());
+        if (parent(self, 1).requires_grad)
+          parent(self, 1).grad +=
+              parent(self, 0).value.transposed().matmul(self.grad);
+      });
+}
+
+variable add_rowvec(const variable& m, const variable& row) {
+  VTM_EXPECTS(row.dims().rows == 1);
+  VTM_EXPECTS(row.dims().cols == m.dims().cols);
+  tensor out = m.value();
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      out(r, c) += row.value()(0, c);
+  return graph_ops::make(std::move(out), {m, row}, [](const node& self) {
+    if (parent(self, 0).requires_grad) parent(self, 0).grad += self.grad;
+    if (parent(self, 1).requires_grad) {
+      tensor col_sums({1, self.grad.cols()});
+      for (std::size_t r = 0; r < self.grad.rows(); ++r)
+        for (std::size_t c = 0; c < self.grad.cols(); ++c)
+          col_sums(0, c) += self.grad(r, c);
+      parent(self, 1).grad += col_sums;
+    }
+  });
+}
+
+variable tile_rows(const variable& row, std::size_t n) {
+  VTM_EXPECTS(row.dims().rows == 1);
+  VTM_EXPECTS(n >= 1);
+  tensor out({n, row.dims().cols});
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) = row.value()(0, c);
+  return graph_ops::make(std::move(out), {row}, [](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    tensor col_sums({1, self.grad.cols()});
+    for (std::size_t r = 0; r < self.grad.rows(); ++r)
+      for (std::size_t c = 0; c < self.grad.cols(); ++c)
+        col_sums(0, c) += self.grad(r, c);
+    parent(self, 0).grad += col_sums;
+  });
+}
+
+// ---- elementwise nonlinearities --------------------------------------------
+
+variable tanh(const variable& a) {
+  tensor out = a.value();
+  out.apply([](double x) { return std::tanh(x); });
+  return graph_ops::make(std::move(out), {a}, [](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    tensor g = self.grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double y = self.value.flat()[i];
+      g.flat()[i] *= 1.0 - y * y;
+    }
+    parent(self, 0).grad += g;
+  });
+}
+
+variable relu(const variable& a) {
+  tensor out = a.value();
+  out.apply([](double x) { return x > 0.0 ? x : 0.0; });
+  return graph_ops::make(std::move(out), {a}, [](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    tensor g = self.grad;
+    for (std::size_t i = 0; i < g.size(); ++i)
+      if (parent(self, 0).value.flat()[i] <= 0.0) g.flat()[i] = 0.0;
+    parent(self, 0).grad += g;
+  });
+}
+
+variable sigmoid(const variable& a) {
+  tensor out = a.value();
+  out.apply([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+  return graph_ops::make(std::move(out), {a}, [](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    tensor g = self.grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double y = self.value.flat()[i];
+      g.flat()[i] *= y * (1.0 - y);
+    }
+    parent(self, 0).grad += g;
+  });
+}
+
+variable exp(const variable& a) {
+  tensor out = a.value();
+  out.apply([](double x) { return std::exp(x); });
+  return graph_ops::make(std::move(out), {a}, [](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    parent(self, 0).grad += self.grad.hadamard(self.value);
+  });
+}
+
+variable log(const variable& a) {
+  tensor out = a.value();
+  for (double x : out.flat()) VTM_EXPECTS(x > 0.0);
+  out.apply([](double x) { return std::log(x); });
+  return graph_ops::make(std::move(out), {a}, [](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    tensor g = self.grad;
+    for (std::size_t i = 0; i < g.size(); ++i)
+      g.flat()[i] /= parent(self, 0).value.flat()[i];
+    parent(self, 0).grad += g;
+  });
+}
+
+variable square(const variable& a) {
+  tensor out = a.value();
+  out.apply([](double x) { return x * x; });
+  return graph_ops::make(std::move(out), {a}, [](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    parent(self, 0).grad +=
+        self.grad.hadamard(parent(self, 0).value) * 2.0;
+  });
+}
+
+variable clamp(const variable& a, double lo, double hi) {
+  VTM_EXPECTS(lo <= hi);
+  tensor out = a.value();
+  out.apply([lo, hi](double x) { return x < lo ? lo : (x > hi ? hi : x); });
+  return graph_ops::make(std::move(out), {a}, [lo, hi](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    tensor g = self.grad;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const double x = parent(self, 0).value.flat()[i];
+      if (x < lo || x > hi) g.flat()[i] = 0.0;
+    }
+    parent(self, 0).grad += g;
+  });
+}
+
+variable minimum(const variable& a, const variable& b) {
+  VTM_EXPECTS(a.dims() == b.dims());
+  tensor out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.flat()[i] = std::min(out.flat()[i], b.value().flat()[i]);
+  return graph_ops::make(std::move(out), {a, b}, [](const node& self) {
+    const tensor& av = parent(self, 0).value;
+    const tensor& bv = parent(self, 1).value;
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      const bool a_smaller = av.flat()[i] <= bv.flat()[i];
+      if (a_smaller && parent(self, 0).requires_grad)
+        parent(self, 0).grad.flat()[i] += self.grad.flat()[i];
+      if (!a_smaller && parent(self, 1).requires_grad)
+        parent(self, 1).grad.flat()[i] += self.grad.flat()[i];
+    }
+  });
+}
+
+// ---- reductions -------------------------------------------------------------
+
+variable sum(const variable& a) {
+  return graph_ops::make(tensor::scalar(a.value().sum()), {a},
+                         [](const node& self) {
+                           if (!parent(self, 0).requires_grad) return;
+                           const double g = self.grad.item();
+                           tensor grads(parent(self, 0).value.dims(), g);
+                           parent(self, 0).grad += grads;
+                         });
+}
+
+variable mean(const variable& a) {
+  const auto n = static_cast<double>(a.value().size());
+  VTM_EXPECTS(n > 0);
+  return graph_ops::make(tensor::scalar(a.value().sum() / n), {a},
+                         [n](const node& self) {
+                           if (!parent(self, 0).requires_grad) return;
+                           const double g = self.grad.item() / n;
+                           tensor grads(parent(self, 0).value.dims(), g);
+                           parent(self, 0).grad += grads;
+                         });
+}
+
+variable sum_cols(const variable& a) {
+  tensor out({a.dims().rows, 1});
+  for (std::size_t r = 0; r < a.dims().rows; ++r)
+    for (std::size_t c = 0; c < a.dims().cols; ++c)
+      out(r, 0) += a.value()(r, c);
+  return graph_ops::make(std::move(out), {a}, [](const node& self) {
+    if (!parent(self, 0).requires_grad) return;
+    tensor g(parent(self, 0).value.dims());
+    for (std::size_t r = 0; r < g.rows(); ++r)
+      for (std::size_t c = 0; c < g.cols(); ++c)
+        g(r, c) = self.grad(r, 0);
+    parent(self, 0).grad += g;
+  });
+}
+
+variable stop_gradient(const variable& a) {
+  return variable::constant(a.value());
+}
+
+}  // namespace vtm::nn

@@ -1,0 +1,66 @@
+#include "nn/gaussian.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/contracts.hpp"
+
+namespace vtm::nn {
+
+namespace {
+constexpr double half_log_two_pi() {
+  return 0.5 * 1.8378770664093453;  // ln(2π)
+}
+}  // namespace
+
+variable gaussian_log_prob(const variable& mean, const variable& log_std,
+                           const variable& actions) {
+  VTM_EXPECTS(mean.dims() == actions.dims());
+  VTM_EXPECTS(log_std.dims().rows == 1);
+  VTM_EXPECTS(log_std.dims().cols == mean.dims().cols);
+  const std::size_t batch = mean.dims().rows;
+
+  const variable log_std_b = tile_rows(log_std, batch);
+  const variable std_b = exp(log_std_b);
+  const variable z = (actions - mean) / std_b;
+  const variable elem =
+      square(z) * -0.5 - log_std_b - half_log_two_pi();
+  return sum_cols(elem);
+}
+
+variable gaussian_entropy(const variable& log_std) {
+  VTM_EXPECTS(log_std.dims().rows == 1);
+  const auto d = static_cast<double>(log_std.dims().cols);
+  return sum(log_std) + d * (0.5 + half_log_two_pi());
+}
+
+tensor gaussian_sample(const tensor& mean, const tensor& log_std,
+                       util::rng& gen) {
+  VTM_EXPECTS(log_std.rows() == 1);
+  VTM_EXPECTS(log_std.cols() == mean.cols());
+  tensor out = mean;
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      out(r, c) += std::exp(log_std(0, c)) * gen.normal();
+  return out;
+}
+
+tensor gaussian_log_prob_value(const tensor& mean, const tensor& log_std,
+                               const tensor& actions) {
+  VTM_EXPECTS(mean.dims() == actions.dims());
+  VTM_EXPECTS(log_std.rows() == 1);
+  VTM_EXPECTS(log_std.cols() == mean.cols());
+  tensor out({mean.rows(), 1});
+  for (std::size_t r = 0; r < mean.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < mean.cols(); ++c) {
+      const double ls = log_std(0, c);
+      const double z = (actions(r, c) - mean(r, c)) / std::exp(ls);
+      acc += -0.5 * z * z - ls - half_log_two_pi();
+    }
+    out(r, 0) = acc;
+  }
+  return out;
+}
+
+}  // namespace vtm::nn

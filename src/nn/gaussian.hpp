@@ -1,0 +1,36 @@
+// Diagonal Gaussian action distribution for continuous-control policies.
+//
+// The policy outputs a per-sample mean (batch x d); a global `log_std`
+// parameter (1 x d) controls exploration. Log-probabilities and entropy are
+// built as autograd expressions so PPO's surrogate differentiates through
+// them; sampling is a plain tensor operation (no gradient flows through the
+// reparameterization in PPO).
+#pragma once
+
+#include "nn/autograd.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::nn {
+
+/// Per-sample log N(a | mean, diag(exp(log_std))²): batch x 1.
+///
+/// `mean` is batch x d, `log_std` is 1 x d (tiled internally), `actions` is a
+/// batch x d constant.
+[[nodiscard]] variable gaussian_log_prob(const variable& mean,
+                                         const variable& log_std,
+                                         const variable& actions);
+
+/// Differential entropy of the diagonal Gaussian, summed over dimensions:
+/// Σ_d (0.5·(1 + ln 2π) + log_std_d), a 1 x 1 expression.
+[[nodiscard]] variable gaussian_entropy(const variable& log_std);
+
+/// Draw one action per row of `mean` using exp(log_std) as stddev.
+[[nodiscard]] tensor gaussian_sample(const tensor& mean, const tensor& log_std,
+                                     util::rng& gen);
+
+/// Log-density evaluated on plain tensors (no graph); batch x 1.
+[[nodiscard]] tensor gaussian_log_prob_value(const tensor& mean,
+                                             const tensor& log_std,
+                                             const tensor& actions);
+
+}  // namespace vtm::nn

@@ -1,0 +1,66 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace vtm::nn {
+
+gradcheck_result check_gradients(
+    const std::function<variable()>& build_scalar,
+    const std::vector<variable>& params, double eps, double tol) {
+  VTM_EXPECTS(eps > 0.0);
+  VTM_EXPECTS(tol > 0.0);
+
+  // Analytic pass.
+  for (const auto& p : params) {
+    variable mutable_p = p;
+    mutable_p.zero_grad();
+  }
+  variable root = build_scalar();
+  backward(root);
+  std::vector<tensor> analytic;
+  analytic.reserve(params.size());
+  for (const auto& p : params) analytic.push_back(p.grad());
+
+  gradcheck_result result;
+  result.passed = true;
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    variable param = params[pi];
+    const tensor original = param.value();
+    for (std::size_t j = 0; j < original.size(); ++j) {
+      tensor plus = original;
+      plus.flat()[j] += eps;
+      param.set_value(plus);
+      const double f_plus = build_scalar().value().item();
+
+      tensor minus = original;
+      minus.flat()[j] -= eps;
+      param.set_value(minus);
+      const double f_minus = build_scalar().value().item();
+
+      param.set_value(original);
+
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      const double exact = analytic[pi].flat()[j];
+      const double abs_err = std::abs(numeric - exact);
+      const double denom = std::max({std::abs(numeric), std::abs(exact), 1.0});
+      const double rel_err = abs_err / denom;
+
+      if (abs_err > result.max_abs_err) {
+        result.max_abs_err = abs_err;
+        std::ostringstream detail;
+        detail << "param " << pi << " element " << j << ": analytic=" << exact
+               << " numeric=" << numeric;
+        result.detail = detail.str();
+      }
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      if (rel_err > tol) result.passed = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace vtm::nn

@@ -1,0 +1,34 @@
+// Finite-difference validation of autograd gradients.
+//
+// Used by the test suite to certify every op and every composite loss: the
+// analytic gradient from backward() must match a central-difference estimate
+// obtained by re-running the forward closure with perturbed parameters.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace vtm::nn {
+
+/// Outcome of a finite-difference gradient comparison.
+struct gradcheck_result {
+  bool passed = false;      ///< All elements within tolerance.
+  double max_abs_err = 0.0; ///< Largest |analytic − numeric|.
+  double max_rel_err = 0.0; ///< Largest relative error (guarded denominator).
+  std::string detail;       ///< Human-readable location of the worst element.
+};
+
+/// Compare autograd gradients of `build_scalar()` against central differences.
+///
+/// `build_scalar` must construct a fresh 1x1 graph from the *current* values
+/// of `params` each time it is called (it is invoked 2·|θ|+1 times).
+/// `eps` is the perturbation; `tol` bounds the allowed absolute error for
+/// elements whose magnitude is small, otherwise relative error applies.
+[[nodiscard]] gradcheck_result check_gradients(
+    const std::function<variable()>& build_scalar,
+    const std::vector<variable>& params, double eps = 1e-6, double tol = 1e-5);
+
+}  // namespace vtm::nn

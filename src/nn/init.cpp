@@ -1,0 +1,55 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vtm::nn {
+
+tensor xavier_uniform(shape s, util::rng& gen) {
+  VTM_EXPECTS(s.rows > 0 && s.cols > 0);
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(s.rows + s.cols));
+  tensor out(s);
+  for (auto& x : out.flat()) x = gen.uniform(-bound, bound);
+  return out;
+}
+
+tensor orthogonal(shape s, util::rng& gen, double gain) {
+  VTM_EXPECTS(s.rows > 0 && s.cols > 0);
+  // Orthonormalize min(rows, cols) Gaussian vectors of length max(rows, cols)
+  // via modified Gram–Schmidt: tall matrices get orthonormal columns, wide
+  // matrices orthonormal rows (so WᵀW or WWᵀ is gain²·I respectively).
+  const std::size_t n = std::min(s.rows, s.cols);  // number of vectors
+  const std::size_t d = std::max(s.rows, s.cols);  // vector length (n <= d)
+  std::vector<std::vector<double>> basis(n, std::vector<double>(d));
+  for (auto& v : basis)
+    for (auto& x : v) x = gen.normal();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < d; ++k) dot += basis[i][k] * basis[j][k];
+      for (std::size_t k = 0; k < d; ++k) basis[i][k] -= dot * basis[j][k];
+    }
+    double norm = 0.0;
+    for (double x : basis[i]) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {  // degenerate draw: re-seed this vector
+      for (auto& x : basis[i]) x = gen.normal();
+      norm = 0.0;
+      for (double x : basis[i]) norm += x * x;
+      norm = std::sqrt(norm);
+    }
+    for (auto& x : basis[i]) x /= norm;
+  }
+  tensor out(s);
+  const bool tall = s.rows >= s.cols;  // vectors become columns when tall
+  for (std::size_t r = 0; r < s.rows; ++r)
+    for (std::size_t c = 0; c < s.cols; ++c)
+      out(r, c) = gain * (tall ? basis[c][r] : basis[r][c]);
+  return out;
+}
+
+tensor zeros(shape s) { return tensor(s); }
+
+}  // namespace vtm::nn

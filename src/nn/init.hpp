@@ -1,0 +1,20 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::nn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// Suitable default for tanh trunks.
+[[nodiscard]] tensor xavier_uniform(shape s, util::rng& gen);
+
+/// Orthogonal initialization (modified Gram–Schmidt on a Gaussian matrix),
+/// scaled by `gain`. The PPO literature's default for policy/value heads.
+[[nodiscard]] tensor orthogonal(shape s, util::rng& gen, double gain = 1.0);
+
+/// All-zero tensor (bias default).
+[[nodiscard]] tensor zeros(shape s);
+
+}  // namespace vtm::nn

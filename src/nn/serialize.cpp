@@ -1,0 +1,53 @@
+#include "nn/serialize.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace vtm::nn {
+
+namespace {
+constexpr const char* magic = "vtm-params";
+constexpr const char* version = "v1";
+}  // namespace
+
+void save_parameters(std::ostream& out, const std::vector<variable>& params) {
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << magic << ' ' << version << '\n' << params.size() << '\n';
+  for (const auto& p : params) {
+    VTM_EXPECTS(p.valid());
+    const tensor& t = p.value();
+    out << t.rows() << ' ' << t.cols();
+    for (double x : t.flat()) out << ' ' << x;
+    out << '\n';
+  }
+}
+
+void load_parameters(std::istream& in, std::vector<variable>& params) {
+  std::string word, ver;
+  in >> word >> ver;
+  if (!in || word != magic || ver != version)
+    throw std::runtime_error("load_parameters: bad header");
+  std::size_t count = 0;
+  in >> count;
+  if (!in || count != params.size())
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  for (auto& p : params) {
+    std::size_t rows = 0, cols = 0;
+    in >> rows >> cols;
+    if (!in || shape{rows, cols} != p.dims())
+      throw std::runtime_error("load_parameters: shape mismatch");
+    tensor t({rows, cols});
+    for (auto& x : t.flat()) {
+      in >> x;
+      if (!in) throw std::runtime_error("load_parameters: truncated values");
+    }
+    p.set_value(std::move(t));
+  }
+}
+
+}  // namespace vtm::nn

@@ -1,0 +1,23 @@
+// Text serialization of parameter lists (checkpointing trained policies).
+//
+// Format (line-oriented, locale-independent):
+//   vtm-params v1
+//   <count>
+//   <rows> <cols> <v0> <v1> ... per parameter, full precision
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace vtm::nn {
+
+/// Write each parameter's shape and values to `out`.
+void save_parameters(std::ostream& out, const std::vector<variable>& params);
+
+/// Read values back into existing parameters; shapes must match pairwise.
+/// Throws std::runtime_error on malformed input or shape mismatch.
+void load_parameters(std::istream& in, std::vector<variable>& params);
+
+}  // namespace vtm::nn

@@ -1,0 +1,146 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vtm::nn {
+
+std::string to_string(shape s) {
+  return std::to_string(s.rows) + "x" + std::to_string(s.cols);
+}
+
+tensor::tensor(shape s) : shape_(s), data_(s.size(), 0.0) {}
+
+tensor::tensor(shape s, double fill) : shape_(s), data_(s.size(), fill) {}
+
+tensor::tensor(shape s, std::vector<double> data)
+    : shape_(s), data_(std::move(data)) {
+  VTM_EXPECTS(data_.size() == shape_.size());
+}
+
+tensor tensor::row(std::span<const double> values) {
+  return tensor({1, values.size()},
+                std::vector<double>(values.begin(), values.end()));
+}
+
+tensor tensor::column(std::span<const double> values) {
+  return tensor({values.size(), 1},
+                std::vector<double>(values.begin(), values.end()));
+}
+
+tensor tensor::scalar(double value) { return tensor({1, 1}, {value}); }
+
+double& tensor::at(std::size_t r, std::size_t c) {
+  VTM_EXPECTS(r < rows() && c < cols());
+  return (*this)(r, c);
+}
+
+double tensor::at(std::size_t r, std::size_t c) const {
+  VTM_EXPECTS(r < rows() && c < cols());
+  return (*this)(r, c);
+}
+
+double tensor::item() const {
+  VTM_EXPECTS(size() == 1);
+  return data_[0];
+}
+
+void tensor::fill(double value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void tensor::apply(const std::function<double(double)>& fn) {
+  for (auto& x : data_) x = fn(x);
+}
+
+tensor tensor::matmul(const tensor& rhs) const {
+  VTM_EXPECTS(cols() == rhs.rows());
+  tensor out({rows(), rhs.cols()});
+  // ikj loop order: streams through rhs rows, cache-friendly for row-major.
+  for (std::size_t i = 0; i < rows(); ++i) {
+    for (std::size_t k = 0; k < cols(); ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols(); ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+tensor tensor::transposed() const {
+  tensor out({cols(), rows()});
+  for (std::size_t i = 0; i < rows(); ++i)
+    for (std::size_t j = 0; j < cols(); ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+tensor tensor::operator+(const tensor& rhs) const {
+  VTM_EXPECTS(dims() == rhs.dims());
+  tensor out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+tensor tensor::operator-(const tensor& rhs) const {
+  VTM_EXPECTS(dims() == rhs.dims());
+  tensor out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+tensor tensor::hadamard(const tensor& rhs) const {
+  VTM_EXPECTS(dims() == rhs.dims());
+  tensor out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= rhs.data_[i];
+  return out;
+}
+
+tensor tensor::operator*(double s) const {
+  tensor out = *this;
+  for (auto& x : out.data_) x *= s;
+  return out;
+}
+
+tensor tensor::operator+(double s) const {
+  tensor out = *this;
+  for (auto& x : out.data_) x += s;
+  return out;
+}
+
+tensor& tensor::operator+=(const tensor& rhs) {
+  VTM_EXPECTS(dims() == rhs.dims());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+double tensor::sum() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double tensor::max_abs() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+tensor tensor::row_at(std::size_t r) const {
+  VTM_EXPECTS(r < rows());
+  tensor out({1, cols()});
+  for (std::size_t j = 0; j < cols(); ++j) out(0, j) = (*this)(r, j);
+  return out;
+}
+
+bool tensor::allclose(const tensor& rhs, double tol) const {
+  if (dims() != rhs.dims()) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::abs(data_[i] - rhs.data_[i]) > tol) return false;
+  return true;
+}
+
+}  // namespace vtm::nn

@@ -1,0 +1,67 @@
+#include "rl/agents.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace vtm::rl {
+
+double random_scheme::select_action(double low, double high, util::rng& gen) {
+  return gen.uniform(low, high);
+}
+
+greedy_scheme::greedy_scheme(double epsilon) : epsilon_(epsilon) {
+  VTM_EXPECTS(epsilon >= 0.0 && epsilon <= 1.0);
+}
+
+double greedy_scheme::select_action(double low, double high, util::rng& gen) {
+  if (!best_action_ || gen.bernoulli(epsilon_))
+    return gen.uniform(low, high);
+  return std::clamp(*best_action_, low, high);
+}
+
+void greedy_scheme::feedback(double action, double payoff) {
+  if (!best_action_ || payoff > best_payoff_) {
+    best_action_ = action;
+    best_payoff_ = payoff;
+  }
+}
+
+void greedy_scheme::reset() {
+  best_action_.reset();
+  best_payoff_ = 0.0;
+}
+
+agent_episode_stats run_agent_episode(environment& env, pricing_agent& agent,
+                                      std::size_t max_rounds, util::rng& gen) {
+  VTM_EXPECTS(max_rounds >= 1);
+  VTM_EXPECTS(env.action_dim() == 1);
+  agent_episode_stats stats;
+  stats.best_utility = -1e300;
+  (void)env.reset();
+  for (std::size_t k = 0; k < max_rounds; ++k) {
+    const double action =
+        agent.select_action(env.action_low(), env.action_high(), gen);
+    nn::tensor action_tensor({1, 1}, {action});
+    const step_result result = env.step(action_tensor);
+
+    const auto it = result.info.find("leader_utility");
+    const double payoff =
+        it != result.info.end() ? it->second : result.reward;
+    agent.feedback(action, payoff);
+
+    stats.episode_return += result.reward;
+    stats.mean_utility += payoff;
+    stats.best_utility = std::max(stats.best_utility, payoff);
+    stats.final_utility = payoff;
+    stats.mean_action += action;
+    stats.final_action = action;
+    ++stats.rounds;
+    if (result.done) break;
+  }
+  stats.mean_utility /= static_cast<double>(stats.rounds);
+  stats.mean_action /= static_cast<double>(stats.rounds);
+  return stats;
+}
+
+}  // namespace vtm::rl

@@ -1,0 +1,88 @@
+// Non-learning pricing agents — the paper's baseline schemes (§V-B).
+//
+// `random_scheme`: the MSP prices uniformly at random each round.
+// `greedy_scheme`: the MSP "determines the best price by selecting from past
+// game rounds" — replay the best-payoff price seen so far, with ε-uniform
+// exploration to keep discovering prices.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "rl/env.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::rl {
+
+/// Scalar-action agent interface for baseline schemes.
+class pricing_agent {
+ public:
+  virtual ~pricing_agent() = default;
+
+  /// Choose the next scalar action within [low, high].
+  [[nodiscard]] virtual double select_action(double low, double high,
+                                             util::rng& gen) = 0;
+
+  /// Report the payoff obtained by the last action.
+  virtual void feedback(double action, double payoff) = 0;
+
+  /// Forget within-episode state (memory of past rounds).
+  virtual void reset() = 0;
+
+  /// Scheme name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uniform-random pricing.
+class random_scheme final : public pricing_agent {
+ public:
+  [[nodiscard]] double select_action(double low, double high,
+                                     util::rng& gen) override;
+  void feedback(double, double) override {}
+  void reset() override {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+};
+
+/// Best-of-past pricing with ε-uniform exploration.
+class greedy_scheme final : public pricing_agent {
+ public:
+  /// Requires epsilon in [0, 1].
+  explicit greedy_scheme(double epsilon = 0.1);
+
+  [[nodiscard]] double select_action(double low, double high,
+                                     util::rng& gen) override;
+  void feedback(double action, double payoff) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+
+  /// Best (action, payoff) remembered so far, if any feedback arrived.
+  [[nodiscard]] std::optional<double> best_action() const noexcept {
+    return best_action_;
+  }
+
+ private:
+  double epsilon_;
+  std::optional<double> best_action_;
+  double best_payoff_ = 0.0;
+};
+
+/// Outcome of running an agent for one episode.
+struct agent_episode_stats {
+  double episode_return = 0.0;   ///< Sum of environment rewards.
+  double mean_utility = 0.0;     ///< Mean of info["leader_utility"].
+  double best_utility = 0.0;     ///< Max of info["leader_utility"].
+  double final_utility = 0.0;    ///< Utility of the last round.
+  double mean_action = 0.0;
+  double final_action = 0.0;
+  std::size_t rounds = 0;
+};
+
+/// Drive `agent` through one episode of `env` (at most `max_rounds` steps or
+/// until done). The payoff fed back is info["leader_utility"] when present,
+/// otherwise the reward. Requires max_rounds >= 1.
+[[nodiscard]] agent_episode_stats run_agent_episode(environment& env,
+                                                    pricing_agent& agent,
+                                                    std::size_t max_rounds,
+                                                    util::rng& gen);
+
+}  // namespace vtm::rl

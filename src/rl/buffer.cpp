@@ -1,0 +1,126 @@
+#include "rl/buffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace vtm::rl {
+
+rollout_buffer::rollout_buffer(std::size_t capacity, std::size_t obs_dim,
+                               std::size_t act_dim)
+    : capacity_(capacity), obs_dim_(obs_dim), act_dim_(act_dim) {
+  VTM_EXPECTS(capacity >= 1);
+  VTM_EXPECTS(obs_dim >= 1);
+  VTM_EXPECTS(act_dim >= 1);
+  data_.reserve(capacity);
+}
+
+void rollout_buffer::add(const nn::tensor& observation,
+                         const nn::tensor& action, double reward, double value,
+                         double log_prob, bool done) {
+  VTM_EXPECTS(size() < capacity_);
+  VTM_EXPECTS(observation.dims() == (nn::shape{1, obs_dim_}));
+  VTM_EXPECTS(action.dims() == (nn::shape{1, act_dim_}));
+  transition t;
+  t.observation.assign(observation.flat().begin(), observation.flat().end());
+  t.action.assign(action.flat().begin(), action.flat().end());
+  t.reward = reward;
+  t.value = value;
+  t.log_prob = log_prob;
+  t.done = done;
+  data_.push_back(std::move(t));
+  ready_ = false;
+}
+
+void rollout_buffer::compute_advantages(double gamma, double lambda,
+                                        double last_value) {
+  VTM_EXPECTS(!data_.empty());
+  VTM_EXPECTS(gamma >= 0.0 && gamma <= 1.0);
+  VTM_EXPECTS(lambda >= 0.0 && lambda <= 1.0);
+  const std::size_t n = data_.size();
+  advantages_.assign(n, 0.0);
+  returns_.assign(n, 0.0);
+
+  double gae = 0.0;
+  double next_value = last_value;
+  for (std::size_t idx = n; idx-- > 0;) {
+    const transition& t = data_[idx];
+    const double not_done = t.done ? 0.0 : 1.0;
+    const double delta = t.reward + gamma * next_value * not_done - t.value;
+    gae = delta + gamma * lambda * not_done * gae;
+    advantages_[idx] = gae;
+    returns_[idx] = gae + t.value;  // λ-return target for the critic
+    next_value = t.value;
+  }
+
+  util::running_stats acc;
+  for (double a : advantages_) acc.push(a);
+  adv_mean_ = acc.mean();
+  adv_std_ = acc.count() > 1 ? acc.stddev() : 0.0;
+  ready_ = true;
+}
+
+minibatch rollout_buffer::gather(std::span<const std::size_t> indices,
+                                 bool normalize) const {
+  VTM_EXPECTS(ready_);
+  VTM_EXPECTS(!indices.empty());
+  const std::size_t b = indices.size();
+  minibatch batch{
+      nn::tensor({b, obs_dim_}), nn::tensor({b, act_dim_}),
+      nn::tensor({b, 1}),        nn::tensor({b, 1}),
+      nn::tensor({b, 1}),
+  };
+  const double denom = adv_std_ > 1e-8 ? adv_std_ : 1.0;
+  for (std::size_t r = 0; r < b; ++r) {
+    const std::size_t i = indices[r];
+    VTM_EXPECTS(i < data_.size());
+    const transition& t = data_[i];
+    for (std::size_t c = 0; c < obs_dim_; ++c)
+      batch.observations(r, c) = t.observation[c];
+    for (std::size_t c = 0; c < act_dim_; ++c)
+      batch.actions(r, c) = t.action[c];
+    batch.old_log_probs(r, 0) = t.log_prob;
+    batch.advantages(r, 0) =
+        normalize ? (advantages_[i] - adv_mean_) / denom : advantages_[i];
+    batch.returns(r, 0) = returns_[i];
+  }
+  return batch;
+}
+
+minibatch rollout_buffer::sample(std::size_t batch_size, util::rng& gen,
+                                 bool normalize) const {
+  VTM_EXPECTS(batch_size >= 1);
+  VTM_EXPECTS(batch_size <= size());
+  auto perm = gen.permutation(size());
+  perm.resize(batch_size);
+  return gather(perm, normalize);
+}
+
+minibatch rollout_buffer::all(bool normalize) const {
+  std::vector<std::size_t> indices(size());
+  for (std::size_t i = 0; i < size(); ++i) indices[i] = i;
+  return gather(indices, normalize);
+}
+
+double rollout_buffer::advantage_at(std::size_t i) const {
+  VTM_EXPECTS(ready_);
+  VTM_EXPECTS(i < advantages_.size());
+  return advantages_[i];
+}
+
+double rollout_buffer::return_at(std::size_t i) const {
+  VTM_EXPECTS(ready_);
+  VTM_EXPECTS(i < returns_.size());
+  return returns_[i];
+}
+
+void rollout_buffer::clear() noexcept {
+  data_.clear();
+  advantages_.clear();
+  returns_.clear();
+  ready_ = false;
+}
+
+}  // namespace vtm::rl

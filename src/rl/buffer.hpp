@@ -1,0 +1,95 @@
+// Rollout storage with Generalized Advantage Estimation.
+//
+// The paper stores transitions in a replay buffer and samples random
+// mini-batches for M epochs per update — i.e. standard PPO rollout reuse.
+// This buffer stores one on-policy segment, computes GAE(γ, λ) advantages and
+// discounted-return targets, and serves random mini-batches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::rl {
+
+/// One stored transition (flattened observation/action rows).
+struct transition {
+  std::vector<double> observation;
+  std::vector<double> action;
+  double reward = 0.0;
+  double value = 0.0;      ///< Critic estimate V(o) at collection time.
+  double log_prob = 0.0;   ///< Behaviour-policy log π(a|o).
+  bool done = false;       ///< Episode ended at this step.
+};
+
+/// Mini-batch view materialized as tensors for the PPO loss graph.
+struct minibatch {
+  nn::tensor observations;   ///< B x obs_dim.
+  nn::tensor actions;        ///< B x act_dim.
+  nn::tensor old_log_probs;  ///< B x 1.
+  nn::tensor advantages;     ///< B x 1 (normalized if requested).
+  nn::tensor returns;        ///< B x 1 value targets.
+};
+
+/// Fixed-capacity rollout buffer.
+class rollout_buffer {
+ public:
+  /// Requires capacity >= 1 and positive dims.
+  rollout_buffer(std::size_t capacity, std::size_t obs_dim,
+                 std::size_t act_dim);
+
+  /// Append a transition; requires matching dims and size() < capacity().
+  void add(const nn::tensor& observation, const nn::tensor& action,
+           double reward, double value, double log_prob, bool done);
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool full() const noexcept { return size() == capacity_; }
+
+  /// Compute GAE advantages and return targets over the stored segment.
+  /// `last_value` bootstraps the value beyond the final stored step (0 when
+  /// the final step ended the episode). Requires non-empty buffer,
+  /// gamma, lambda in [0, 1].
+  void compute_advantages(double gamma, double lambda, double last_value);
+
+  /// True once compute_advantages has run for the current contents.
+  [[nodiscard]] bool advantages_ready() const noexcept { return ready_; }
+
+  /// Materialize a mini-batch from explicit indices. Requires advantages_ready
+  /// and valid indices. When `normalize` is set, advantages are standardized
+  /// using the whole buffer's statistics (not the mini-batch's).
+  [[nodiscard]] minibatch gather(std::span<const std::size_t> indices,
+                                 bool normalize = true) const;
+
+  /// Random mini-batch of `batch_size` distinct indices (batch_size <= size).
+  [[nodiscard]] minibatch sample(std::size_t batch_size, util::rng& gen,
+                                 bool normalize = true) const;
+
+  /// Whole-buffer batch in storage order.
+  [[nodiscard]] minibatch all(bool normalize = true) const;
+
+  /// Advantage of the i-th stored transition. Requires advantages_ready.
+  [[nodiscard]] double advantage_at(std::size_t i) const;
+
+  /// Return target of the i-th stored transition. Requires advantages_ready.
+  [[nodiscard]] double return_at(std::size_t i) const;
+
+  /// Drop all stored transitions.
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t obs_dim_;
+  std::size_t act_dim_;
+  std::vector<transition> data_;
+  std::vector<double> advantages_;
+  std::vector<double> returns_;
+  double adv_mean_ = 0.0;
+  double adv_std_ = 1.0;
+  bool ready_ = false;
+};
+
+}  // namespace vtm::rl

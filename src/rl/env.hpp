@@ -1,0 +1,47 @@
+// Environment abstraction for episodic POMDP control.
+//
+// Observations and actions are row tensors (1 x dim). `step_result::info`
+// carries domain diagnostics (e.g. the MSP's raw utility) that agents other
+// than the learner — greedy baselines, loggers — may consume.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "nn/tensor.hpp"
+
+namespace vtm::rl {
+
+/// Outcome of one environment step.
+struct step_result {
+  nn::tensor observation;  ///< Next observation, 1 x observation_dim.
+  double reward = 0.0;     ///< Scalar learning signal.
+  bool done = false;       ///< Episode terminated after this step.
+  std::unordered_map<std::string, double> info;  ///< Domain diagnostics.
+};
+
+/// Episodic environment interface (I.25).
+class environment {
+ public:
+  virtual ~environment() = default;
+
+  /// Dimension of the observation row vector.
+  [[nodiscard]] virtual std::size_t observation_dim() const = 0;
+
+  /// Dimension of the action row vector.
+  [[nodiscard]] virtual std::size_t action_dim() const = 0;
+
+  /// Inclusive lower bound of every action component.
+  [[nodiscard]] virtual double action_low() const = 0;
+
+  /// Inclusive upper bound of every action component.
+  [[nodiscard]] virtual double action_high() const = 0;
+
+  /// Start a new episode; returns the initial observation (1 x obs_dim).
+  virtual nn::tensor reset() = 0;
+
+  /// Apply an action (1 x act_dim; implementations clamp to the box).
+  virtual step_result step(const nn::tensor& action) = 0;
+};
+
+}  // namespace vtm::rl

@@ -1,0 +1,90 @@
+#include "rl/policy.hpp"
+
+#include <cmath>
+
+#include "nn/gaussian.hpp"
+#include "util/contracts.hpp"
+
+namespace vtm::rl {
+
+namespace {
+
+std::vector<std::size_t> trunk_sizes(const actor_critic_config& config) {
+  VTM_EXPECTS(config.obs_dim >= 1);
+  VTM_EXPECTS(config.act_dim >= 1);
+  VTM_EXPECTS(!config.hidden.empty());
+  std::vector<std::size_t> sizes;
+  sizes.push_back(config.obs_dim);
+  sizes.insert(sizes.end(), config.hidden.begin(), config.hidden.end());
+  return sizes;
+}
+
+}  // namespace
+
+actor_critic::actor_critic(const actor_critic_config& config, util::rng& gen)
+    : config_(config),
+      // Trunk includes the last hidden layer as its "output" with the hidden
+      // activation applied manually in forward().
+      trunk_([&] {
+        auto sizes = trunk_sizes(config);
+        return nn::mlp(sizes, config.hidden_activation, gen,
+                       /*out_gain=*/std::sqrt(2.0));
+      }()),
+      mean_head_(config.hidden.back(), config.act_dim, gen,
+                 config.policy_head_gain),
+      value_head_(config.hidden.back(), 1, gen, config.value_head_gain),
+      log_std_(nn::variable::parameter(
+          nn::tensor({1, config.act_dim}, config.initial_log_std))) {}
+
+actor_critic::forward_result actor_critic::forward(
+    const nn::variable& observations) const {
+  // The mlp's final affine layer gets no activation from mlp::forward, so
+  // apply the hidden activation here: the trunk output is a hidden feature.
+  nn::variable features = nn::apply_activation(trunk_.forward(observations),
+                                               config_.hidden_activation);
+  return {mean_head_.forward(features), value_head_.forward(features)};
+}
+
+actor_critic::action_sample actor_critic::act(const nn::tensor& observation,
+                                              util::rng& gen) const {
+  VTM_EXPECTS(observation.dims() == (nn::shape{1, config_.obs_dim}));
+  const auto out = forward(nn::variable::constant(observation));
+  action_sample sample;
+  sample.action =
+      nn::gaussian_sample(out.mean.value(), log_std_.value(), gen);
+  sample.log_prob = nn::gaussian_log_prob_value(out.mean.value(),
+                                                log_std_.value(),
+                                                sample.action)
+                        .item();
+  sample.value = out.value.value().item();
+  return sample;
+}
+
+actor_critic::action_sample actor_critic::act_deterministic(
+    const nn::tensor& observation) const {
+  VTM_EXPECTS(observation.dims() == (nn::shape{1, config_.obs_dim}));
+  const auto out = forward(nn::variable::constant(observation));
+  action_sample sample;
+  sample.action = out.mean.value();
+  sample.log_prob = nn::gaussian_log_prob_value(out.mean.value(),
+                                                log_std_.value(),
+                                                sample.action)
+                        .item();
+  sample.value = out.value.value().item();
+  return sample;
+}
+
+double actor_critic::value(const nn::tensor& observation) const {
+  VTM_EXPECTS(observation.dims() == (nn::shape{1, config_.obs_dim}));
+  return forward(nn::variable::constant(observation)).value.value().item();
+}
+
+std::vector<nn::variable> actor_critic::parameters() const {
+  std::vector<nn::variable> params = trunk_.parameters();
+  for (const auto& p : mean_head_.parameters()) params.push_back(p);
+  for (const auto& p : value_head_.parameters()) params.push_back(p);
+  params.push_back(log_std_);
+  return params;
+}
+
+}  // namespace vtm::rl

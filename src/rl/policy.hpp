@@ -1,0 +1,76 @@
+// Shared-parameter actor-critic network.
+//
+// Matching the paper (§IV-A5: "the policy and the value function share the
+// same parameter θ"), one MLP trunk feeds two linear heads: the action mean
+// and the state value. A global learnable log-std parameterizes exploration.
+#pragma once
+
+#include <vector>
+
+#include "nn/autograd.hpp"
+#include "nn/layers.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::rl {
+
+/// Architecture and initialization of the actor-critic.
+struct actor_critic_config {
+  std::size_t obs_dim = 1;                 ///< Observation width.
+  std::size_t act_dim = 1;                 ///< Action width.
+  std::vector<std::size_t> hidden{64, 64}; ///< Trunk layer sizes (paper: 2x64).
+  nn::activation hidden_activation = nn::activation::tanh;
+  double initial_log_std = -0.5;           ///< Starting exploration scale.
+  double policy_head_gain = 0.01;          ///< Small init keeps early actions centered.
+  double value_head_gain = 1.0;
+};
+
+/// Policy π(a|o) = N(mean(o), exp(log_std)²) plus value head V(o).
+class actor_critic {
+ public:
+  /// Build with the given architecture; weights drawn from `gen`.
+  actor_critic(const actor_critic_config& config, util::rng& gen);
+
+  /// Graph-building forward pass over a batch of observations.
+  struct forward_result {
+    nn::variable mean;   ///< batch x act_dim.
+    nn::variable value;  ///< batch x 1.
+  };
+  [[nodiscard]] forward_result forward(const nn::variable& observations) const;
+
+  /// Sampled action for one observation (no gradients).
+  struct action_sample {
+    nn::tensor action;    ///< 1 x act_dim, pre-clipping.
+    double log_prob = 0;  ///< Behaviour log-density of `action`.
+    double value = 0;     ///< Critic estimate V(o).
+  };
+  [[nodiscard]] action_sample act(const nn::tensor& observation,
+                                  util::rng& gen) const;
+
+  /// Deterministic (mean) action for evaluation.
+  [[nodiscard]] action_sample act_deterministic(
+      const nn::tensor& observation) const;
+
+  /// Critic value for one observation (no gradients).
+  [[nodiscard]] double value(const nn::tensor& observation) const;
+
+  /// All trainable parameters (trunk, heads, log_std).
+  [[nodiscard]] std::vector<nn::variable> parameters() const;
+
+  /// The 1 x act_dim log standard deviation parameter.
+  [[nodiscard]] const nn::variable& log_std() const noexcept {
+    return log_std_;
+  }
+
+  [[nodiscard]] const actor_critic_config& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  actor_critic_config config_;
+  nn::mlp trunk_;
+  nn::linear mean_head_;
+  nn::linear value_head_;
+  nn::variable log_std_;
+};
+
+}  // namespace vtm::rl

@@ -1,0 +1,65 @@
+// Proximal Policy Optimization (clipped surrogate) per the paper's §IV-A5.
+//
+// Loss maximized: E[min(r·A, clip(r, 1±ε)·A)] − c·E[(V − V_targ)²] (+ optional
+// entropy bonus). Updates run M epochs of random mini-batches sampled from the
+// rollout buffer (Algorithm 1 lines 10–13), with Adam and gradient clipping.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/optim.hpp"
+#include "rl/buffer.hpp"
+#include "rl/policy.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::rl {
+
+/// PPO hyper-parameters (paper defaults where stated).
+struct ppo_config {
+  double learning_rate = 1e-5;   ///< Paper: lr = 0.00001.
+  double gamma = 0.95;           ///< Reward discount γ.
+  double gae_lambda = 0.95;      ///< GAE λ.
+  double clip_epsilon = 0.2;     ///< Surrogate clip ε (eq. 19).
+  double value_coef = 0.5;       ///< c, weight of the value-error term (eq. 14).
+  double entropy_coef = 0.0;     ///< Optional exploration bonus.
+  std::size_t minibatch_size = 20;  ///< |I| (paper: 20).
+  std::size_t epochs = 10;          ///< M (paper: 10).
+  double max_grad_norm = 0.5;    ///< Global gradient-norm clip.
+  bool normalize_advantages = true;
+  double log_std_min = -4.0;     ///< Clamp bounds keeping σ sane.
+  double log_std_max = 1.0;
+};
+
+/// Diagnostics of one update() call, averaged over mini-batches.
+struct ppo_update_stats {
+  double policy_loss = 0.0;   ///< −L^CLIP (lower is better).
+  double value_loss = 0.0;    ///< Mean squared value error.
+  double entropy = 0.0;       ///< Policy entropy.
+  double approx_kl = 0.0;     ///< E[old_logp − new_logp] estimate.
+  double clip_fraction = 0.0; ///< Share of samples hitting the clip.
+  std::size_t minibatches = 0;
+};
+
+/// The PPO learner bound to one actor-critic.
+class ppo {
+ public:
+  /// Validates the configuration. The policy must outlive the learner.
+  ppo(actor_critic& policy, const ppo_config& config, util::rng& gen);
+
+  /// Run M epochs of mini-batch updates on a buffer whose advantages were
+  /// computed by the caller (trainer). Requires buffer.advantages_ready().
+  ppo_update_stats update(const rollout_buffer& buffer);
+
+  [[nodiscard]] const ppo_config& config() const noexcept { return config_; }
+
+  /// Total optimizer steps taken so far.
+  [[nodiscard]] std::size_t steps() const noexcept { return optimizer_.steps(); }
+
+ private:
+  actor_critic& policy_;
+  ppo_config config_;
+  util::rng gen_;
+  nn::adam optimizer_;
+};
+
+}  // namespace vtm::rl

@@ -1,0 +1,88 @@
+#include "rl/qlearning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace vtm::rl {
+
+q_pricing_scheme::q_pricing_scheme(const q_pricing_config& config)
+    : config_(config), epsilon_(config.epsilon_start) {
+  VTM_EXPECTS(config.bins >= 2);
+  VTM_EXPECTS(config.epsilon_start >= 0.0 && config.epsilon_start <= 1.0);
+  VTM_EXPECTS(config.epsilon_end >= 0.0 &&
+              config.epsilon_end <= config.epsilon_start);
+  VTM_EXPECTS(config.epsilon_decay > 0.0 && config.epsilon_decay <= 1.0);
+  VTM_EXPECTS(config.step_size > 0.0 && config.step_size <= 1.0);
+  reset();
+}
+
+void q_pricing_scheme::reset() {
+  const double init = config_.optimistic_init
+                          ? std::numeric_limits<double>::max() / 4.0
+                          : 0.0;
+  q_.assign(config_.bins, init);
+  visits_.assign(config_.bins, 0);
+  epsilon_ = config_.epsilon_start;
+}
+
+std::size_t q_pricing_scheme::bin_of(double action) const {
+  const double span = high_ - low_;
+  if (span <= 0.0) return 0;
+  const double frac = (action - low_) / span;
+  const auto bin = static_cast<std::size_t>(
+      frac * static_cast<double>(config_.bins));
+  return std::min(bin, config_.bins - 1);
+}
+
+double q_pricing_scheme::action_of(std::size_t bin) const {
+  // Bin centre.
+  const double width = (high_ - low_) / static_cast<double>(config_.bins);
+  return low_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double q_pricing_scheme::select_action(double low, double high,
+                                       util::rng& gen) {
+  VTM_EXPECTS(low < high);
+  low_ = low;
+  high_ = high;
+  if (gen.bernoulli(std::max(epsilon_, config_.epsilon_end))) {
+    last_bin_ = static_cast<std::size_t>(
+        gen.uniform_int(0, static_cast<std::int64_t>(config_.bins) - 1));
+  } else {
+    last_bin_ = greedy_bin();
+  }
+  return action_of(last_bin_);
+}
+
+void q_pricing_scheme::feedback(double action, double payoff) {
+  const std::size_t bin = bin_of(action);
+  if (visits_[bin] == 0 && config_.optimistic_init) {
+    q_[bin] = payoff;  // first observation replaces the optimistic prior
+  } else {
+    q_[bin] += config_.step_size * (payoff - q_[bin]);
+  }
+  ++visits_[bin];
+  epsilon_ = std::max(config_.epsilon_end, epsilon_ * config_.epsilon_decay);
+}
+
+double q_pricing_scheme::q_value(std::size_t bin) const {
+  VTM_EXPECTS(bin < config_.bins);
+  return q_[bin];
+}
+
+std::size_t q_pricing_scheme::greedy_bin() const {
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < config_.bins; ++b)
+    if (q_[b] > q_[best]) best = b;
+  return best;
+}
+
+std::size_t q_pricing_scheme::visits(std::size_t bin) const {
+  VTM_EXPECTS(bin < config_.bins);
+  return visits_[bin];
+}
+
+}  // namespace vtm::rl

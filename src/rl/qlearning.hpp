@@ -1,0 +1,66 @@
+// Stateless Q-learning over a discretized price grid (a learning baseline
+// between the paper's "greedy" scheme and full DRL).
+//
+// The MSP's pricing problem against myopic best-responding followers is a
+// stationary continuum bandit; a tabular agent that discretizes [low, high]
+// into bins and runs ε-greedy value estimation is the classic non-deep
+// solution. Comparing it against PPO quantifies what (if anything) the
+// neural policy buys on this problem — and its bin-resolution limit shows
+// where tabularization breaks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/agents.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::rl {
+
+/// Hyper-parameters of the tabular pricing learner.
+struct q_pricing_config {
+  std::size_t bins = 32;          ///< Price-grid resolution (>= 2).
+  double epsilon_start = 1.0;     ///< Initial exploration rate.
+  double epsilon_end = 0.05;      ///< Floor exploration rate.
+  double epsilon_decay = 0.995;   ///< Multiplicative decay per feedback.
+  double step_size = 0.1;         ///< Q-value learning rate in (0, 1].
+  bool optimistic_init = true;    ///< Start Q at +inf-ish to force coverage.
+};
+
+/// ε-greedy tabular value learner implementing the pricing_agent interface.
+class q_pricing_scheme final : public pricing_agent {
+ public:
+  explicit q_pricing_scheme(const q_pricing_config& config = {});
+
+  [[nodiscard]] double select_action(double low, double high,
+                                     util::rng& gen) override;
+  void feedback(double action, double payoff) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "q-grid"; }
+
+  /// Current exploration rate.
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+
+  /// Q estimate of a bin (for tests). Requires bin < bins.
+  [[nodiscard]] double q_value(std::size_t bin) const;
+
+  /// Bin index of the current greedy action.
+  [[nodiscard]] std::size_t greedy_bin() const;
+
+  /// Number of feedback updates folded per bin. Requires bin < bins.
+  [[nodiscard]] std::size_t visits(std::size_t bin) const;
+
+ private:
+  [[nodiscard]] std::size_t bin_of(double action) const;
+  [[nodiscard]] double action_of(std::size_t bin) const;
+
+  q_pricing_config config_;
+  std::vector<double> q_;
+  std::vector<std::size_t> visits_;
+  double epsilon_;
+  double low_ = 0.0;
+  double high_ = 1.0;
+  std::size_t last_bin_ = 0;
+};
+
+}  // namespace vtm::rl

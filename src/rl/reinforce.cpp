@@ -1,0 +1,114 @@
+#include "rl/reinforce.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "nn/gaussian.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace vtm::rl {
+
+reinforce::reinforce(actor_critic& policy, const reinforce_config& config,
+                     util::rng& gen)
+    : policy_(policy),
+      config_(config),
+      gen_(gen.split()),
+      optimizer_(policy.parameters(), config.learning_rate) {
+  VTM_EXPECTS(config.learning_rate > 0.0);
+  VTM_EXPECTS(config.gamma >= 0.0 && config.gamma <= 1.0);
+  VTM_EXPECTS(config.value_coef >= 0.0);
+  VTM_EXPECTS(config.max_grad_norm > 0.0);
+}
+
+reinforce_episode_stats reinforce::train_episode(environment& env,
+                                                 std::size_t max_rounds) {
+  VTM_EXPECTS(max_rounds >= 1);
+  reinforce_episode_stats stats;
+
+  // Roll out one full episode.
+  std::vector<std::vector<double>> observations;
+  std::vector<double> actions;
+  std::vector<double> rewards;
+  nn::tensor observation = env.reset();
+  for (std::size_t k = 0; k < max_rounds; ++k) {
+    const auto sample = policy_.act(observation, gen_);
+    const auto result = env.step(sample.action);
+    observations.emplace_back(observation.flat().begin(),
+                              observation.flat().end());
+    actions.push_back(sample.action.item());
+    rewards.push_back(result.reward);
+
+    const auto it = result.info.find("leader_utility");
+    const double utility =
+        it != result.info.end() ? it->second : result.reward;
+    stats.episode_return += result.reward;
+    stats.mean_utility += utility;
+    stats.final_utility = utility;
+    observation = result.observation;
+    if (result.done) break;
+  }
+  const std::size_t steps = rewards.size();
+  stats.mean_utility /= static_cast<double>(steps);
+
+  // Discounted returns-to-go G_t.
+  std::vector<double> returns(steps);
+  double acc = 0.0;
+  for (std::size_t t = steps; t-- > 0;) {
+    acc = rewards[t] + config_.gamma * acc;
+    returns[t] = acc;
+  }
+
+  // Batch tensors.
+  const std::size_t obs_dim = observations.front().size();
+  nn::tensor obs_batch({steps, obs_dim});
+  nn::tensor act_batch({steps, 1});
+  nn::tensor ret_batch({steps, 1});
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t c = 0; c < obs_dim; ++c)
+      obs_batch(t, c) = observations[t][c];
+    act_batch(t, 0) = actions[t];
+    ret_batch(t, 0) = returns[t];
+  }
+
+  const auto obs_var = nn::variable::constant(obs_batch);
+  const auto act_var = nn::variable::constant(act_batch);
+  const auto ret_var = nn::variable::constant(ret_batch);
+
+  const auto out = policy_.forward(obs_var);
+
+  // Advantage = G_t − V(o_t) (baseline detached), optionally standardized.
+  nn::tensor advantage = ret_batch;
+  if (config_.use_baseline) {
+    const nn::tensor& values = out.value.value();
+    for (std::size_t t = 0; t < steps; ++t)
+      advantage(t, 0) -= values(t, 0);
+  }
+  if (config_.normalize_returns && steps > 1) {
+    util::running_stats norm;
+    for (std::size_t t = 0; t < steps; ++t) norm.push(advantage(t, 0));
+    const double denom = norm.stddev() > 1e-8 ? norm.stddev() : 1.0;
+    for (std::size_t t = 0; t < steps; ++t)
+      advantage(t, 0) = (advantage(t, 0) - norm.mean()) / denom;
+  }
+  const auto adv_var = nn::variable::constant(advantage);
+
+  const nn::variable log_prob =
+      nn::gaussian_log_prob(out.mean, policy_.log_std(), act_var);
+  const nn::variable policy_loss = -nn::mean(log_prob * adv_var);
+  const nn::variable value_loss = nn::mean(nn::square(out.value - ret_var));
+  nn::variable loss = policy_loss;
+  if (config_.use_baseline)
+    loss = loss + config_.value_coef * value_loss;
+
+  optimizer_.zero_grad();
+  nn::backward(loss);
+  nn::clip_grad_norm(policy_.parameters(), config_.max_grad_norm);
+  optimizer_.step();
+
+  stats.policy_loss = policy_loss.value().item();
+  stats.value_loss = value_loss.value().item();
+  return stats;
+}
+
+}  // namespace vtm::rl

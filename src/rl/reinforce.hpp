@@ -1,0 +1,59 @@
+// REINFORCE (Monte-Carlo policy gradient) with a learned value baseline.
+//
+// Algorithm-level ablation for the paper's PPO choice: same actor-critic
+// network, but the policy gradient is the classic episodic estimator
+// ∇ E[Σ γ^t R_t] = E[Σ ∇log π(a_t|o_t) · (G_t − V(o_t))], updated once per
+// episode with no importance ratio, no clipping, and no sample reuse.
+// Comparing it against PPO isolates what the clipped surrogate buys.
+#pragma once
+
+#include "nn/optim.hpp"
+#include "rl/env.hpp"
+#include "rl/policy.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::rl {
+
+/// REINFORCE hyper-parameters.
+struct reinforce_config {
+  double learning_rate = 1e-3;
+  double gamma = 0.95;          ///< Return discount.
+  double value_coef = 0.5;      ///< Baseline (value head) regression weight.
+  double max_grad_norm = 0.5;
+  bool use_baseline = true;     ///< Subtract V(o_t) from the return.
+  bool normalize_returns = true;  ///< Standardize (G_t − b_t) per episode.
+};
+
+/// Per-episode training statistics.
+struct reinforce_episode_stats {
+  double episode_return = 0.0;   ///< Σ environment rewards.
+  double mean_utility = 0.0;     ///< Mean info["leader_utility"].
+  double final_utility = 0.0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+};
+
+/// Episodic Monte-Carlo policy-gradient learner over an actor_critic.
+class reinforce {
+ public:
+  /// The policy must outlive the learner. Validates the configuration.
+  reinforce(actor_critic& policy, const reinforce_config& config,
+            util::rng& gen);
+
+  /// Roll one episode (at most `max_rounds` steps) and apply one gradient
+  /// update from it. Requires max_rounds >= 1.
+  reinforce_episode_stats train_episode(environment& env,
+                                        std::size_t max_rounds);
+
+  [[nodiscard]] const reinforce_config& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  actor_critic& policy_;
+  reinforce_config config_;
+  util::rng gen_;
+  nn::adam optimizer_;
+};
+
+}  // namespace vtm::rl

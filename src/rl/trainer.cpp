@@ -1,0 +1,110 @@
+#include "rl/trainer.hpp"
+
+#include <algorithm>
+
+#include "rl/buffer.hpp"
+#include "util/contracts.hpp"
+
+namespace vtm::rl {
+
+trainer::trainer(environment& env, actor_critic& policy, ppo& learner,
+                 const trainer_config& config)
+    : env_(env),
+      policy_(policy),
+      learner_(learner),
+      config_(config),
+      gen_(config.seed) {
+  VTM_EXPECTS(config.episodes >= 1);
+  VTM_EXPECTS(config.rounds_per_episode >= 1);
+  VTM_EXPECTS(config.update_interval >= 1);
+  VTM_EXPECTS(env.observation_dim() == policy.config().obs_dim);
+  VTM_EXPECTS(env.action_dim() == policy.config().act_dim);
+}
+
+std::vector<episode_stats> trainer::train(const episode_callback& on_episode) {
+  std::vector<episode_stats> history;
+  history.reserve(config_.episodes);
+  for (std::size_t e = 0; e < config_.episodes; ++e) {
+    history.push_back(run_episode(e));
+    if (on_episode) on_episode(history.back());
+  }
+  return history;
+}
+
+episode_stats trainer::run_episode(std::size_t episode_index) {
+  episode_stats stats;
+  stats.episode = episode_index;
+  stats.best_utility = -1e300;
+
+  rollout_buffer buffer(config_.update_interval, env_.observation_dim(),
+                        env_.action_dim());
+  nn::tensor observation = env_.reset();
+
+  std::size_t executed = 0;
+  for (std::size_t k = 0; k < config_.rounds_per_episode; ++k) {
+    ++executed;
+    const auto sample = policy_.act(observation, gen_);
+    const step_result result = env_.step(sample.action);
+
+    buffer.add(observation, sample.action, result.reward, sample.value,
+               sample.log_prob, result.done);
+
+    const auto it = result.info.find("leader_utility");
+    const double utility =
+        it != result.info.end() ? it->second : result.reward;
+    stats.episode_return += result.reward;
+    stats.mean_utility += utility;
+    stats.best_utility = std::max(stats.best_utility, utility);
+    stats.final_utility = utility;
+    stats.mean_action += sample.action(0, 0);
+    stats.final_action = sample.action(0, 0);
+
+    observation = result.observation;
+
+    const bool buffer_due = buffer.full() ||
+                            k + 1 == config_.rounds_per_episode || result.done;
+    if (buffer_due && buffer.size() > 0) {
+      const double bootstrap = result.done ? 0.0 : policy_.value(observation);
+      buffer.compute_advantages(learner_.config().gamma,
+                                learner_.config().gae_lambda, bootstrap);
+      const auto update = learner_.update(buffer);
+      stats.policy_entropy = update.entropy;
+      stats.value_loss = update.value_loss;
+      buffer.clear();
+    }
+    if (result.done) break;
+  }
+
+  const auto rounds = static_cast<double>(executed);
+  stats.mean_utility /= rounds;
+  stats.mean_action /= rounds;
+  return stats;
+}
+
+episode_stats trainer::evaluate() {
+  episode_stats stats;
+  stats.best_utility = -1e300;
+  nn::tensor observation = env_.reset();
+  std::size_t rounds = 0;
+  for (std::size_t k = 0; k < config_.rounds_per_episode; ++k) {
+    const auto sample = policy_.act_deterministic(observation);
+    const step_result result = env_.step(sample.action);
+    const auto it = result.info.find("leader_utility");
+    const double utility =
+        it != result.info.end() ? it->second : result.reward;
+    stats.episode_return += result.reward;
+    stats.mean_utility += utility;
+    stats.best_utility = std::max(stats.best_utility, utility);
+    stats.final_utility = utility;
+    stats.mean_action += sample.action(0, 0);
+    stats.final_action = sample.action(0, 0);
+    observation = result.observation;
+    ++rounds;
+    if (result.done) break;
+  }
+  stats.mean_utility /= static_cast<double>(rounds);
+  stats.mean_action /= static_cast<double>(rounds);
+  return stats;
+}
+
+}  // namespace vtm::rl

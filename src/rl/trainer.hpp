@@ -1,0 +1,69 @@
+// Training driver implementing the paper's Algorithm 1.
+//
+// For each of E episodes: reset the environment and the buffer; for each of
+// K rounds, act with the current policy, store the transition, and every |I|
+// steps run a PPO update (M epochs of random mini-batches). Per-episode
+// statistics feed the convergence figures (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rl/env.hpp"
+#include "rl/policy.hpp"
+#include "rl/ppo.hpp"
+#include "util/rng.hpp"
+
+namespace vtm::rl {
+
+/// Episode/round budget (paper: E=500, K=100, update every |I|=20 rounds).
+struct trainer_config {
+  std::size_t episodes = 500;            ///< E.
+  std::size_t rounds_per_episode = 100;  ///< K.
+  std::size_t update_interval = 20;      ///< Run PPO when k % |I| == 0.
+  std::uint64_t seed = 42;               ///< Action-sampling seed.
+};
+
+/// Per-episode training record.
+struct episode_stats {
+  std::size_t episode = 0;
+  double episode_return = 0.0;  ///< Σ rewards — Fig. 2(a)'s y-axis.
+  double mean_utility = 0.0;    ///< Mean leader utility over the episode.
+  double best_utility = 0.0;    ///< Best leader utility in the episode.
+  double final_utility = 0.0;   ///< Utility of round K — Fig. 2(b)'s y-axis.
+  double mean_action = 0.0;
+  double final_action = 0.0;
+  double policy_entropy = 0.0;  ///< From the last PPO update of the episode.
+  double value_loss = 0.0;
+};
+
+/// Orchestrates environment, policy, and learner.
+class trainer {
+ public:
+  /// All references must outlive the trainer. Validates the configuration.
+  trainer(environment& env, actor_critic& policy, ppo& learner,
+          const trainer_config& config);
+
+  /// Optional per-episode callback (progress logging).
+  using episode_callback = std::function<void(const episode_stats&)>;
+
+  /// Run the full E-episode schedule; returns one record per episode.
+  [[nodiscard]] std::vector<episode_stats> train(
+      const episode_callback& on_episode = {});
+
+  /// Run a single episode with learning enabled.
+  [[nodiscard]] episode_stats run_episode(std::size_t episode_index);
+
+  /// Run one greedy (mean-action) episode without learning.
+  [[nodiscard]] episode_stats evaluate();
+
+ private:
+  environment& env_;
+  actor_critic& policy_;
+  ppo& learner_;
+  trainer_config config_;
+  util::rng gen_;
+};
+
+}  // namespace vtm::rl

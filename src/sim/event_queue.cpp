@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vtm::sim {
+
+event_queue::handle event_queue::schedule(double at,
+                                          std::function<void()> action) {
+  VTM_EXPECTS(at >= now_);
+  VTM_EXPECTS(static_cast<bool>(action));
+  const key k{at, next_seq_++};
+  events_.emplace(k, std::move(action));
+  index_.emplace(k.seq, k);
+  return k.seq;
+}
+
+event_queue::handle event_queue::schedule_in(double delay,
+                                             std::function<void()> action) {
+  VTM_EXPECTS(delay >= 0.0);
+  return schedule(now_ + delay, std::move(action));
+}
+
+bool event_queue::cancel(handle h) {
+  const auto it = index_.find(h);
+  if (it == index_.end()) return false;
+  events_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool event_queue::step() {
+  if (events_.empty()) return false;
+  auto it = events_.begin();
+  now_ = it->first.time;
+  auto action = std::move(it->second);
+  index_.erase(it->first.seq);
+  events_.erase(it);
+  action();
+  return true;
+}
+
+std::size_t event_queue::run_until(double t) {
+  VTM_EXPECTS(t >= now_);
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.begin()->first.time <= t) {
+    step();
+    ++executed;
+  }
+  now_ = t;
+  return executed;
+}
+
+std::size_t event_queue::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+}  // namespace vtm::sim

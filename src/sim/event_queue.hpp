@@ -1,0 +1,63 @@
+// Discrete-event simulation core.
+//
+// A time-ordered queue of callbacks with a monotone simulation clock.
+// Events scheduled at equal times run in schedule order (stable FIFO via a
+// sequence number), which keeps scenarios deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+namespace vtm::sim {
+
+/// Time-ordered event executor with cancellation.
+class event_queue {
+ public:
+  /// Identifier of a scheduled event (valid until it runs or is cancelled).
+  using handle = std::uint64_t;
+
+  /// Current simulation time (seconds). Starts at 0.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+
+  /// Schedule `action` at absolute time `at` (>= now()).
+  handle schedule(double at, std::function<void()> action);
+
+  /// Schedule `action` `delay` seconds from now (delay >= 0).
+  handle schedule_in(double delay, std::function<void()> action);
+
+  /// Cancel a pending event. Returns false if it already ran or is unknown.
+  bool cancel(handle h);
+
+  /// Run the earliest event, advancing the clock to its timestamp.
+  /// Returns false when the queue is empty.
+  bool step();
+
+  /// Run all events with time <= t, then advance the clock to t (if t > now).
+  /// Returns the number of events executed.
+  std::size_t run_until(double t);
+
+  /// Run until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::size_t run_all(std::size_t max_events = 1'000'000);
+
+ private:
+  struct key {
+    double time;
+    std::uint64_t seq;
+    [[nodiscard]] bool operator<(const key& rhs) const noexcept {
+      if (time != rhs.time) return time < rhs.time;
+      return seq < rhs.seq;
+    }
+  };
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::map<key, std::function<void()>> events_;
+  std::map<handle, key> index_;
+};
+
+}  // namespace vtm::sim

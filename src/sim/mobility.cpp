@@ -1,0 +1,75 @@
+#include "sim/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vtm::sim {
+
+vehicle_state advance(vehicle_state v, double dt) {
+  VTM_EXPECTS(dt >= 0.0);
+  v.position_m += v.speed_mps * dt;
+  return v;
+}
+
+rsu_chain::rsu_chain(std::size_t count, double spacing_m,
+                     double coverage_radius_m)
+    : spacing_(spacing_m), radius_(coverage_radius_m) {
+  VTM_EXPECTS(count >= 1);
+  VTM_EXPECTS(spacing_m > 0.0);
+  VTM_EXPECTS(coverage_radius_m > 0.0);
+  VTM_EXPECTS(coverage_radius_m >= spacing_m / 2.0);
+  centers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    centers_.push_back(spacing_m * static_cast<double>(i + 1));
+}
+
+double rsu_chain::center_m(std::size_t i) const {
+  VTM_EXPECTS(i < centers_.size());
+  return centers_[i];
+}
+
+std::size_t rsu_chain::serving_rsu(double position_m) const noexcept {
+  // Nearest centre; equal-spacing makes this arithmetic.
+  if (position_m <= centers_.front()) return 0;
+  if (position_m >= centers_.back()) return centers_.size() - 1;
+  const double offset = (position_m - centers_.front()) / spacing_;
+  const auto i = static_cast<std::size_t>(std::lround(offset));
+  return std::min(i, centers_.size() - 1);
+}
+
+double rsu_chain::handover_position_m(std::size_t i) const {
+  VTM_EXPECTS(i + 1 < centers_.size());
+  return 0.5 * (centers_[i] + centers_[i + 1]);
+}
+
+std::optional<rsu_chain::handover_event> rsu_chain::next_handover(
+    const vehicle_state& vehicle) const {
+  if (vehicle.speed_mps == 0.0) return std::nullopt;
+  const std::size_t current = serving_rsu(vehicle.position_m);
+  if (vehicle.speed_mps > 0.0) {
+    if (current + 1 >= centers_.size()) return std::nullopt;
+    const double boundary = handover_position_m(current);
+    double distance = boundary - vehicle.position_m;
+    if (distance <= 0.0) {
+      // Already at/past the midpoint but still nearest to `current` due to
+      // rounding; treat as immediate crossing.
+      distance = 0.0;
+    }
+    return handover_event{distance / vehicle.speed_mps, current, current + 1};
+  }
+  if (current == 0) return std::nullopt;
+  const double boundary = handover_position_m(current - 1);
+  double distance = vehicle.position_m - boundary;
+  if (distance <= 0.0) distance = 0.0;
+  return handover_event{distance / -vehicle.speed_mps, current, current - 1};
+}
+
+double rsu_chain::link_distance_m(std::size_t i, std::size_t j) const {
+  VTM_EXPECTS(i < centers_.size());
+  VTM_EXPECTS(j < centers_.size());
+  return std::abs(centers_[i] - centers_[j]);
+}
+
+}  // namespace vtm::sim

@@ -1,0 +1,68 @@
+// Highway mobility and RSU coverage geometry.
+//
+// Vehicles travel along a 1-D highway covered by a chain of equally-spaced
+// RSUs. A vehicle is served by the nearest RSU; crossing the midpoint between
+// two adjacent RSUs is the handover event that triggers a VT migration (the
+// paper's motivating dynamic: limited RSU coverage + vehicle mobility).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace vtm::sim {
+
+/// Kinematic state of one vehicle on the highway.
+struct vehicle_state {
+  double position_m = 0.0;  ///< Longitudinal position along the highway.
+  double speed_mps = 0.0;   ///< Signed speed (positive = toward higher RSUs).
+};
+
+/// Advance a vehicle by `dt` seconds of constant-speed motion. dt >= 0.
+[[nodiscard]] vehicle_state advance(vehicle_state v, double dt);
+
+/// Geometry of an RSU chain along the highway.
+class rsu_chain {
+ public:
+  /// `count` RSUs centred at spacing, 2·spacing, ... with the given coverage
+  /// radius. Requires count >= 1, spacing > 0, 0 < radius, and contiguous
+  /// coverage (radius >= spacing/2) so every position is served.
+  rsu_chain(std::size_t count, double spacing_m, double coverage_radius_m);
+
+  [[nodiscard]] std::size_t count() const noexcept { return centers_.size(); }
+  [[nodiscard]] double spacing_m() const noexcept { return spacing_; }
+  [[nodiscard]] double coverage_radius_m() const noexcept { return radius_; }
+
+  /// Centre position of RSU `i`. Requires i < count().
+  [[nodiscard]] double center_m(std::size_t i) const;
+
+  /// Index of the serving (nearest) RSU for a position on the highway.
+  /// Positions beyond the chain clamp to the first/last RSU.
+  [[nodiscard]] std::size_t serving_rsu(double position_m) const noexcept;
+
+  /// Boundary position where service hands over from RSU i to RSU i+1
+  /// (the midpoint). Requires i + 1 < count().
+  [[nodiscard]] double handover_position_m(std::size_t i) const;
+
+  /// Time until `vehicle` next crosses a handover boundary, and the target
+  /// RSU index; nullopt when the vehicle never leaves its serving cell
+  /// (zero speed or moving past the end of the chain).
+  struct handover_event {
+    double after_s = 0.0;      ///< Seconds from now until the boundary.
+    std::size_t from_rsu = 0;  ///< Serving RSU before the crossing.
+    std::size_t to_rsu = 0;    ///< Serving RSU after the crossing.
+  };
+  [[nodiscard]] std::optional<handover_event> next_handover(
+      const vehicle_state& vehicle) const;
+
+  /// Distance between the centres of two RSUs (the link distance d used by
+  /// the channel model when migrating i -> j). Requires valid indices.
+  [[nodiscard]] double link_distance_m(std::size_t i, std::size_t j) const;
+
+ private:
+  std::vector<double> centers_;
+  double spacing_;
+  double radius_;
+};
+
+}  // namespace vtm::sim

@@ -1,0 +1,53 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines (I.6/I.8).
+//
+// VTM_EXPECTS(cond)  — precondition:  throw vtm::util::contract_error on violation.
+// VTM_ENSURES(cond)  — postcondition: throw vtm::util::contract_error on violation.
+// VTM_ASSERT(cond)   — internal invariant, same behaviour.
+//
+// Contracts throw (instead of aborting) so that property tests can assert that
+// invalid inputs are rejected, and so that long-running simulations surface the
+// failing expression and location in the exception message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vtm::util {
+
+/// Exception thrown when a precondition, postcondition, or invariant is violated.
+class contract_error : public std::logic_error {
+ public:
+  contract_error(const char* kind, const char* expr, const char* file, int line)
+      : std::logic_error(std::string(kind) + " violated: `" + expr + "` at " +
+                         file + ":" + std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw contract_error(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace vtm::util
+
+#define VTM_EXPECTS(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::vtm::util::detail::contract_fail("precondition", #cond, __FILE__,     \
+                                         __LINE__);                           \
+  } while (false)
+
+#define VTM_ENSURES(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::vtm::util::detail::contract_fail("postcondition", #cond, __FILE__,    \
+                                         __LINE__);                           \
+  } while (false)
+
+#define VTM_ASSERT(cond)                                                      \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::vtm::util::detail::contract_fail("invariant", #cond, __FILE__,        \
+                                         __LINE__);                           \
+  } while (false)

@@ -1,0 +1,63 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace vtm::util {
+
+std::string format_number(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+csv_writer::csv_writer(std::ostream& out, std::vector<std::string> header)
+    : out_(out), arity_(header.size()) {
+  VTM_EXPECTS(!header.empty());
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void csv_writer::row(std::initializer_list<double> values) {
+  VTM_EXPECTS(values.size() == arity_);
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << format_number(v);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void csv_writer::row(const std::vector<std::string>& cells) {
+  VTM_EXPECTS(cells.size() == arity_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string csv_writer::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace vtm::util

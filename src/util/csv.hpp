@@ -1,0 +1,44 @@
+// Minimal CSV emission for bench/experiment outputs.
+//
+// Each bench binary prints its figure's data series as CSV rows (and an ASCII
+// rendering) so plots can be regenerated with any external tool.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vtm::util {
+
+/// Streams rows of a single CSV table with a fixed header.
+///
+/// Values are formatted with up to 6 significant digits; strings containing
+/// separators or quotes are quoted per RFC 4180.
+class csv_writer {
+ public:
+  /// Bind to an output stream and emit the header row immediately.
+  csv_writer(std::ostream& out, std::vector<std::string> header);
+
+  /// Emit one row of doubles. Requires the same arity as the header.
+  void row(std::initializer_list<double> values);
+
+  /// Emit one row of preformatted cells. Requires the same arity as the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Number of data rows emitted so far.
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Escape one cell per RFC 4180 (exposed for testing).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Format a double compactly (up to 6 significant digits, no trailing zeros).
+[[nodiscard]] std::string format_number(double value);
+
+}  // namespace vtm::util

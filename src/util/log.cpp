@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <ostream>
+
+namespace vtm::util {
+
+const char* to_string(log_level level) noexcept {
+  switch (level) {
+    case log_level::debug:
+      return "debug";
+    case log_level::info:
+      return "info";
+    case log_level::warn:
+      return "warn";
+    case log_level::error:
+      return "error";
+    case log_level::off:
+      return "off";
+  }
+  return "?";
+}
+
+logger logger::to_stream(std::ostream& out, std::string component,
+                         log_level threshold) {
+  return logger(threshold,
+                [&out, component = std::move(component)](
+                    log_level level, const std::string& message) {
+                  out << to_string(level) << " [" << component << "] "
+                      << message << '\n';
+                });
+}
+
+}  // namespace vtm::util

@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace vtm::util {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+rng::rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) {
+  VTM_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  VTM_EXPECTS(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double rng::normal(double mean, double stddev) {
+  VTM_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+bool rng::bernoulli(double prob) {
+  VTM_EXPECTS(prob >= 0.0 && prob <= 1.0);
+  return uniform() < prob;
+}
+
+double rng::exponential(double rate) {
+  VTM_EXPECTS(rate > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+std::vector<std::size_t> rng::permutation(std::size_t n) {
+  std::vector<std::size_t> index(n);
+  std::iota(index.begin(), index.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(index[i - 1], index[j]);
+  }
+  return index;
+}
+
+rng rng::split() noexcept { return rng{next()}; }
+
+}  // namespace vtm::util

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit seed so that
+// experiments, tests, and benches are reproducible. The generator is
+// xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded through
+// splitmix64, which gives high-quality streams from small integer seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace vtm::util {
+
+/// splitmix64 step — used for seeding and for cheap stateless hashing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions when needed.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a small seed; internal state is expanded via splitmix64.
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// UniformRandomBitGenerator interface.
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+  result_type operator()() noexcept { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation. Requires stddev >= 0.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw. Requires 0 <= prob <= 1.
+  bool bernoulli(double prob);
+
+  /// Exponential with the given rate. Requires rate > 0.
+  double exponential(double rate);
+
+  /// Fisher–Yates shuffle of an index vector [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent child generator (for per-component streams).
+  [[nodiscard]] rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace vtm::util

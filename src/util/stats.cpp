@@ -1,0 +1,105 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace vtm::util {
+
+running_stats::running_stats() noexcept
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void running_stats::push(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double running_stats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void running_stats::merge(const running_stats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(std::span<const double> xs) {
+  VTM_EXPECTS(!xs.empty());
+  running_stats acc;
+  for (double x : xs) acc.push(x);
+  return acc.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  VTM_EXPECTS(xs.size() >= 2);
+  running_stats acc;
+  for (double x : xs) acc.push(x);
+  return acc.stddev();
+}
+
+double percentile(std::vector<double> xs, double q) {
+  VTM_EXPECTS(!xs.empty());
+  VTM_EXPECTS(q >= 0.0 && q <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double ols_slope(std::span<const double> x, std::span<const double> y) {
+  VTM_EXPECTS(x.size() == y.size());
+  VTM_EXPECTS(x.size() >= 2);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+  }
+  VTM_EXPECTS(sxx > 0.0);
+  return sxy / sxx;
+}
+
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window) {
+  VTM_EXPECTS(window >= 1);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    if (i >= window) acc -= xs[i - window];
+    const auto effective = std::min<std::size_t>(i + 1, window);
+    out.push_back(acc / static_cast<double>(effective));
+  }
+  return out;
+}
+
+}  // namespace vtm::util

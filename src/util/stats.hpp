@@ -1,0 +1,72 @@
+// Streaming and batch statistics used by the RL trainer, the benches, and the
+// property tests (e.g. "utility is monotone in cost" via regression slope).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vtm::util {
+
+/// Numerically-stable streaming mean/variance (Welford's algorithm).
+class running_stats {
+ public:
+  /// Fold one observation into the accumulator.
+  void push(double x) noexcept;
+
+  /// Number of observations folded so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Square root of variance().
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford combine).
+  void merge(const running_stats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_;
+  double max_;
+
+ public:
+  running_stats() noexcept;
+};
+
+/// Arithmetic mean of a sequence. Requires non-empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation. Requires at least two elements.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100]. Requires non-empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+/// Ordinary-least-squares slope of y against x. Requires equal sizes >= 2 and
+/// non-constant x. Used by property tests to assert monotone trends.
+[[nodiscard]] double ols_slope(std::span<const double> x,
+                               std::span<const double> y);
+
+/// Trailing moving average with the given window (window >= 1); output has the
+/// same length as the input, with a growing window over the prefix.
+[[nodiscard]] std::vector<double> moving_average(std::span<const double> xs,
+                                                 std::size_t window);
+
+}  // namespace vtm::util

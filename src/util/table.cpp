@@ -1,0 +1,135 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "util/csv.hpp"
+
+namespace vtm::util {
+
+ascii_table::ascii_table(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VTM_EXPECTS(!header_.empty());
+}
+
+void ascii_table::add_row(std::vector<std::string> cells) {
+  VTM_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ascii_table::add_row(std::span<const double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_number(v));
+  add_row(std::move(cells));
+}
+
+std::string ascii_table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto hline = [&] {
+    out << '+';
+    for (auto w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  hline();
+  emit_row(header_);
+  hline();
+  for (const auto& row : rows_) emit_row(row);
+  hline();
+  return out.str();
+}
+
+ascii_chart::ascii_chart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  VTM_EXPECTS(width >= 8 && height >= 4);
+}
+
+void ascii_chart::add_series(chart_series series) {
+  if (series.y.empty()) return;
+  series_.push_back(std::move(series));
+}
+
+void ascii_chart::set_x(std::vector<double> x) { x_ = std::move(x); }
+
+void ascii_chart::set_title(std::string title) { title_ = std::move(title); }
+
+std::string ascii_chart::render() const {
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+  if (series_.empty()) return out.str() + "(no data)\n";
+
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -ymin;
+  std::size_t max_len = 0;
+  for (const auto& s : series_) {
+    for (double v : s.y) {
+      if (std::isfinite(v)) {
+        ymin = std::min(ymin, v);
+        ymax = std::max(ymax, v);
+      }
+    }
+    max_len = std::max(max_len, s.y.size());
+  }
+  if (!std::isfinite(ymin)) return out.str() + "(no finite data)\n";
+  if (ymax == ymin) {
+    ymax += 1.0;
+    ymin -= 1.0;
+  }
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  auto to_col = [&](std::size_t i, std::size_t len) {
+    if (len <= 1) return std::size_t{0};
+    return i * (width_ - 1) / (len - 1);
+  };
+  auto to_row = [&](double v) {
+    const double frac = (v - ymin) / (ymax - ymin);
+    const auto r = static_cast<std::size_t>(
+        std::lround(frac * static_cast<double>(height_ - 1)));
+    return height_ - 1 - std::min(r, height_ - 1);
+  };
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      if (!std::isfinite(s.y[i])) continue;
+      grid[to_row(s.y[i])][to_col(i, s.y.size())] = s.marker;
+    }
+  }
+
+  const std::string top_label = format_number(ymax);
+  const std::string bot_label = format_number(ymin);
+  const std::size_t label_w = std::max(top_label.size(), bot_label.size());
+  for (std::size_t r = 0; r < height_; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = top_label + std::string(label_w - top_label.size(), ' ');
+    if (r == height_ - 1)
+      label = bot_label + std::string(label_w - bot_label.size(), ' ');
+    out << label << " |" << grid[r] << '\n';
+  }
+  out << std::string(label_w, ' ') << " +" << std::string(width_, '-') << '\n';
+  if (!x_.empty()) {
+    out << std::string(label_w, ' ') << "  x: " << format_number(x_.front())
+        << " .. " << format_number(x_.back()) << '\n';
+  }
+  for (const auto& s : series_)
+    out << "  " << s.marker << " = " << s.name << '\n';
+  return out.str();
+}
+
+}  // namespace vtm::util

@@ -1,0 +1,69 @@
+// ASCII rendering of tables and line charts.
+//
+// Bench binaries print the paper's figures both as CSV (machine-readable) and
+// as ASCII charts (eyeball-the-shape-readable in a terminal / CI log).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vtm::util {
+
+/// Fixed-column ASCII table with a header row and aligned cells.
+class ascii_table {
+ public:
+  /// Create a table with the given column headers (non-empty).
+  explicit ascii_table(std::vector<std::string> header);
+
+  /// Append a row of preformatted cells. Requires the header's arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a row of doubles formatted via format_number.
+  void add_row(std::span<const double> values);
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named series for an ascii_chart.
+struct chart_series {
+  std::string name;       ///< Legend label.
+  std::vector<double> y;  ///< Sample values; drawn against their index or x.
+  char marker = '*';      ///< Glyph used for this series.
+};
+
+/// Minimal multi-series ASCII line chart (markers on a grid, shared y-axis).
+///
+/// Intended to make the *shape* of a figure visible in a terminal:
+/// convergence curves, monotone trends, crossovers.
+class ascii_chart {
+ public:
+  /// Create a chart of the given plot-area size (columns x rows >= 8x4).
+  ascii_chart(std::size_t width, std::size_t height);
+
+  /// Add a series; all series share the y-axis. Empty series are ignored.
+  void add_series(chart_series series);
+
+  /// Optional x-axis values (shared; same length as the longest series).
+  void set_x(std::vector<double> x);
+
+  /// Title line above the chart.
+  void set_title(std::string title);
+
+  /// Render the chart plus a legend.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::string title_;
+  std::vector<double> x_;
+  std::vector<chart_series> series_;
+};
+
+}  // namespace vtm::util

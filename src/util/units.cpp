@@ -1,0 +1,29 @@
+#include "util/units.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vtm::util {
+
+double db_to_linear(double db) noexcept { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) {
+  VTM_EXPECTS(linear > 0.0);
+  return 10.0 * std::log10(linear);
+}
+
+double dbm_to_watt(double dbm) noexcept {
+  return std::pow(10.0, (dbm - 30.0) / 10.0);
+}
+
+double watt_to_dbm(double watt) {
+  VTM_EXPECTS(watt > 0.0);
+  return 10.0 * std::log10(watt) + 30.0;
+}
+
+double megabytes_to_bits(double mb) noexcept { return mb * 8.0e6; }
+
+double mhz_to_hz(double mhz) noexcept { return mhz * 1.0e6; }
+
+}  // namespace vtm::util

@@ -1,0 +1,27 @@
+// Radio-engineering unit conversions used across the wireless substrate.
+//
+// The paper states channel parameters in logarithmic units (dBm / dB); all
+// internal computation is done in linear SI units (watts / unitless gains).
+#pragma once
+
+namespace vtm::util {
+
+/// Convert a decibel ratio to a linear ratio: 10^(db/10).
+[[nodiscard]] double db_to_linear(double db) noexcept;
+
+/// Convert a linear ratio to decibels: 10·log10(x). Requires x > 0.
+[[nodiscard]] double linear_to_db(double linear);
+
+/// Convert a power level in dBm to watts: 10^((dbm−30)/10).
+[[nodiscard]] double dbm_to_watt(double dbm) noexcept;
+
+/// Convert a power level in watts to dBm. Requires watt > 0.
+[[nodiscard]] double watt_to_dbm(double watt);
+
+/// Megabytes → bits (1 MB = 8·10^6 bits, decimal convention).
+[[nodiscard]] double megabytes_to_bits(double mb) noexcept;
+
+/// Megahertz → hertz.
+[[nodiscard]] double mhz_to_hz(double mhz) noexcept;
+
+}  // namespace vtm::util

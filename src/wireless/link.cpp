@@ -1,0 +1,34 @@
+#include "wireless/link.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace vtm::wireless {
+
+link_budget::link_budget(const link_params& params) : params_(params) {
+  VTM_EXPECTS(params.distance_m > 0.0);
+  VTM_EXPECTS(params.path_loss_exponent >= 0.0);
+  tx_watt_ = util::dbm_to_watt(params.tx_power_dbm);
+  gain_ = util::db_to_linear(params.unit_gain_db) *
+          std::pow(params.distance_m, -params.path_loss_exponent);
+  noise_watt_ = util::dbm_to_watt(params.noise_power_dbm);
+  VTM_ENSURES(noise_watt_ > 0.0);
+  snr_ = tx_watt_ * gain_ / noise_watt_;
+  spectral_efficiency_ = std::log2(1.0 + snr_);
+}
+
+double link_budget::rate_mbps(double bandwidth_mhz) const {
+  VTM_EXPECTS(bandwidth_mhz >= 0.0);
+  return bandwidth_mhz * spectral_efficiency_;
+}
+
+double link_budget::transfer_seconds(double data_bits,
+                                     double bandwidth_hz) const {
+  VTM_EXPECTS(data_bits >= 0.0);
+  VTM_EXPECTS(bandwidth_hz > 0.0);
+  return data_bits / (bandwidth_hz * spectral_efficiency_);
+}
+
+}  // namespace vtm::wireless

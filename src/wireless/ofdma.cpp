@@ -1,0 +1,47 @@
+#include "wireless/ofdma.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace vtm::wireless {
+
+ofdma_pool::ofdma_pool(double capacity_mhz, double granularity_mhz)
+    : capacity_(capacity_mhz), granularity_(granularity_mhz) {
+  VTM_EXPECTS(capacity_mhz > 0.0);
+  VTM_EXPECTS(granularity_mhz >= 0.0);
+}
+
+double ofdma_pool::rounded(double mhz) const {
+  if (granularity_ <= 0.0) return mhz;
+  return std::ceil(mhz / granularity_) * granularity_;
+}
+
+std::optional<grant_id> ofdma_pool::allocate(double mhz) {
+  VTM_EXPECTS(mhz > 0.0);
+  const double size = rounded(mhz);
+  // Tolerate floating accumulation at the boundary.
+  if (size > available_mhz() + 1e-12) return std::nullopt;
+  const grant_id id{next_id_++};
+  grants_.emplace(id.value, size);
+  allocated_ += size;
+  VTM_ENSURES(allocated_ <= capacity_ + 1e-9);
+  return id;
+}
+
+std::optional<double> ofdma_pool::grant_mhz(grant_id id) const {
+  const auto it = grants_.find(id.value);
+  if (it == grants_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ofdma_pool::release(grant_id id) {
+  const auto it = grants_.find(id.value);
+  if (it == grants_.end()) return false;
+  allocated_ -= it->second;
+  if (allocated_ < 0.0) allocated_ = 0.0;  // guard accumulated rounding
+  grants_.erase(it);
+  return true;
+}
+
+}  // namespace vtm::wireless

@@ -1,0 +1,241 @@
+// Tests for the pricing POMDP: observation protocol (eq. 11), action
+// mapping, reward function (eq. 12) in all modes, episode mechanics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/env.hpp"
+#include "core/equilibrium.hpp"
+#include "util/contracts.hpp"
+
+namespace core = vtm::core;
+
+namespace {
+
+core::market_params base_params() {
+  core::market_params p;
+  p.vmus = {{500.0, 200.0}, {500.0, 100.0}};
+  return p;
+}
+
+core::pricing_env make_env(core::pricing_env_config config = {}) {
+  return core::pricing_env(core::migration_market(base_params()), config);
+}
+
+vtm::nn::tensor action_of(double raw) {
+  return vtm::nn::tensor({1, 1}, {raw});
+}
+
+}  // namespace
+
+TEST(env, observation_dim_is_history_times_price_plus_demands) {
+  core::pricing_env_config config;
+  config.history_length = 4;
+  auto env = make_env(config);
+  EXPECT_EQ(env.observation_dim(), 4u * (1 + 2));
+  EXPECT_EQ(env.action_dim(), 1u);
+}
+
+TEST(env, reset_returns_normalized_observation) {
+  auto env = make_env();
+  const auto obs = env.reset();
+  ASSERT_EQ(obs.dims(), (vtm::nn::shape{1, env.observation_dim()}));
+  for (double x : obs.flat()) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);  // prices /p_max, demands /B_max
+  }
+}
+
+TEST(env, action_price_mapping_is_affine_and_clamped) {
+  auto env = make_env();
+  EXPECT_DOUBLE_EQ(env.price_from_action(-1.0), 5.0);    // C
+  EXPECT_DOUBLE_EQ(env.price_from_action(1.0), 50.0);    // p_max
+  EXPECT_DOUBLE_EQ(env.price_from_action(0.0), 27.5);    // midpoint
+  EXPECT_DOUBLE_EQ(env.price_from_action(-5.0), 5.0);    // clamped
+  EXPECT_DOUBLE_EQ(env.price_from_action(5.0), 50.0);
+}
+
+TEST(env, action_price_roundtrip) {
+  auto env = make_env();
+  for (double price : {5.0, 12.5, 27.5, 42.0, 50.0}) {
+    EXPECT_NEAR(env.price_from_action(env.action_from_price(price)), price,
+                1e-12);
+  }
+  EXPECT_THROW((void)env.action_from_price(4.0), vtm::util::contract_error);
+}
+
+TEST(env, step_reports_market_outcome_in_info) {
+  auto env = make_env();
+  (void)env.reset();
+  const auto result = env.step(action_of(0.0));  // price 27.5
+  const core::migration_market& market = env.market();
+  EXPECT_NEAR(result.info.at("price"), 27.5, 1e-12);
+  EXPECT_NEAR(result.info.at("leader_utility"),
+              market.leader_utility(27.5), 1e-9);
+  EXPECT_NEAR(result.info.at("total_demand"), market.total_demand(27.5),
+              1e-9);
+  EXPECT_GT(result.info.at("mean_aotm"), 0.0);
+  EXPECT_DOUBLE_EQ(result.info.at("active_vmus"), 2.0);
+}
+
+TEST(env, history_contains_last_action) {
+  core::pricing_env_config config;
+  config.history_length = 2;
+  auto env = make_env(config);
+  (void)env.reset();
+  const auto result = env.step(action_of(1.0));  // price 50 -> normalized 1.0
+  // Newest round occupies the trailing (1 + N) slots.
+  const auto& obs = result.observation;
+  const std::size_t stride = 3;
+  const std::size_t base = env.observation_dim() - stride;
+  EXPECT_DOUBLE_EQ(obs(0, base), 1.0);  // 50 / p_max
+}
+
+TEST(env, done_exactly_after_k_rounds) {
+  core::pricing_env_config config;
+  config.rounds_per_episode = 5;
+  auto env = make_env(config);
+  (void)env.reset();
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_FALSE(env.step(action_of(0.0)).done);
+  }
+  EXPECT_TRUE(env.step(action_of(0.0)).done);
+  EXPECT_THROW((void)env.step(action_of(0.0)), vtm::util::contract_error);
+  (void)env.reset();
+  EXPECT_FALSE(env.step(action_of(0.0)).done);
+}
+
+TEST(env, rejects_malformed_action) {
+  auto env = make_env();
+  (void)env.reset();
+  EXPECT_THROW((void)env.step(vtm::nn::tensor({1, 2})), vtm::util::contract_error);
+}
+
+// ---- reward modes ------------------------------------------------------------------
+
+TEST(reward, first_round_always_scores) {
+  auto env = make_env();
+  (void)env.reset();
+  EXPECT_DOUBLE_EQ(env.step(action_of(-0.9)).reward, 1.0);
+}
+
+TEST(reward, improvement_scores_regression_does_not) {
+  core::pricing_env_config config;
+  config.reward_tolerance = 0.0;  // strict eq. 12
+  auto env = make_env(config);
+  (void)env.reset();
+  // Near-optimal first (high utility), then far-off (low utility).
+  const double good = env.action_from_price(25.0);
+  const double bad = env.action_from_price(48.0);
+  EXPECT_DOUBLE_EQ(env.step(action_of(good)).reward, 1.0);
+  EXPECT_DOUBLE_EQ(env.step(action_of(bad)).reward, 0.0);
+  // Matching the best again scores under strict equality.
+  EXPECT_DOUBLE_EQ(env.step(action_of(good)).reward, 1.0);
+}
+
+TEST(reward, tolerance_band_accepts_near_best) {
+  core::pricing_env_config config;
+  config.reward_tolerance = 0.05;
+  auto env = make_env(config);
+  (void)env.reset();
+  const double best = env.action_from_price(25.3);   // ~optimal
+  const double close = env.action_from_price(23.0);  // within 5% utility
+  EXPECT_DOUBLE_EQ(env.step(action_of(best)).reward, 1.0);
+  EXPECT_DOUBLE_EQ(env.step(action_of(close)).reward, 1.0);
+}
+
+TEST(reward, best_utility_tracks_maximum) {
+  auto env = make_env();
+  (void)env.reset();
+  (void)env.step(action_of(env.action_from_price(40.0)));
+  const double after_first = env.best_utility();
+  (void)env.step(action_of(env.action_from_price(25.3)));
+  EXPECT_GT(env.best_utility(), after_first);
+  (void)env.step(action_of(env.action_from_price(49.0)));
+  EXPECT_GT(env.best_utility(), after_first);  // max is sticky
+}
+
+TEST(reward, paper_mode_resets_best_on_new_episode) {
+  core::pricing_env_config config;
+  config.rounds_per_episode = 1;
+  config.mode = core::reward_mode::paper_binary;
+  auto env = make_env(config);
+  (void)env.reset();
+  (void)env.step(action_of(env.action_from_price(25.3)));
+  const double best = env.best_utility();
+  (void)env.reset();
+  EXPECT_TRUE(std::isinf(env.best_utility()));
+  (void)env.step(action_of(env.action_from_price(49.0)));
+  EXPECT_LT(env.best_utility(), best);
+}
+
+TEST(reward, persistent_mode_keeps_best_across_episodes) {
+  core::pricing_env_config config;
+  config.rounds_per_episode = 1;
+  config.mode = core::reward_mode::persistent_binary;
+  config.reward_tolerance = 0.0;
+  auto env = make_env(config);
+  (void)env.reset();
+  (void)env.step(action_of(env.action_from_price(25.3)));
+  const double best = env.best_utility();
+  (void)env.reset();
+  EXPECT_DOUBLE_EQ(env.best_utility(), best);
+  // A poor price after reset cannot match the inherited best.
+  EXPECT_DOUBLE_EQ(env.step(action_of(env.action_from_price(49.0))).reward,
+                   0.0);
+}
+
+TEST(reward, shaped_mode_is_dense_and_normalized) {
+  core::pricing_env_config config;
+  config.mode = core::reward_mode::shaped;
+  auto env = make_env(config);
+  const auto oracle = core::solve_equilibrium(env.market());
+  (void)env.reset();
+  const auto at_optimum =
+      env.step(action_of(env.action_from_price(oracle.price)));
+  EXPECT_NEAR(at_optimum.reward, 1.0, 1e-6);
+  const auto off_optimum =
+      env.step(action_of(env.action_from_price(49.0)));
+  EXPECT_LT(off_optimum.reward, at_optimum.reward);
+  EXPECT_GT(off_optimum.reward, 0.0);
+}
+
+TEST(reward, mode_names) {
+  EXPECT_STREQ(core::to_string(core::reward_mode::paper_binary),
+               "paper-binary");
+  EXPECT_STREQ(core::to_string(core::reward_mode::shaped), "shaped");
+}
+
+// ---- determinism ---------------------------------------------------------------------
+
+TEST(env, deterministic_given_seed) {
+  core::pricing_env_config config;
+  config.seed = 99;
+  auto env1 = make_env(config);
+  auto env2 = make_env(config);
+  const auto o1 = env1.reset();
+  const auto o2 = env2.reset();
+  EXPECT_TRUE(o1.allclose(o2, 0.0));
+  const auto r1 = env1.step(action_of(0.3));
+  const auto r2 = env2.step(action_of(0.3));
+  EXPECT_TRUE(r1.observation.allclose(r2.observation, 0.0));
+  EXPECT_DOUBLE_EQ(r1.reward, r2.reward);
+}
+
+TEST(env, different_seeds_randomize_warmup_history) {
+  core::pricing_env_config config;
+  config.seed = 1;
+  auto env1 = make_env(config);
+  config.seed = 2;
+  auto env2 = make_env(config);
+  EXPECT_FALSE(env1.reset().allclose(env2.reset(), 1e-12));
+}
+
+TEST(env, config_validation) {
+  core::pricing_env_config bad;
+  bad.history_length = 0;
+  EXPECT_THROW((void)make_env(bad), vtm::util::contract_error);
+  bad = {};
+  bad.reward_tolerance = 1.0;
+  EXPECT_THROW((void)make_env(bad), vtm::util::contract_error);
+}

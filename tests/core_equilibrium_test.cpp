@@ -1,0 +1,302 @@
+// Tests for the Stackelberg-equilibrium oracle: closed form vs numeric vs the
+// generic game solver, the paper's anchor numbers, regimes, certificates, and
+// comparative-statics properties of §V.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/equilibrium.hpp"
+#include "core/game_adapter.hpp"
+#include "game/stackelberg.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace core = vtm::core;
+
+namespace {
+
+core::market_params fig3ab_params(double cost) {
+  core::market_params p;
+  p.vmus = {{500.0, 200.0}, {500.0, 100.0}};
+  p.unit_cost = cost;
+  return p;
+}
+
+core::market_params fig3cd_params(std::size_t n_vmus) {
+  core::market_params p;
+  p.vmus.assign(n_vmus, {500.0, 100.0});
+  return p;
+}
+
+}  // namespace
+
+// ---- paper anchor numbers (unit calibration, DESIGN.md §3) -------------------------
+
+TEST(oracle, paper_price_at_cost_5_is_25) {
+  const auto eq =
+      core::solve_equilibrium(core::migration_market(fig3ab_params(5.0)));
+  EXPECT_NEAR(eq.price, 25.35, 0.05);  // paper Fig. 3(a): 25
+  EXPECT_EQ(eq.regime, core::equilibrium_regime::interior);
+}
+
+TEST(oracle, paper_price_at_cost_9_is_34) {
+  const auto eq =
+      core::solve_equilibrium(core::migration_market(fig3ab_params(9.0)));
+  EXPECT_NEAR(eq.price, 34.0, 0.05);  // paper Fig. 3(a): 34
+}
+
+TEST(oracle, paper_bandwidth_at_cost_8_is_23_4) {
+  const auto eq =
+      core::solve_equilibrium(core::migration_market(fig3ab_params(8.0)));
+  EXPECT_NEAR(eq.total_demand, 23.4, 0.05);  // paper Fig. 3(b): 23.4
+}
+
+TEST(oracle, paper_bandwidth_at_cost_6_is_about_28) {
+  const auto eq =
+      core::solve_equilibrium(core::migration_market(fig3ab_params(6.0)));
+  EXPECT_NEAR(eq.total_demand, 28.2, 0.4);  // paper Fig. 3(b): 27.9
+}
+
+TEST(oracle, paper_msp_utility_two_vmus_is_7_display_units) {
+  const auto eq =
+      core::solve_equilibrium(core::migration_market(fig3cd_params(2)));
+  EXPECT_NEAR(eq.leader_utility / 100.0, 7.03, 0.05);  // paper Fig. 3(c)
+}
+
+TEST(oracle, paper_msp_utility_six_vmus_is_20_display_units) {
+  const auto eq =
+      core::solve_equilibrium(core::migration_market(fig3cd_params(6)));
+  EXPECT_NEAR(eq.leader_utility / 100.0, 20.35, 0.1);  // paper Fig. 3(c)
+  EXPECT_EQ(eq.regime, core::equilibrium_regime::capacity_bound);
+}
+
+TEST(oracle, theorem2_interior_closed_form) {
+  // p* = sqrt(C·R·Σα/ΣD) in the paper's notation = sqrt(C·Σα/Σκ).
+  const core::migration_market market(fig3ab_params(5.0));
+  const double sum_alpha = 1000.0;
+  const double sum_kappa = market.kappa(0) + market.kappa(1);
+  const auto eq = core::solve_equilibrium(market);
+  EXPECT_NEAR(eq.price, std::sqrt(5.0 * sum_alpha / sum_kappa), 1e-9);
+  // And b*_n = α_n/p* − κ_n (eq. 8).
+  EXPECT_NEAR(eq.demands[0], 500.0 / eq.price - market.kappa(0), 1e-9);
+  EXPECT_NEAR(eq.demands[1], 500.0 / eq.price - market.kappa(1), 1e-9);
+}
+
+// ---- closed form vs numeric vs generic game solver ---------------------------------
+
+struct market_case {
+  const char* name;
+  core::market_params params;
+};
+
+class oracle_cross_validation : public ::testing::TestWithParam<market_case> {
+};
+
+TEST_P(oracle_cross_validation, closed_form_matches_numeric) {
+  const core::migration_market market(GetParam().params);
+  const auto closed = core::solve_equilibrium(market);
+  const auto numeric = core::solve_equilibrium_numeric(market);
+  EXPECT_NEAR(closed.price, numeric.price, 1e-3) << GetParam().name;
+  EXPECT_NEAR(closed.leader_utility, numeric.leader_utility,
+              1e-6 * std::max(1.0, std::abs(closed.leader_utility)) + 1e-6)
+      << GetParam().name;
+}
+
+TEST_P(oracle_cross_validation, closed_form_matches_generic_game_solver) {
+  const core::migration_market market(GetParam().params);
+  const auto closed = core::solve_equilibrium(market);
+  const auto followers = core::make_followers(market);
+  const auto problem = core::make_leader_problem(market);
+  const auto generic = vtm::game::solve_stackelberg(problem, followers, 128);
+  EXPECT_NEAR(generic.leader_utility, closed.leader_utility,
+              1e-3 * std::max(1.0, std::abs(closed.leader_utility)))
+      << GetParam().name;
+  EXPECT_NEAR(generic.leader_action, closed.price, 0.05) << GetParam().name;
+}
+
+TEST_P(oracle_cross_validation, no_profitable_deviation) {
+  const core::migration_market market(GetParam().params);
+  const auto eq = core::solve_equilibrium(market);
+  const auto check = core::verify_equilibrium(market, eq);
+  EXPECT_TRUE(check.holds(1e-3 * std::max(1.0, eq.leader_utility)))
+      << GetParam().name << ": leader gain " << check.max_leader_gain
+      << ", follower gain " << check.max_follower_gain;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    markets, oracle_cross_validation,
+    ::testing::Values(
+        market_case{"fig2_base", fig3ab_params(5.0)},
+        market_case{"high_cost", fig3ab_params(9.0)},
+        market_case{"single_vmu", fig3cd_params(1)},
+        market_case{"capacity_bound_n6", fig3cd_params(6)},
+        market_case{"heterogeneous",
+                    [] {
+                      core::market_params p;
+                      p.vmus = {{600.0, 120.0}, {1500.0, 280.0},
+                                {900.0, 210.0}};
+                      return p;
+                    }()},
+        market_case{"tight_capacity",
+                    [] {
+                      core::market_params p;
+                      p.vmus = {{800.0, 150.0}, {800.0, 150.0}};
+                      p.bandwidth_cap_mhz = 12.0;
+                      return p;
+                    }()},
+        market_case{"price_cap_binds",
+                    [] {
+                      core::market_params p;
+                      p.vmus.assign(8, core::vmu_profile{2000.0, 100.0});
+                      p.bandwidth_cap_mhz = 20.0;
+                      p.price_cap = 40.0;
+                      return p;
+                    }()},
+        market_case{"mixed_participation",
+                    [] {
+                      // Second VMU's α is so small it exits at the optimum.
+                      core::market_params p;
+                      p.vmus = {{1200.0, 200.0}, {90.0, 250.0}};
+                      return p;
+                    }()}),
+    [](const auto& info) { return info.param.name; });
+
+// ---- regimes --------------------------------------------------------------------------
+
+TEST(regimes, price_cap_binds_when_demand_is_huge) {
+  core::market_params p;
+  p.vmus.assign(8, core::vmu_profile{2000.0, 100.0});
+  p.bandwidth_cap_mhz = 20.0;
+  p.price_cap = 40.0;
+  const auto eq = core::solve_equilibrium(core::migration_market(p));
+  EXPECT_EQ(eq.regime, core::equilibrium_regime::price_capped);
+  EXPECT_DOUBLE_EQ(eq.price, 40.0);
+  EXPECT_NEAR(eq.total_demand, 20.0, 1e-6);  // rationed to B_max
+}
+
+TEST(regimes, cost_floor_when_demand_is_weak) {
+  core::market_params p;
+  p.vmus = {{30.0, 250.0}};  // interior p* < C
+  p.unit_cost = 8.0;
+  const auto eq = core::solve_equilibrium(core::migration_market(p));
+  EXPECT_EQ(eq.regime, core::equilibrium_regime::cost_floor);
+  EXPECT_DOUBLE_EQ(eq.price, 8.0);
+  EXPECT_NEAR(eq.leader_utility, 0.0, 1e-9);
+}
+
+TEST(regimes, capacity_boundary_clears_exactly) {
+  const auto eq =
+      core::solve_equilibrium(core::migration_market(fig3cd_params(5)));
+  EXPECT_EQ(eq.regime, core::equilibrium_regime::capacity_bound);
+  EXPECT_NEAR(eq.total_demand, 50.0, 1e-6);
+}
+
+TEST(regimes, names_are_stable) {
+  EXPECT_STREQ(core::to_string(core::equilibrium_regime::interior),
+               "interior");
+  EXPECT_STREQ(core::to_string(core::equilibrium_regime::capacity_bound),
+               "capacity-bound");
+}
+
+// ---- comparative statics (the shapes of Fig. 3) ----------------------------------------
+
+TEST(statics, price_increases_with_cost) {
+  std::vector<double> costs, prices;
+  for (double c = 5.0; c <= 9.0; c += 1.0) {
+    const auto eq =
+        core::solve_equilibrium(core::migration_market(fig3ab_params(c)));
+    costs.push_back(c);
+    prices.push_back(eq.price);
+  }
+  EXPECT_GT(vtm::util::ols_slope(costs, prices), 0.0);
+  for (std::size_t i = 1; i < prices.size(); ++i)
+    EXPECT_GT(prices[i], prices[i - 1]);
+}
+
+TEST(statics, demand_and_utilities_decrease_with_cost) {
+  double prev_demand = 1e18, prev_us = 1e18, prev_uv = 1e18;
+  for (double c = 5.0; c <= 9.0; c += 1.0) {
+    const auto eq =
+        core::solve_equilibrium(core::migration_market(fig3ab_params(c)));
+    EXPECT_LT(eq.total_demand, prev_demand);
+    EXPECT_LT(eq.leader_utility, prev_us);
+    EXPECT_LT(eq.total_vmu_utility, prev_uv);
+    prev_demand = eq.total_demand;
+    prev_us = eq.leader_utility;
+    prev_uv = eq.total_vmu_utility;
+  }
+}
+
+TEST(statics, msp_utility_increases_with_vmus) {
+  double previous = 0.0;
+  for (std::size_t n = 1; n <= 6; ++n) {
+    const auto eq =
+        core::solve_equilibrium(core::migration_market(fig3cd_params(n)));
+    EXPECT_GT(eq.leader_utility, previous);
+    previous = eq.leader_utility;
+  }
+}
+
+TEST(statics, price_flat_then_rising_with_vmus) {
+  // Fig. 3(c): "the price of the MSP remains unchanged initially and
+  // increases later" (B_max binds from N = 4).
+  const auto p2 =
+      core::solve_equilibrium(core::migration_market(fig3cd_params(2))).price;
+  const auto p3 =
+      core::solve_equilibrium(core::migration_market(fig3cd_params(3))).price;
+  const auto p5 =
+      core::solve_equilibrium(core::migration_market(fig3cd_params(5))).price;
+  const auto p6 =
+      core::solve_equilibrium(core::migration_market(fig3cd_params(6))).price;
+  EXPECT_NEAR(p2, p3, 1e-9);
+  EXPECT_GT(p5, p3);
+  EXPECT_GT(p6, p5);
+}
+
+TEST(statics, average_vmu_bandwidth_flat_then_falling) {
+  // Fig. 3(d): average purchased bandwidth unchanged then decreasing.
+  const auto b2 = core::solve_equilibrium(
+                      core::migration_market(fig3cd_params(2)))
+                      .total_demand /
+                  2.0;
+  const auto b3 = core::solve_equilibrium(
+                      core::migration_market(fig3cd_params(3)))
+                      .total_demand /
+                  3.0;
+  const auto b6 = core::solve_equilibrium(
+                      core::migration_market(fig3cd_params(6)))
+                      .total_demand /
+                  6.0;
+  EXPECT_NEAR(b2, b3, 1e-9);
+  EXPECT_LT(b6, b3);
+}
+
+TEST(statics, average_vmu_utility_declines_with_competition) {
+  // Fig. 3(d): average VMU utility decreases as N grows 2 -> 6.
+  const auto u2 = core::solve_equilibrium(
+                      core::migration_market(fig3cd_params(2)))
+                      .total_vmu_utility /
+                  2.0;
+  const auto u6 = core::solve_equilibrium(
+                      core::migration_market(fig3cd_params(6)))
+                      .total_vmu_utility /
+                  6.0;
+  EXPECT_LT(u6, u2);
+}
+
+TEST(statics, aotm_reported_per_vmu) {
+  const auto eq =
+      core::solve_equilibrium(core::migration_market(fig3ab_params(5.0)));
+  ASSERT_EQ(eq.aotm.size(), 2u);
+  // VMU 0 carries twice the data; its equilibrium AoTM is larger.
+  EXPECT_GT(eq.aotm[0], eq.aotm[1]);
+  EXPECT_TRUE(std::isfinite(eq.aotm[0]));
+}
+
+TEST(statics, dropped_vmu_reports_infinite_aotm) {
+  core::market_params p;
+  p.vmus = {{1200.0, 200.0}, {90.0, 250.0}};  // second exits at optimum
+  const auto eq = core::solve_equilibrium(core::migration_market(p));
+  EXPECT_DOUBLE_EQ(eq.demands[1], 0.0);
+  EXPECT_TRUE(std::isinf(eq.aotm[1]));
+}

@@ -1,0 +1,351 @@
+// Tests for the future-work extensions: multi-MSP price competition,
+// pluggable immersion metrics, and the robustness/checkpoint evaluation
+// harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.hpp"
+#include "core/immersion_models.hpp"
+#include "core/multi_msp.hpp"
+#include "util/contracts.hpp"
+
+namespace core = vtm::core;
+
+namespace {
+
+core::multi_msp_params duopoly(double sharpness = 0.25) {
+  core::multi_msp_params params;
+  params.msps = {{5.0, 50.0, 50.0}, {5.0, 50.0, 50.0}};
+  params.vmus = {{500.0, 200.0}, {500.0, 100.0}};
+  params.share_sharpness = sharpness;
+  return params;
+}
+
+core::market_params monopoly_params() {
+  core::market_params params;
+  params.vmus = {{500.0, 200.0}, {500.0, 100.0}};
+  return params;
+}
+
+}  // namespace
+
+// ---- multi-MSP market mechanics -----------------------------------------------------
+
+TEST(multi_msp, validates_parameters) {
+  auto no_msps = duopoly();
+  no_msps.msps.clear();
+  EXPECT_THROW((void)core::multi_msp_market{no_msps}, vtm::util::contract_error);
+  auto bad_lambda = duopoly();
+  bad_lambda.share_sharpness = 0.0;
+  EXPECT_THROW((void)core::multi_msp_market{bad_lambda},
+               vtm::util::contract_error);
+}
+
+TEST(multi_msp, shares_sum_to_one_and_favor_cheaper) {
+  const core::multi_msp_market market(duopoly());
+  const std::vector<double> prices{20.0, 30.0};
+  const auto shares = market.shares(prices);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_NEAR(shares[0] + shares[1], 1.0, 1e-12);
+  EXPECT_GT(shares[0], shares[1]);  // cheaper MSP gets more
+}
+
+TEST(multi_msp, equal_prices_split_evenly) {
+  const core::multi_msp_market market(duopoly());
+  const std::vector<double> prices{25.0, 25.0};
+  const auto shares = market.shares(prices);
+  EXPECT_NEAR(shares[0], 0.5, 1e-12);
+  EXPECT_NEAR(shares[1], 0.5, 1e-12);
+}
+
+TEST(multi_msp, sharper_lambda_concentrates_demand) {
+  const core::multi_msp_market soft(duopoly(0.1));
+  const core::multi_msp_market sharp(duopoly(2.0));
+  const std::vector<double> prices{20.0, 30.0};
+  EXPECT_GT(sharp.shares(prices)[0], soft.shares(prices)[0]);
+}
+
+TEST(multi_msp, effective_price_between_min_and_max) {
+  const core::multi_msp_market market(duopoly());
+  const std::vector<double> prices{20.0, 30.0};
+  const double p_eff = market.effective_price(prices);
+  EXPECT_GT(p_eff, 20.0);
+  EXPECT_LT(p_eff, 30.0);
+}
+
+TEST(multi_msp, vmu_demand_matches_eq8_at_effective_price) {
+  const core::multi_msp_market market(duopoly());
+  const std::vector<double> prices{24.0, 26.0};
+  const double p_eff = market.effective_price(prices);
+  const double kappa = 200.0 / market.spectral_efficiency();
+  EXPECT_NEAR(market.vmu_demand(0, prices),
+              std::max(0.0, 500.0 / p_eff - kappa), 1e-9);
+}
+
+TEST(multi_msp, sales_respect_per_msp_capacity) {
+  auto params = duopoly();
+  params.msps[0].bandwidth_cap_mhz = 3.0;  // tiny seller
+  const core::multi_msp_market market(params);
+  const std::vector<double> prices{10.0, 10.0};
+  const auto sales = market.msp_sales(prices);
+  EXPECT_LE(sales[0], 3.0 + 1e-12);
+}
+
+// ---- price competition equilibrium ---------------------------------------------------
+
+TEST(multi_msp, single_msp_recovers_monopoly_price) {
+  core::multi_msp_params params;
+  params.msps = {{5.0, 50.0, 50.0}};
+  params.vmus = {{500.0, 200.0}, {500.0, 100.0}};
+  const auto competitive = core::solve_price_competition(
+      core::multi_msp_market(params));
+  const auto monopoly =
+      core::solve_equilibrium(core::migration_market(monopoly_params()));
+  ASSERT_TRUE(competitive.converged);
+  EXPECT_NEAR(competitive.prices[0], monopoly.price, 0.05);
+  EXPECT_NEAR(competitive.utilities[0], monopoly.leader_utility, 1.0);
+}
+
+TEST(multi_msp, competition_lowers_prices_below_monopoly) {
+  const auto duo = core::solve_price_competition(
+      core::multi_msp_market(duopoly(0.25)));
+  const auto monopoly =
+      core::solve_equilibrium(core::migration_market(monopoly_params()));
+  ASSERT_TRUE(duo.converged);
+  EXPECT_LT(duo.effective_price, monopoly.price);
+  // Each duopolist earns less than the monopolist.
+  EXPECT_LT(duo.utilities[0], monopoly.leader_utility);
+  EXPECT_LT(duo.utilities[1], monopoly.leader_utility);
+}
+
+TEST(multi_msp, symmetric_duopoly_symmetric_equilibrium) {
+  const auto eq = core::solve_price_competition(
+      core::multi_msp_market(duopoly()));
+  ASSERT_TRUE(eq.converged);
+  EXPECT_NEAR(eq.prices[0], eq.prices[1], 1e-4);
+  EXPECT_NEAR(eq.utilities[0], eq.utilities[1], 1e-2);
+}
+
+TEST(multi_msp, sharper_competition_approaches_cost) {
+  // As λ grows the softmin approaches winner-take-all Bertrand competition,
+  // driving the equilibrium price toward cost. Capacities are raised so the
+  // capacity-clearing floor (see the next test) never masks the effect.
+  double previous_price = 1e18;
+  for (double lambda : {0.1, 0.5, 2.0}) {
+    auto params = duopoly(lambda);
+    for (auto& msp : params.msps) msp.bandwidth_cap_mhz = 500.0;
+    const auto eq =
+        core::solve_price_competition(core::multi_msp_market(params));
+    ASSERT_TRUE(eq.converged) << "lambda " << lambda;
+    EXPECT_LT(eq.effective_price, previous_price) << "lambda " << lambda;
+    previous_price = eq.effective_price;
+  }
+  EXPECT_LT(previous_price, 12.0);  // far below the 25.3 monopoly price
+}
+
+TEST(multi_msp, capacity_floor_caps_price_competition) {
+  // With per-MSP caps of 50 MHz, fierce competition cannot push the price
+  // below the capacity-clearing level where each seller's grant is full:
+  // 0.5·(Σα/p − Σκ) = 50. Sharpening λ past that point changes nothing.
+  const auto mild = core::solve_price_competition(
+      core::multi_msp_market(duopoly(0.5)));
+  const auto fierce = core::solve_price_competition(
+      core::multi_msp_market(duopoly(2.0)));
+  ASSERT_TRUE(mild.converged && fierce.converged);
+  EXPECT_NEAR(mild.effective_price, fierce.effective_price, 1e-3);
+  // Both MSPs sell their full capacity at that price.
+  EXPECT_NEAR(mild.sales[0], 50.0, 0.1);
+  EXPECT_NEAR(mild.sales[1], 50.0, 0.1);
+}
+
+TEST(multi_msp, more_sellers_lower_prices) {
+  auto two = duopoly(0.5);
+  auto four = duopoly(0.5);
+  four.msps.assign(4, {5.0, 50.0, 50.0});
+  const auto eq2 =
+      core::solve_price_competition(core::multi_msp_market(two));
+  const auto eq4 =
+      core::solve_price_competition(core::multi_msp_market(four));
+  ASSERT_TRUE(eq2.converged && eq4.converged);
+  EXPECT_LT(eq4.effective_price, eq2.effective_price);
+}
+
+TEST(multi_msp, vmus_gain_from_competition) {
+  const auto duo = core::solve_price_competition(
+      core::multi_msp_market(duopoly(0.5)));
+  const auto monopoly =
+      core::solve_equilibrium(core::migration_market(monopoly_params()));
+  EXPECT_GT(duo.total_vmu_utility, monopoly.total_vmu_utility);
+}
+
+TEST(multi_msp, asymmetric_costs_cheaper_seller_wins_share) {
+  auto params = duopoly(0.5);
+  params.msps[0].unit_cost = 4.0;
+  params.msps[1].unit_cost = 8.0;
+  const core::multi_msp_market market(params);
+  const auto eq = core::solve_price_competition(market);
+  ASSERT_TRUE(eq.converged);
+  EXPECT_LT(eq.prices[0], eq.prices[1]);  // low-cost seller undercuts
+  EXPECT_GT(eq.sales[0], eq.sales[1]);
+}
+
+// ---- immersion models -----------------------------------------------------------------
+
+TEST(immersion_models, log_model_matches_paper_formula) {
+  const core::log_immersion model;
+  EXPECT_NEAR(model.gain(500.0, 0.5), 500.0 * std::log(3.0), 1e-9);
+  EXPECT_STREQ(model.name(), "log");
+}
+
+TEST(immersion_models, all_models_reward_freshness) {
+  const core::log_immersion log_model;
+  const core::power_immersion power_model(0.5);
+  const core::saturating_immersion saturating_model(0.5);
+  for (const core::immersion_model* model :
+       {static_cast<const core::immersion_model*>(&log_model),
+        static_cast<const core::immersion_model*>(&power_model),
+        static_cast<const core::immersion_model*>(&saturating_model)}) {
+    EXPECT_GT(model->gain(500.0, 0.1), model->gain(500.0, 1.0))
+        << model->name();
+    EXPECT_GT(model->gain(1000.0, 0.5), model->gain(500.0, 0.5))
+        << model->name();
+  }
+}
+
+TEST(immersion_models, saturating_model_bounded_by_alpha) {
+  const core::saturating_immersion model(0.5);
+  EXPECT_LT(model.gain(500.0, 1e-6), 500.0 + 1e-9);
+}
+
+TEST(immersion_models, parameter_validation) {
+  EXPECT_THROW((void)core::power_immersion(1.5), vtm::util::contract_error);
+  EXPECT_THROW((void)core::saturating_immersion(0.0), vtm::util::contract_error);
+  const core::log_immersion model;
+  EXPECT_THROW((void)model.gain(0.0, 1.0), vtm::util::contract_error);
+  EXPECT_THROW((void)model.gain(1.0, 0.0), vtm::util::contract_error);
+}
+
+TEST(generalized_market, log_model_reproduces_closed_form_equilibrium) {
+  const core::log_immersion model;
+  const core::generalized_market generalized(monopoly_params(), model);
+  const auto numeric = generalized.solve();
+  const auto closed =
+      core::solve_equilibrium(core::migration_market(monopoly_params()));
+  EXPECT_NEAR(numeric.price, closed.price, 0.01);
+  EXPECT_NEAR(numeric.leader_utility, closed.leader_utility, 0.5);
+  EXPECT_NEAR(numeric.total_demand, closed.total_demand, 0.05);
+}
+
+TEST(generalized_market, best_response_is_utility_maximizing) {
+  const core::power_immersion model(0.5);
+  const core::generalized_market market(monopoly_params(), model);
+  const double price = 25.0;
+  for (std::size_t n = 0; n < market.vmu_count(); ++n) {
+    const double best = market.best_response(n, price);
+    const double at_best = market.vmu_utility(n, best, price);
+    for (double b : {best * 0.5, best * 0.9, best * 1.1, best * 1.5}) {
+      if (b <= 0.0 || b > market.params().bandwidth_cap_mhz) continue;
+      EXPECT_GE(at_best + 1e-6, market.vmu_utility(n, b, price));
+    }
+  }
+}
+
+TEST(generalized_market, models_rank_demand_consistently) {
+  // At the same price, a heavier-tailed immersion metric buys more
+  // bandwidth. Verify each model produces positive, capacity-respecting
+  // demand and the leader solve stays within the box.
+  const core::log_immersion log_model;
+  const core::power_immersion power_model(0.5);
+  const core::saturating_immersion saturating_model(2.0);
+  for (const core::immersion_model* model :
+       {static_cast<const core::immersion_model*>(&log_model),
+        static_cast<const core::immersion_model*>(&power_model),
+        static_cast<const core::immersion_model*>(&saturating_model)}) {
+    const core::generalized_market market(monopoly_params(), *model);
+    const auto solution = market.solve(128);
+    EXPECT_GE(solution.price, 5.0) << model->name();
+    EXPECT_LE(solution.price, 50.0) << model->name();
+    EXPECT_GT(solution.total_demand, 0.0) << model->name();
+    EXPECT_LE(solution.total_demand, 50.0 + 1e-9) << model->name();
+    EXPECT_GT(solution.leader_utility, 0.0) << model->name();
+  }
+}
+
+TEST(generalized_market, rationing_applies) {
+  const core::log_immersion model;
+  auto params = monopoly_params();
+  params.bandwidth_cap_mhz = 5.0;
+  const core::generalized_market market(params, model);
+  const auto demands = market.demands(10.0);
+  double total = 0.0;
+  for (double b : demands) total += b;
+  EXPECT_LE(total, 5.0 + 1e-9);
+}
+
+// ---- robustness / checkpoint harness ----------------------------------------------------
+
+namespace {
+
+core::mechanism_config tiny_config() {
+  core::mechanism_config config;
+  config.trainer.episodes = 40;
+  config.ppo.learning_rate = 3e-4;
+  return config;
+}
+
+}  // namespace
+
+TEST(evaluation, robustness_across_seeds) {
+  const auto report =
+      core::evaluate_robustness(monopoly_params(), tiny_config(), 3);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_GT(report.mean_optimality, 0.9);
+  EXPECT_GT(report.min_optimality, 0.8);
+  EXPECT_GE(report.std_optimality, 0.0);
+  for (const auto& outcome : report.outcomes) {
+    EXPECT_LE(outcome.convergence_episode, 40u);
+    EXPECT_NE(outcome.seed, 0u);
+  }
+  // Distinct seeds must actually differ.
+  EXPECT_NE(report.outcomes[0].seed, report.outcomes[1].seed);
+}
+
+TEST(evaluation, checkpoint_roundtrip_preserves_policy) {
+  const auto trained =
+      core::train_with_checkpoint(monopoly_params(), tiny_config());
+  EXPECT_FALSE(trained.checkpoint.empty());
+  EXPECT_GT(trained.result.optimality(), 0.9);
+
+  const double replayed = core::evaluate_checkpoint(
+      monopoly_params(), tiny_config(), trained.checkpoint);
+  // Deterministic evaluation of the loaded policy reproduces the trained
+  // policy's utility up to the random warm-up history of the first L rounds
+  // (the fresh environment's RNG is at a different point than the trained
+  // one's after E episodes).
+  EXPECT_NEAR(replayed, trained.result.learned_utility,
+              1e-3 * std::abs(trained.result.learned_utility));
+}
+
+TEST(evaluation, checkpoint_transfers_to_similar_market) {
+  // A policy trained at C=5 still prices sensibly at C=6 (zero-shot).
+  const auto trained =
+      core::train_with_checkpoint(monopoly_params(), tiny_config());
+  auto shifted = monopoly_params();
+  shifted.unit_cost = 6.0;
+  const double transferred =
+      core::evaluate_checkpoint(shifted, tiny_config(), trained.checkpoint);
+  const auto oracle =
+      core::solve_equilibrium(core::migration_market(shifted));
+  EXPECT_GT(transferred, 0.8 * oracle.leader_utility);
+}
+
+TEST(evaluation, checkpoint_rejects_architecture_mismatch) {
+  const auto trained =
+      core::train_with_checkpoint(monopoly_params(), tiny_config());
+  auto bigger = tiny_config();
+  bigger.hidden = {128, 128};
+  EXPECT_THROW((void)core::evaluate_checkpoint(monopoly_params(), bigger,
+                                         trained.checkpoint),
+               std::runtime_error);
+}

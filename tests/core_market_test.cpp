@@ -1,0 +1,223 @@
+// Tests for the AoTM metric and the migration market (utilities, best
+// responses, rationing) — eqs. (1), (2), (4), (8) of the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aotm.hpp"
+#include "core/market.hpp"
+#include "game/maximize.hpp"
+#include "util/contracts.hpp"
+
+namespace core = vtm::core;
+
+namespace {
+
+core::market_params two_vmu_params() {
+  core::market_params p;
+  p.vmus = {{500.0, 200.0}, {500.0, 100.0}};  // Fig. 2/3(a,b) setting
+  return p;
+}
+
+}  // namespace
+
+// ---- AoTM ---------------------------------------------------------------------
+
+TEST(aotm, closed_form_definition) {
+  // A = D / (b · R): 100 MB at 10 MHz with R = 38.54 -> ~0.2595.
+  const double a = core::aotm_closed_form(100.0, 10.0, 38.541);
+  EXPECT_NEAR(a, 100.0 / 385.41, 1e-9);
+}
+
+TEST(aotm, halves_when_bandwidth_doubles) {
+  const double a1 = core::aotm_closed_form(100.0, 10.0, 38.541);
+  const double a2 = core::aotm_closed_form(100.0, 20.0, 38.541);
+  EXPECT_NEAR(a1, 2.0 * a2, 1e-12);
+}
+
+TEST(aotm, rejects_degenerate_inputs) {
+  EXPECT_THROW((void)core::aotm_closed_form(100.0, 0.0, 38.0),
+               vtm::util::contract_error);
+  EXPECT_THROW((void)core::aotm_closed_form(-1.0, 10.0, 38.0),
+               vtm::util::contract_error);
+}
+
+TEST(aotm, link_budget_overload_matches) {
+  const vtm::wireless::link_budget link(vtm::wireless::link_params{});
+  EXPECT_NEAR(core::aotm_closed_form(100.0, 10.0, link),
+              core::aotm_closed_form(100.0, 10.0, link.spectral_efficiency()),
+              1e-15);
+}
+
+TEST(aotm, matches_simulated_cold_migration) {
+  // Paper-normalized rate: b·R "MB/s"; with zero dirty rate the pre-copy
+  // timeline reproduces the closed form exactly.
+  const auto twin = vtm::sim::vehicular_twin::with_total_mb(1, 200.0);
+  const vtm::wireless::link_budget link(vtm::wireless::link_params{});
+  const double bandwidth = 12.0;
+  const double rate = bandwidth * link.spectral_efficiency();
+  const auto report = vtm::sim::run_precopy(twin, rate);
+  EXPECT_NEAR(core::aotm_from_migration(report),
+              core::aotm_closed_form(twin.total_mb(), bandwidth, link), 1e-9);
+}
+
+TEST(aotm, immersion_increases_with_freshness) {
+  // Smaller AoTM (fresher twin) -> more immersion.
+  EXPECT_GT(core::immersion(500.0, 0.1), core::immersion(500.0, 1.0));
+  EXPECT_GT(core::immersion(1000.0, 0.5), core::immersion(500.0, 0.5));
+  EXPECT_THROW((void)core::immersion(0.0, 1.0), vtm::util::contract_error);
+  EXPECT_THROW((void)core::immersion(1.0, 0.0), vtm::util::contract_error);
+}
+
+// ---- market construction ----------------------------------------------------------
+
+TEST(market, validates_parameters) {
+  core::market_params empty;
+  empty.vmus.clear();
+  EXPECT_THROW((void)core::migration_market{empty}, vtm::util::contract_error);
+
+  auto bad_alpha = two_vmu_params();
+  bad_alpha.vmus[0].alpha = 0.0;
+  EXPECT_THROW((void)core::migration_market{bad_alpha}, vtm::util::contract_error);
+
+  auto bad_cost = two_vmu_params();
+  bad_cost.unit_cost = 60.0;  // above price cap
+  EXPECT_THROW((void)core::migration_market{bad_cost}, vtm::util::contract_error);
+}
+
+TEST(market, spectral_efficiency_from_paper_channel) {
+  const core::migration_market market(two_vmu_params());
+  EXPECT_NEAR(market.spectral_efficiency(), 38.541, 1e-3);
+}
+
+TEST(market, kappa_is_data_over_efficiency) {
+  const core::migration_market market(two_vmu_params());
+  EXPECT_NEAR(market.kappa(0), 200.0 / market.spectral_efficiency(), 1e-12);
+  EXPECT_NEAR(market.kappa(1), 100.0 / market.spectral_efficiency(), 1e-12);
+  EXPECT_THROW((void)market.kappa(2), vtm::util::contract_error);
+}
+
+// ---- best response (eq. 8) ----------------------------------------------------------
+
+TEST(best_response, closed_form_alpha_over_p_minus_kappa) {
+  const core::migration_market market(two_vmu_params());
+  const double p = 25.0;
+  EXPECT_NEAR(market.best_response(0, p), 500.0 / p - market.kappa(0), 1e-12);
+  EXPECT_NEAR(market.best_response(1, p), 500.0 / p - market.kappa(1), 1e-12);
+}
+
+TEST(best_response, clamps_to_zero_at_high_price) {
+  auto params = two_vmu_params();
+  params.vmus[0].alpha = 50.0;  // tiny α: interior optimum negative
+  const core::migration_market market(params);
+  EXPECT_DOUBLE_EQ(market.best_response(0, 49.0), 0.0);
+}
+
+class best_response_optimality : public ::testing::TestWithParam<double> {};
+
+TEST_P(best_response_optimality, maximizes_vmu_utility) {
+  // The closed form must agree with a brute-force numeric argmax of U_n.
+  const core::migration_market market(two_vmu_params());
+  const double price = GetParam();
+  for (std::size_t n = 0; n < market.vmu_count(); ++n) {
+    const auto numeric = vtm::game::golden_section_maximize(
+        [&](double b) {
+          return b > 0.0 ? market.vmu_utility(n, b, price) : 0.0;
+        },
+        0.0, 100.0, 1e-10);
+    EXPECT_NEAR(market.best_response(n, price), numeric.arg, 1e-5)
+        << "price " << price << " vmu " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(prices, best_response_optimality,
+                         ::testing::Values(10.0, 20.0, 25.0, 30.0, 40.0,
+                                           49.0));
+
+TEST(best_response, utility_is_concave_in_bandwidth) {
+  // Second difference of U_n(b) is negative across the domain (Theorem 1).
+  const core::migration_market market(two_vmu_params());
+  const double price = 25.0, h = 0.01;
+  for (double b = 0.5; b < 40.0; b += 0.5) {
+    const double second_diff = market.vmu_utility(0, b + h, price) -
+                               2.0 * market.vmu_utility(0, b, price) +
+                               market.vmu_utility(0, b - h, price);
+    EXPECT_LT(second_diff, 0.0) << "b = " << b;
+  }
+}
+
+TEST(best_response, demand_decreases_with_price) {
+  const core::migration_market market(two_vmu_params());
+  double previous = 1e18;
+  for (double p = 10.0; p <= 50.0; p += 5.0) {
+    const double b = market.best_response(0, p);
+    EXPECT_LE(b, previous);
+    previous = b;
+  }
+}
+
+// ---- rationing / aggregates -----------------------------------------------------------
+
+TEST(demands, rationing_caps_at_bmax) {
+  auto params = two_vmu_params();
+  params.bandwidth_cap_mhz = 10.0;  // force the cap to bind at p = 20
+  const core::migration_market market(params);
+  const auto rationed = market.demands(20.0);
+  double total = 0.0;
+  for (double b : rationed) total += b;
+  EXPECT_NEAR(total, 10.0, 1e-9);
+  // Proportional: both scaled by the same factor.
+  const auto raw = market.unconstrained_demands(20.0);
+  EXPECT_NEAR(rationed[0] / raw[0], rationed[1] / raw[1], 1e-12);
+}
+
+TEST(demands, no_rationing_below_capacity) {
+  const core::migration_market market(two_vmu_params());
+  const auto demands = market.demands(30.0);
+  const auto raw = market.unconstrained_demands(30.0);
+  EXPECT_EQ(demands, raw);
+}
+
+TEST(leader_utility, margin_times_volume) {
+  const core::migration_market market(two_vmu_params());
+  const double p = 25.0;
+  const auto demands = market.demands(p);
+  const double expected = (p - 5.0) * (demands[0] + demands[1]);
+  EXPECT_NEAR(market.leader_utility(p, demands), expected, 1e-12);
+  EXPECT_NEAR(market.leader_utility(p), expected, 1e-12);
+}
+
+TEST(leader_utility, zero_at_cost_price) {
+  const core::migration_market market(two_vmu_params());
+  EXPECT_NEAR(market.leader_utility(5.0), 0.0, 1e-9);
+}
+
+TEST(leader_utility, rejects_negative_allocations) {
+  const core::migration_market market(two_vmu_params());
+  const std::vector<double> bad{-1.0, 2.0};
+  EXPECT_THROW((void)market.leader_utility(25.0, bad), vtm::util::contract_error);
+}
+
+TEST(vmu_utility, zero_bandwidth_is_zero_utility) {
+  const core::migration_market market(two_vmu_params());
+  EXPECT_DOUBLE_EQ(market.vmu_utility(0, 0.0, 25.0), 0.0);
+}
+
+TEST(vmu_utility, equals_immersion_minus_payment) {
+  const core::migration_market market(two_vmu_params());
+  const double b = 12.0, p = 25.0;
+  const double expected =
+      core::immersion(500.0, market.aotm(0, b)) - p * b;
+  EXPECT_NEAR(market.vmu_utility(0, b, p), expected, 1e-12);
+}
+
+TEST(totals, aggregate_helpers_consistent) {
+  const core::migration_market market(two_vmu_params());
+  const double p = 25.0;
+  const auto demands = market.demands(p);
+  EXPECT_NEAR(market.total_demand(p), demands[0] + demands[1], 1e-12);
+  EXPECT_NEAR(market.total_vmu_utility(p),
+              market.vmu_utility(0, demands[0], p) +
+                  market.vmu_utility(1, demands[1], p),
+              1e-12);
+}

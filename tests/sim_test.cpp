@@ -1,0 +1,309 @@
+// Tests for the vehicular simulator: event queue, VT model, pre-copy
+// migration engine, highway mobility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/mobility.hpp"
+#include "sim/precopy.hpp"
+#include "sim/vt.hpp"
+#include "util/contracts.hpp"
+
+namespace s = vtm::sim;
+
+// ---- event queue ------------------------------------------------------------
+
+TEST(event_queue, executes_in_time_order) {
+  s::event_queue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(event_queue, equal_times_run_fifo) {
+  s::event_queue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(event_queue, schedule_in_is_relative) {
+  s::event_queue q;
+  double fired_at = -1.0;
+  q.schedule(2.0, [&] {
+    q.schedule_in(1.5, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(event_queue, cannot_schedule_in_the_past) {
+  s::event_queue q;
+  q.schedule(5.0, [] {});
+  q.step();
+  EXPECT_THROW((void)q.schedule(1.0, [] {}), vtm::util::contract_error);
+}
+
+TEST(event_queue, cancel_prevents_execution) {
+  s::event_queue q;
+  bool ran = false;
+  const auto h = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));  // already cancelled
+  q.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(event_queue, run_until_stops_at_horizon) {
+  s::event_queue q;
+  int count = 0;
+  q.schedule(1.0, [&] { ++count; });
+  q.schedule(2.0, [&] { ++count; });
+  q.schedule(5.0, [&] { ++count; });
+  EXPECT_EQ(q.run_until(3.0), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(event_queue, events_can_schedule_events) {
+  s::event_queue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_in(1.0, recurse);
+  };
+  q.schedule(0.0, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(event_queue, run_all_respects_event_budget) {
+  s::event_queue q;
+  std::function<void()> forever = [&] { q.schedule_in(1.0, forever); };
+  q.schedule(0.0, forever);
+  EXPECT_EQ(q.run_all(100), 100u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+// ---- vehicular twin ------------------------------------------------------------
+
+TEST(vt, totals_add_up) {
+  s::vt_config config;
+  config.system_config_mb = 2.0;
+  config.memory_pages = 100;
+  config.page_mb = 0.5;
+  config.runtime_state_mb = 3.0;
+  s::vehicular_twin twin(7, config);
+  EXPECT_EQ(twin.vmu_id(), 7u);
+  EXPECT_DOUBLE_EQ(twin.memory_mb(), 50.0);
+  EXPECT_DOUBLE_EQ(twin.total_mb(), 55.0);
+}
+
+TEST(vt, with_total_mb_hits_requested_footprint) {
+  for (double total : {100.0, 137.5, 200.0, 300.0}) {
+    const auto twin = s::vehicular_twin::with_total_mb(1, total);
+    EXPECT_NEAR(twin.total_mb(), total, 1e-9) << "total " << total;
+    EXPECT_GT(twin.config().memory_pages, 0u);
+    EXPECT_GT(twin.config().system_config_mb, 0.0);
+  }
+}
+
+TEST(vt, migration_bookkeeping) {
+  auto twin = s::vehicular_twin::with_total_mb(1, 100.0);
+  EXPECT_EQ(twin.migration_count(), 0u);
+  twin.set_host_rsu(3);
+  twin.record_migration();
+  EXPECT_EQ(twin.host_rsu(), 3u);
+  EXPECT_EQ(twin.migration_count(), 1u);
+}
+
+TEST(vt, rejects_invalid_config) {
+  s::vt_config bad;
+  bad.system_config_mb = -1.0;
+  EXPECT_THROW((void)s::vehicular_twin(0, bad), vtm::util::contract_error);
+  EXPECT_THROW((void)s::vehicular_twin::with_total_mb(0, 0.0),
+               vtm::util::contract_error);
+}
+
+// ---- pre-copy migration ------------------------------------------------------------
+
+TEST(precopy, zero_dirty_rate_equals_cold_copy) {
+  const auto twin = s::vehicular_twin::with_total_mb(1, 200.0);
+  const double rate = 520.0;  // MB/s
+  const auto report = s::run_precopy(twin, rate);
+  EXPECT_TRUE(report.converged);
+  EXPECT_NEAR(report.total_sent_mb, twin.total_mb(), 1e-9);
+  EXPECT_NEAR(report.total_time_s, s::cold_copy_seconds(twin, rate), 1e-9);
+  EXPECT_NEAR(report.amplification(twin.total_mb()), 1.0, 1e-9);
+}
+
+TEST(precopy, dirty_pages_inflate_transfer) {
+  const auto twin = s::vehicular_twin::with_total_mb(1, 200.0);
+  s::precopy_params dirty;
+  dirty.dirty_rate_mb_s = 100.0;
+  const auto clean_report = s::run_precopy(twin, 520.0);
+  const auto dirty_report = s::run_precopy(twin, 520.0, dirty);
+  EXPECT_GT(dirty_report.total_sent_mb, clean_report.total_sent_mb);
+  EXPECT_GT(dirty_report.total_time_s, clean_report.total_time_s);
+  EXPECT_GT(dirty_report.amplification(twin.total_mb()), 1.0);
+  EXPECT_TRUE(dirty_report.converged);
+}
+
+TEST(precopy, transfer_time_matches_geometric_series) {
+  // Fluid model with dirty ratio ρ = w/r: memory rounds send
+  // M, Mρ, Mρ², ... until the residue hits the stop-copy threshold.
+  s::vt_config config;
+  config.system_config_mb = 0.0;
+  config.memory_pages = 1000;
+  config.page_mb = 0.1;  // M = 100 MB
+  config.runtime_state_mb = 0.0;
+  const s::vehicular_twin twin(1, config);
+  const double rate = 50.0, dirty = 10.0;  // ρ = 0.2
+  s::precopy_params params;
+  params.dirty_rate_mb_s = dirty;
+  params.stop_copy_threshold_mb = 1.0;
+  const auto report = s::run_precopy(twin, rate, params);
+  ASSERT_TRUE(report.converged);
+  // Residues: 100, 20, 4, 0.8 (<1 stops). Sent: 100+20+4 then 0.8 final.
+  EXPECT_NEAR(report.total_sent_mb, 124.8, 1e-9);
+  EXPECT_NEAR(report.total_time_s, 124.8 / 50.0, 1e-9);
+  EXPECT_NEAR(report.downtime_s, 0.8 / 50.0, 1e-9);
+  ASSERT_EQ(report.rounds.size(), 4u);  // 3 iterative + stop-and-copy
+  EXPECT_TRUE(report.rounds.back().stop_and_copy);
+}
+
+TEST(precopy, downtime_bounded_by_threshold_plus_state) {
+  const auto twin = s::vehicular_twin::with_total_mb(1, 300.0);
+  s::precopy_params params;
+  params.dirty_rate_mb_s = 200.0;
+  params.stop_copy_threshold_mb = 2.0;
+  const double rate = 400.0;
+  const auto report = s::run_precopy(twin, rate, params);
+  ASSERT_TRUE(report.converged);
+  const double worst_final_mb =
+      params.stop_copy_threshold_mb + twin.config().runtime_state_mb;
+  EXPECT_LE(report.downtime_s, worst_final_mb / rate + 1e-9);
+}
+
+TEST(precopy, non_convergent_when_dirty_exceeds_rate) {
+  const auto twin = s::vehicular_twin::with_total_mb(1, 100.0);
+  s::precopy_params params;
+  params.dirty_rate_mb_s = 100.0;  // dirtying as fast as sending
+  const auto report = s::run_precopy(twin, 50.0, params);
+  EXPECT_FALSE(report.converged);
+  // Still terminates and still moves the twin (forced stop-and-copy).
+  EXPECT_GE(report.total_sent_mb, twin.total_mb());
+}
+
+TEST(precopy, round_budget_forces_stop) {
+  const auto twin = s::vehicular_twin::with_total_mb(1, 100.0);
+  s::precopy_params params;
+  params.dirty_rate_mb_s = 40.0;
+  params.max_rounds = 2;
+  params.stop_copy_threshold_mb = 0.001;
+  const auto report = s::run_precopy(twin, 50.0, params);
+  EXPECT_FALSE(report.converged);
+  EXPECT_GE(report.downtime_s, 0.0);
+}
+
+TEST(precopy, monotone_in_dirty_rate) {
+  const auto twin = s::vehicular_twin::with_total_mb(1, 150.0);
+  double previous_time = 0.0;
+  for (double dirty : {0.0, 20.0, 40.0, 60.0, 80.0}) {
+    s::precopy_params params;
+    params.dirty_rate_mb_s = dirty;
+    const auto report = s::run_precopy(twin, 200.0, params);
+    EXPECT_GE(report.total_time_s, previous_time) << "dirty " << dirty;
+    previous_time = report.total_time_s;
+  }
+}
+
+TEST(precopy, rejects_invalid_arguments) {
+  const auto twin = s::vehicular_twin::with_total_mb(1, 100.0);
+  EXPECT_THROW((void)s::run_precopy(twin, 0.0), vtm::util::contract_error);
+  s::precopy_params bad;
+  bad.max_rounds = 0;
+  EXPECT_THROW((void)s::run_precopy(twin, 10.0, bad), vtm::util::contract_error);
+}
+
+// ---- mobility ---------------------------------------------------------------------
+
+TEST(mobility, advance_moves_vehicle) {
+  const s::vehicle_state v{100.0, 25.0};
+  const auto moved = s::advance(v, 4.0);
+  EXPECT_DOUBLE_EQ(moved.position_m, 200.0);
+  EXPECT_THROW((void)s::advance(v, -1.0), vtm::util::contract_error);
+}
+
+TEST(mobility, chain_geometry) {
+  const s::rsu_chain chain(4, 1000.0, 600.0);
+  EXPECT_EQ(chain.count(), 4u);
+  EXPECT_DOUBLE_EQ(chain.center_m(0), 1000.0);
+  EXPECT_DOUBLE_EQ(chain.center_m(3), 4000.0);
+  EXPECT_DOUBLE_EQ(chain.handover_position_m(1), 2500.0);
+  EXPECT_DOUBLE_EQ(chain.link_distance_m(0, 2), 2000.0);
+}
+
+TEST(mobility, rejects_gapped_coverage) {
+  EXPECT_THROW((void)s::rsu_chain(3, 1000.0, 400.0), vtm::util::contract_error);
+}
+
+TEST(mobility, serving_rsu_is_nearest) {
+  const s::rsu_chain chain(3, 1000.0, 600.0);
+  EXPECT_EQ(chain.serving_rsu(0.0), 0u);      // before the chain
+  EXPECT_EQ(chain.serving_rsu(1200.0), 0u);
+  EXPECT_EQ(chain.serving_rsu(1600.0), 1u);
+  EXPECT_EQ(chain.serving_rsu(2499.0), 1u);
+  EXPECT_EQ(chain.serving_rsu(2600.0), 2u);
+  EXPECT_EQ(chain.serving_rsu(9999.0), 2u);   // past the chain
+}
+
+TEST(mobility, forward_handover_event) {
+  const s::rsu_chain chain(3, 1000.0, 600.0);
+  const s::vehicle_state v{1200.0, 30.0};  // serving RSU 0, boundary at 1500
+  const auto event = chain.next_handover(v);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->from_rsu, 0u);
+  EXPECT_EQ(event->to_rsu, 1u);
+  EXPECT_NEAR(event->after_s, 10.0, 1e-9);
+}
+
+TEST(mobility, backward_handover_event) {
+  const s::rsu_chain chain(3, 1000.0, 600.0);
+  const s::vehicle_state v{1800.0, -30.0};  // serving RSU 1, boundary at 1500
+  const auto event = chain.next_handover(v);
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->from_rsu, 1u);
+  EXPECT_EQ(event->to_rsu, 0u);
+  EXPECT_NEAR(event->after_s, 10.0, 1e-9);
+}
+
+TEST(mobility, no_handover_for_stationary_or_terminal) {
+  const s::rsu_chain chain(3, 1000.0, 600.0);
+  EXPECT_FALSE(chain.next_handover({1200.0, 0.0}).has_value());
+  EXPECT_FALSE(chain.next_handover({2900.0, 30.0}).has_value());  // last RSU
+  EXPECT_FALSE(chain.next_handover({500.0, -30.0}).has_value());  // first RSU
+}
+
+TEST(mobility, consecutive_handovers_cover_the_chain) {
+  const s::rsu_chain chain(5, 800.0, 450.0);
+  s::vehicle_state v{400.0, 20.0};
+  std::size_t crossings = 0;
+  for (;;) {
+    const auto event = chain.next_handover(v);
+    if (!event) break;
+    v = s::advance(v, event->after_s + 1e-9);
+    ++crossings;
+    ASSERT_LE(crossings, 10u) << "runaway handover loop";
+  }
+  EXPECT_EQ(crossings, 4u);  // 5 RSUs -> 4 boundaries
+}

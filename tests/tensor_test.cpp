@@ -1,0 +1,169 @@
+// Unit tests for vtm::nn::tensor.
+#include <gtest/gtest.h>
+
+#include "nn/tensor.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace nn = vtm::nn;
+
+TEST(tensor, default_is_empty) {
+  nn::tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(tensor, shape_constructor_zero_fills) {
+  nn::tensor t({2, 3});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  for (double x : t.flat()) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(tensor, fill_constructor) {
+  nn::tensor t({2, 2}, 7.5);
+  for (double x : t.flat()) EXPECT_DOUBLE_EQ(x, 7.5);
+}
+
+TEST(tensor, data_constructor_rejects_size_mismatch) {
+  EXPECT_THROW((void)nn::tensor({2, 2}, std::vector<double>{1.0, 2.0}),
+               vtm::util::contract_error);
+}
+
+TEST(tensor, row_column_scalar_factories) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const auto r = nn::tensor::row(v);
+  EXPECT_EQ(r.dims(), (nn::shape{1, 3}));
+  const auto c = nn::tensor::column(v);
+  EXPECT_EQ(c.dims(), (nn::shape{3, 1}));
+  const auto s = nn::tensor::scalar(5.0);
+  EXPECT_DOUBLE_EQ(s.item(), 5.0);
+}
+
+TEST(tensor, item_requires_scalar) {
+  nn::tensor t({2, 1});
+  EXPECT_THROW((void)t.item(), vtm::util::contract_error);
+}
+
+TEST(tensor, at_bounds_checked) {
+  nn::tensor t({2, 2});
+  EXPECT_NO_THROW((void)t.at(1, 1));
+  EXPECT_THROW((void)t.at(2, 0), vtm::util::contract_error);
+  EXPECT_THROW((void)t.at(0, 2), vtm::util::contract_error);
+}
+
+TEST(tensor, row_major_layout) {
+  nn::tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(t(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t(1, 2), 6.0);
+}
+
+TEST(tensor, matmul_known_product) {
+  nn::tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  nn::tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const auto c = a.matmul(b);
+  ASSERT_EQ(c.dims(), (nn::shape{2, 2}));
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(tensor, matmul_rejects_mismatched_inner_dim) {
+  nn::tensor a({2, 3});
+  nn::tensor b({2, 3});
+  EXPECT_THROW((void)a.matmul(b), vtm::util::contract_error);
+}
+
+TEST(tensor, matmul_identity) {
+  vtm::util::rng gen(3);
+  nn::tensor a({4, 4});
+  for (auto& x : a.flat()) x = gen.normal();
+  nn::tensor eye({4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye(i, i) = 1.0;
+  EXPECT_TRUE(a.matmul(eye).allclose(a));
+  EXPECT_TRUE(eye.matmul(a).allclose(a));
+}
+
+TEST(tensor, matmul_associative) {
+  vtm::util::rng gen(5);
+  nn::tensor a({3, 4}), b({4, 5}), c({5, 2});
+  for (auto* t : {&a, &b, &c})
+    for (auto& x : t->flat()) x = gen.normal();
+  const auto left = a.matmul(b).matmul(c);
+  const auto right = a.matmul(b.matmul(c));
+  EXPECT_TRUE(left.allclose(right, 1e-9));
+}
+
+TEST(tensor, transpose_involution) {
+  vtm::util::rng gen(7);
+  nn::tensor a({3, 5});
+  for (auto& x : a.flat()) x = gen.normal();
+  EXPECT_TRUE(a.transposed().transposed().allclose(a));
+  EXPECT_EQ(a.transposed().dims(), (nn::shape{5, 3}));
+}
+
+TEST(tensor, transpose_of_product) {
+  vtm::util::rng gen(9);
+  nn::tensor a({3, 4}), b({4, 2});
+  for (auto* t : {&a, &b})
+    for (auto& x : t->flat()) x = gen.normal();
+  // (AB)ᵀ == Bᵀ Aᵀ
+  const auto lhs = a.matmul(b).transposed();
+  const auto rhs = b.transposed().matmul(a.transposed());
+  EXPECT_TRUE(lhs.allclose(rhs, 1e-9));
+}
+
+TEST(tensor, elementwise_arithmetic) {
+  nn::tensor a({1, 3}, {1, 2, 3});
+  nn::tensor b({1, 3}, {10, 20, 30});
+  EXPECT_TRUE((a + b).allclose(nn::tensor({1, 3}, {11, 22, 33})));
+  EXPECT_TRUE((b - a).allclose(nn::tensor({1, 3}, {9, 18, 27})));
+  EXPECT_TRUE(a.hadamard(b).allclose(nn::tensor({1, 3}, {10, 40, 90})));
+  EXPECT_TRUE((a * 2.0).allclose(nn::tensor({1, 3}, {2, 4, 6})));
+  EXPECT_TRUE((a + 1.0).allclose(nn::tensor({1, 3}, {2, 3, 4})));
+}
+
+TEST(tensor, elementwise_shape_mismatch_rejected) {
+  nn::tensor a({1, 3});
+  nn::tensor b({3, 1});
+  EXPECT_THROW((void)(a + b), vtm::util::contract_error);
+  EXPECT_THROW((void)(a - b), vtm::util::contract_error);
+  EXPECT_THROW((void)a.hadamard(b), vtm::util::contract_error);
+}
+
+TEST(tensor, accumulate_and_reductions) {
+  nn::tensor a({2, 2}, {1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(a.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+  nn::tensor b({2, 2}, 1.0);
+  b += a;
+  EXPECT_TRUE(b.allclose(nn::tensor({2, 2}, {2, -1, 4, -3})));
+}
+
+TEST(tensor, row_at_extracts_row) {
+  nn::tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(a.row_at(1).allclose(nn::tensor({1, 3}, {4, 5, 6})));
+  EXPECT_THROW((void)a.row_at(2), vtm::util::contract_error);
+}
+
+TEST(tensor, apply_elementwise) {
+  nn::tensor a({1, 3}, {1, 4, 9});
+  a.apply([](double x) { return x * 10.0; });
+  EXPECT_TRUE(a.allclose(nn::tensor({1, 3}, {10, 40, 90})));
+}
+
+TEST(tensor, allclose_tolerance) {
+  nn::tensor a({1, 2}, {1.0, 2.0});
+  nn::tensor b({1, 2}, {1.0 + 1e-10, 2.0});
+  EXPECT_TRUE(a.allclose(b, 1e-9));
+  EXPECT_FALSE(a.allclose(b, 1e-11));
+  nn::tensor c({2, 1}, {1.0, 2.0});
+  EXPECT_FALSE(a.allclose(c));  // shape mismatch
+}
+
+TEST(tensor, to_string_shape) {
+  EXPECT_EQ(nn::to_string(nn::shape{3, 7}), "3x7");
+}
