@@ -86,7 +86,8 @@ int main() {
   const auto oracle = vtm::core::solve_equilibrium(
       vtm::core::migration_market(params));
 
-  // PPO via the mechanism facade.
+  // PPO via the mechanism facade, collected through the batched rollout
+  // engine (B = 4 vector_env replicas; same E x K interaction budget).
   auto ppo_config = vtm::bench::sweep_mechanism_config(77);
   ppo_config.trainer.episodes = episodes;
   const auto ppo = vtm::core::run_learning_mechanism(params, ppo_config);
@@ -113,7 +114,7 @@ int main() {
                    vtm::util::format_number(oracle.price)});
   };
   row("oracle (SE)", oracle.leader_utility, oracle.price);
-  row("PPO (paper)", ppo.learned_utility, ppo.learned_price);
+  row("PPO (paper, B=4)", ppo.learned_utility, ppo.learned_price);
   row("REINFORCE", reinforce_utility, reinforce_price);
   row("q-grid", q_utility, q_price);
   row("greedy", baselines[1].mean_utility, baselines[1].mean_price);

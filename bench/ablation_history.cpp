@@ -15,6 +15,8 @@
 int main() {
   vtm::bench::print_header("Ablation A2",
                            "Observation history length L (eq. 11)");
+  std::printf("Rollout engine: rl::vector_env B=4, fast-math sampling "
+              "(bench_common::sweep_mechanism_config)\n");
 
   vtm::util::ascii_table table(
       {"L", "obs dim", "optimality", "final return", "learned price"});

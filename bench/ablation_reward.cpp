@@ -41,6 +41,9 @@ outcome run(vtm::core::reward_mode mode, double tolerance,
 int main() {
   vtm::bench::print_header("Ablation A1",
                            "Reward-function variants for eq. (12)");
+  std::printf("Rollout engine: rl::vector_env B=4, fast-math sampling "
+              "(bench_common::sweep_mechanism_config); U_best is per-replica "
+              "state, so every reward mode keeps its single-env semantics\n");
 
   vtm::util::ascii_table table({"mode", "η", "optimality", "final return",
                                 "price error"});

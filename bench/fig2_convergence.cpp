@@ -4,10 +4,13 @@
 // Setting (§V-A): two VMUs, α1 = α2 = 5 (×100 calibration), D1 = 200 MB,
 // D2 = 100 MB, C = 5; E = 500, K = 100, L = 4, |I| = 20, M = 10, 2x64 tanh.
 //
-// Trained twice: with the library default learning rate (3e-4) and with the
-// paper's 1e-5 — both reach the equilibrium price; the small rate keeps the
-// sampling entropy high for longer, so its episode *return* converges more
-// slowly while its deterministic policy is already optimal.
+// Trained three ways: with the library default learning rate (3e-4), with
+// the paper's 1e-5 — both reach the equilibrium price; the small rate keeps
+// the sampling entropy high for longer, so its episode *return* converges
+// more slowly while its deterministic policy is already optimal — and once
+// more through the batched rollout engine (B = 8 vector_env replicas,
+// fast-math sampling) to show the vectorized path reproduces the same
+// convergence with a fraction of the wall clock.
 #include <cstdio>
 #include <vector>
 
@@ -24,11 +27,14 @@ struct curve {
   vtm::core::mechanism_result result;
 };
 
-curve train(double learning_rate, std::size_t episodes) {
+curve train(double learning_rate, std::size_t episodes,
+            std::size_t num_envs = 1) {
   vtm::core::mechanism_config config = vtm::core::mechanism_config::paper();
   config.trainer.episodes = episodes;
   config.ppo.learning_rate = learning_rate;
   config.seed = 42;
+  config.rollout.num_envs = num_envs;
+  config.rollout.fast_rollout = num_envs > 1;
   curve out;
   out.result = vtm::core::run_learning_mechanism(
       vtm::bench::two_vmu_market(5.0), config,
@@ -48,6 +54,7 @@ int main() {
   constexpr std::size_t episodes = 500;
   const curve fast = train(3e-4, episodes);
   const curve paper_lr = train(1e-5, episodes);
+  const curve batched = train(3e-4, episodes, /*num_envs=*/8);
   const double oracle = fast.result.oracle.leader_utility;
 
   std::printf("\nStackelberg equilibrium (analytic oracle): price %.3f, "
@@ -58,34 +65,43 @@ int main() {
   // CSV: one row per episode.
   std::printf("\n--- CSV (fig2.csv) ---\n");
   vtm::util::csv_writer csv(
-      std::cout, {"episode", "return_lr3e4", "return_lr1e5",
-                  "msp_utility_lr3e4", "msp_utility_lr1e5", "se_utility"});
+      std::cout,
+      {"episode", "return_lr3e4", "return_lr1e5", "return_lr3e4_b8",
+       "msp_utility_lr3e4", "msp_utility_lr1e5", "msp_utility_lr3e4_b8",
+       "se_utility"});
   for (std::size_t e = 0; e < episodes; e += 5) {
     csv.row({static_cast<double>(e), fast.episode_return[e],
-             paper_lr.episode_return[e], fast.final_utility[e],
-             paper_lr.final_utility[e], oracle});
+             paper_lr.episode_return[e], batched.episode_return[e],
+             fast.final_utility[e], paper_lr.final_utility[e],
+             batched.final_utility[e], oracle});
   }
 
   // Fig. 2(a): episode return.
   const auto smooth_fast = vtm::util::moving_average(fast.episode_return, 20);
   const auto smooth_paper =
       vtm::util::moving_average(paper_lr.episode_return, 20);
+  const auto smooth_batched =
+      vtm::util::moving_average(batched.episode_return, 20);
   vtm::util::ascii_chart chart_a(72, 14);
   chart_a.set_title("Fig. 2(a): return per episode (20-episode moving avg; "
                     "K = 100 is the max)");
   chart_a.add_series({"lr=3e-4", smooth_fast, '*'});
   chart_a.add_series({"lr=1e-5 (paper)", smooth_paper, 'o'});
+  chart_a.add_series({"lr=3e-4 B=8 (batched)", smooth_batched, '+'});
   std::printf("\n%s", chart_a.render().c_str());
 
   // Fig. 2(b): MSP utility per episode vs the SE level.
   const auto util_fast = vtm::util::moving_average(fast.final_utility, 20);
   const auto util_paper =
       vtm::util::moving_average(paper_lr.final_utility, 20);
+  const auto util_batched =
+      vtm::util::moving_average(batched.final_utility, 20);
   vtm::util::ascii_chart chart_b(72, 14);
   chart_b.set_title("Fig. 2(b): MSP utility per episode vs Stackelberg "
                     "equilibrium");
   chart_b.add_series({"lr=3e-4", util_fast, '*'});
   chart_b.add_series({"lr=1e-5 (paper)", util_paper, 'o'});
+  chart_b.add_series({"lr=3e-4 B=8 (batched)", util_batched, '+'});
   chart_b.add_series(
       {"SE (oracle)", std::vector<double>(episodes, oracle), '-'});
   std::printf("\n%s", chart_b.render().c_str());
@@ -104,9 +120,12 @@ int main() {
   };
   row("3e-4", fast);
   row("1e-5 (paper)", paper_lr);
+  row("3e-4 B=8 (batched)", batched);
   std::printf("\n%s", summary.render().c_str());
 
-  std::printf("\nShape check: return(3e-4) rises to ~K=100; both policies' "
-              "deterministic evaluation reaches >= 99%% of the SE utility.\n");
+  std::printf("\nShape check: return(3e-4) rises to ~K=100; all policies' "
+              "deterministic evaluation reaches >= 99%% of the SE utility — "
+              "including the batched-engine run, whose 500 episodes are "
+              "collected 8 at a time through rl::vector_env.\n");
   return 0;
 }

@@ -3,7 +3,11 @@
 // Stackelberg equilibrium it was never told about, and compare against the
 // random and greedy baseline schemes.
 //
-//   $ ./learned_pricing [episodes] [learning_rate]
+//   $ ./learned_pricing [episodes] [learning_rate] [num_envs]
+//
+// With num_envs > 1 (default 4) training collects rollouts through the
+// batched engine: rl::vector_env steps B market replicas in lockstep and
+// the policy samples all B actions in one batched forward pass.
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,13 +24,18 @@ int main(int argc, char** argv) {
   config.trainer.episodes =
       argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
   config.ppo.learning_rate = argc > 2 ? std::strtod(argv[2], nullptr) : 3e-4;
+  config.rollout.num_envs =
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 4;
+  config.rollout.fast_rollout = config.rollout.num_envs > 1;
   config.seed = 42;
 
   std::printf("Training the MSP agent: %zu episodes x %zu rounds, "
-              "lr = %g, reward = %s (eta = %g)\n\n",
+              "lr = %g, reward = %s (eta = %g), rollout B = %zu (%s)\n\n",
               config.trainer.episodes, config.env.rounds_per_episode,
               config.ppo.learning_rate, vtm::core::to_string(config.env.mode),
-              config.env.reward_tolerance);
+              config.env.reward_tolerance, config.rollout.num_envs,
+              config.rollout.num_envs > 1 ? "batched vector_env"
+                                          : "single env");
 
   const auto result = vtm::core::run_learning_mechanism(
       params, config, [&](const vtm::rl::episode_stats& stats) {

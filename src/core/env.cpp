@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "core/equilibrium.hpp"
 #include "util/contracts.hpp"
+#include "util/rng.hpp"
 
 namespace vtm::core {
 
@@ -144,6 +146,24 @@ rl::step_result pricing_env::step(const nn::tensor& action) {
       active > 0 ? aotm_sum / static_cast<double>(active) : 0.0;
   result.info["active_vmus"] = static_cast<double>(active);
   return result;
+}
+
+std::uint64_t pricing_env_replica_seed(std::uint64_t seed, std::size_t index) {
+  if (index == 0) return seed;  // replica 0 is the single env, bit for bit
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * index;
+  return util::splitmix64(state);
+}
+
+rl::env_factory make_pricing_env_factory(const market_params& params,
+                                         const pricing_env_config& config) {
+  // Fail fast on bad parameters; replicas share them but each owns its
+  // market evaluator and RNG, so worker threads need no synchronization.
+  (void)migration_market(params);
+  return [params, config](std::size_t index) {
+    pricing_env_config replica = config;
+    replica.seed = pricing_env_replica_seed(config.seed, index);
+    return std::make_unique<pricing_env>(migration_market(params), replica);
+  };
 }
 
 }  // namespace vtm::core

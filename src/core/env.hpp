@@ -21,6 +21,7 @@
 
 #include "core/market.hpp"
 #include "rl/env.hpp"
+#include "rl/vector_env.hpp"
 #include "util/rng.hpp"
 
 namespace vtm::core {
@@ -96,5 +97,17 @@ class pricing_env final : public rl::environment {
   double shaped_scale_ = 1.0;
   std::size_t round_ = 0;
 };
+
+/// Factory building pricing_env replicas over the same market for
+/// rl::vector_env. Replica 0 keeps `config.seed` exactly — so a B=1
+/// vector_env reproduces the plain single environment bitwise — and replica
+/// i > 0 derives an independent stream via splitmix64(seed, i) so parallel
+/// rollouts decorrelate their warm-up histories.
+[[nodiscard]] rl::env_factory make_pricing_env_factory(
+    const market_params& params, const pricing_env_config& config);
+
+/// The seed replica i receives from make_pricing_env_factory (for tests).
+[[nodiscard]] std::uint64_t pricing_env_replica_seed(std::uint64_t seed,
+                                                     std::size_t index);
 
 }  // namespace vtm::core

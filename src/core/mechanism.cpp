@@ -24,16 +24,17 @@ mechanism_config mechanism_config::paper() {
 mechanism_result run_learning_mechanism(
     const market_params& params, const mechanism_config& config,
     const rl::trainer::episode_callback& on_episode) {
+  VTM_EXPECTS(config.rollout.num_envs >= 1);
   migration_market market(params);
 
   pricing_env_config env_config = config.env;
   env_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
-  pricing_env env(market, env_config);
+  pricing_env probe(market, env_config);  // dims + price mapping
 
   util::rng net_gen(config.seed);
   rl::actor_critic_config net_config;
-  net_config.obs_dim = env.observation_dim();
-  net_config.act_dim = env.action_dim();
+  net_config.obs_dim = probe.observation_dim();
+  net_config.act_dim = probe.action_dim();
   net_config.hidden = config.hidden;
   net_config.initial_log_std = config.initial_log_std;
   rl::actor_critic policy(net_config, net_gen);
@@ -44,16 +45,30 @@ mechanism_result run_learning_mechanism(
   rl::trainer_config trainer_config = config.trainer;
   trainer_config.rounds_per_episode = env_config.rounds_per_episode;
   trainer_config.seed = config.seed + 2;
-  rl::trainer driver(env, policy, learner, trainer_config);
+  trainer_config.fast_rollout = config.rollout.fast_rollout;
 
   mechanism_result result;
   result.oracle = solve_equilibrium(market);
-  result.history = driver.train(on_episode);
-  result.final_eval = driver.evaluate();
+
+  if (config.rollout.num_envs == 1) {
+    // Single-env path: the legacy Algorithm-1 trainer. The B=1 vectorized
+    // path matches it bitwise (tests/seed_determinism_test.cpp); it is kept
+    // distinct so the env is reset exactly as often as the original loop.
+    pricing_env env(market, env_config);
+    rl::trainer driver(env, policy, learner, trainer_config);
+    result.history = driver.train(on_episode);
+    result.final_eval = driver.evaluate();
+  } else {
+    rl::vector_env envs(make_pricing_env_factory(params, env_config),
+                        config.rollout.num_envs, config.rollout.threads);
+    rl::vector_trainer driver(envs, policy, learner, trainer_config);
+    result.history = driver.train(on_episode);
+    result.final_eval = driver.evaluate();
+  }
 
   result.learned_utility = result.final_eval.mean_utility;
   result.learned_price =
-      env.price_from_action(result.final_eval.mean_action);
+      probe.price_from_action(result.final_eval.mean_action);
   result.learned_total_demand = market.total_demand(result.learned_price);
   result.learned_vmu_utility = market.total_vmu_utility(result.learned_price);
   return result;

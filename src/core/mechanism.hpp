@@ -21,11 +21,24 @@
 
 namespace vtm::core {
 
+/// Batched-rollout knobs for the vectorized training path.
+struct rollout_config {
+  /// Parallel environment replicas B. 1 uses the single-env trainer (the
+  /// seed-exact legacy path); > 1 collects lockstep B-row rollouts through
+  /// rl::vector_env + rl::vector_trainer.
+  std::size_t num_envs = 1;
+  /// Worker threads sharding environment steps (0 = serial stepping).
+  std::size_t threads = 0;
+  /// Fast-math rollout sampling (rl::trainer_config::fast_rollout).
+  bool fast_rollout = false;
+};
+
 /// Everything configurable about one mechanism run.
 struct mechanism_config {
   pricing_env_config env{};        ///< L, K, reward mode, tolerance.
   rl::trainer_config trainer{};    ///< E, K, |I| (K mirrored from env).
   rl::ppo_config ppo{};            ///< Learning hyper-parameters.
+  rollout_config rollout{};        ///< Batched-rollout engine (B, threads).
   std::vector<std::size_t> hidden{64, 64};  ///< Trunk sizes (paper: 2x64).
   double initial_log_std = -0.7;   ///< Exploration scale in action units.
   std::uint64_t seed = 42;         ///< Master seed (env/net/trainer derive).

@@ -1,0 +1,9 @@
+#include "nn/fastmath.hpp"
+
+namespace vtm::nn {
+
+void fast_tanh_inplace(tensor& t) noexcept {
+  for (double& x : t.flat()) x = fast_tanh(x);
+}
+
+}  // namespace vtm::nn

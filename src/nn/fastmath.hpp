@@ -1,0 +1,32 @@
+// Fast elementwise math for the rollout inference hot path.
+//
+// Rollout collection only *samples* from the policy — gradients, and
+// therefore exact transcendentals, are not needed. `fast_tanh` is a 7/6
+// Padé approximant (Lambert continued fraction truncated at the x⁷ term)
+// with hard saturation; absolute error is < 1e-4 everywhere (worst at the
+// clamp point) and < 1e-6 for |x| <= 3, far below the policy's exploration
+// noise. PPO's training graph (nn/autograd.cpp) always uses std::tanh, so
+// learning math is untouched; only opt-in fast-mode rollouts
+// (trainer_config::fast_rollout) see the approximation.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace vtm::nn {
+
+/// Padé(7,6) tanh approximation with saturation. ~5x faster than std::tanh
+/// on glibc and auto-vectorizable (no branches in the polynomial).
+[[nodiscard]] inline double fast_tanh(double x) noexcept {
+  // Beyond |x| = 4.97 the true tanh is within 1e-4 of ±1 and the rational
+  // approximation starts to diverge, so clamp first.
+  const double c = x > 4.97 ? 4.97 : (x < -4.97 ? -4.97 : x);
+  const double x2 = c * c;
+  const double p = c * (135135.0 + x2 * (17325.0 + x2 * (378.0 + x2)));
+  const double q = 135135.0 + x2 * (62370.0 + x2 * (3150.0 + x2 * 28.0));
+  return p / q;
+}
+
+/// Apply fast_tanh to every element in place.
+void fast_tanh_inplace(tensor& t) noexcept;
+
+}  // namespace vtm::nn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/fastmath.hpp"
 #include "nn/init.hpp"
 #include "util/contracts.hpp"
 
@@ -21,6 +22,27 @@ variable apply_activation(const variable& x, activation act) {
   VTM_ASSERT(false);
 }
 
+void apply_activation_values(tensor& x, activation act, math_mode mode) {
+  switch (act) {
+    case activation::identity:
+      return;
+    case activation::tanh:
+      if (mode == math_mode::fast) {
+        fast_tanh_inplace(x);
+      } else {
+        for (double& v : x.flat()) v = std::tanh(v);
+      }
+      return;
+    case activation::relu:
+      for (double& v : x.flat()) v = v > 0.0 ? v : 0.0;
+      return;
+    case activation::sigmoid:
+      for (double& v : x.flat()) v = 1.0 / (1.0 + std::exp(-v));
+      return;
+  }
+  VTM_ASSERT(false);
+}
+
 linear::linear(std::size_t in, std::size_t out, util::rng& gen, double gain)
     : in_(in),
       out_(out),
@@ -32,6 +54,15 @@ linear::linear(std::size_t in, std::size_t out, util::rng& gen, double gain)
 variable linear::forward(const variable& x) const {
   VTM_EXPECTS(x.dims().cols == in_);
   return add_rowvec(matmul(x, weight_), bias_);
+}
+
+tensor linear::forward_values(const tensor& x) const {
+  VTM_EXPECTS(x.cols() == in_);
+  tensor out = x.matmul(weight_.value());
+  const tensor& b = bias_.value();
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += b(0, c);
+  return out;
 }
 
 std::vector<variable> linear::parameters() const { return {weight_, bias_}; }
@@ -53,6 +84,15 @@ variable mlp::forward(const variable& x) const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i].forward(h);
     if (i + 1 < layers_.size()) h = apply_activation(h, hidden_act_);
+  }
+  return h;
+}
+
+tensor mlp::forward_values(const tensor& x, math_mode mode) const {
+  tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward_values(h);
+    if (i + 1 < layers_.size()) apply_activation_values(h, hidden_act_, mode);
   }
   return h;
 }

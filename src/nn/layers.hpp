@@ -18,6 +18,15 @@ enum class activation { identity, tanh, relu, sigmoid };
 /// Apply an activation as a graph op.
 [[nodiscard]] variable apply_activation(const variable& x, activation act);
 
+/// Transcendental precision of graph-free inference forwards.
+/// `exact` reproduces the autograd ops bit for bit (std::tanh et al.);
+/// `fast` substitutes nn/fastmath approximations on the rollout hot path.
+enum class math_mode { exact, fast };
+
+/// Apply an activation in place on a plain tensor (no graph).
+void apply_activation_values(tensor& x, activation act,
+                             math_mode mode = math_mode::exact);
+
 /// Affine layer y = x·W + b with W: in x out, b: 1 x out.
 class linear {
  public:
@@ -26,6 +35,11 @@ class linear {
 
   /// Forward pass; x is batch x in, result is batch x out.
   [[nodiscard]] variable forward(const variable& x) const;
+
+  /// Graph-free forward on plain tensors. Bitwise-identical to
+  /// forward(...).value() (same matmul and bias-add order) without building
+  /// autograd nodes — the rollout inference hot path.
+  [[nodiscard]] tensor forward_values(const tensor& x) const;
 
   /// Trainable leaves: {W, b}.
   [[nodiscard]] std::vector<variable> parameters() const;
@@ -56,6 +70,11 @@ class mlp {
 
   /// Forward pass; x is batch x in.
   [[nodiscard]] variable forward(const variable& x) const;
+
+  /// Graph-free forward on plain tensors; `mode` selects the activation
+  /// precision (exact is bitwise-identical to forward(...).value()).
+  [[nodiscard]] tensor forward_values(const tensor& x,
+                                      math_mode mode = math_mode::exact) const;
 
   /// All trainable leaves, layer by layer.
   [[nodiscard]] std::vector<variable> parameters() const;

@@ -109,6 +109,9 @@ class tensor {
   /// Extract row r as a 1 x cols tensor.
   [[nodiscard]] tensor row_at(std::size_t r) const;
 
+  /// Overwrite row r from a 1 x cols row tensor. Requires matching width.
+  void set_row(std::size_t r, const tensor& row);
+
   /// True when shapes match and elements differ by at most `tol`.
   [[nodiscard]] bool allclose(const tensor& rhs, double tol = 1e-9) const;
 

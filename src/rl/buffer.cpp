@@ -9,50 +9,83 @@
 namespace vtm::rl {
 
 rollout_buffer::rollout_buffer(std::size_t capacity, std::size_t obs_dim,
-                               std::size_t act_dim)
-    : capacity_(capacity), obs_dim_(obs_dim), act_dim_(act_dim) {
+                               std::size_t act_dim, std::size_t num_envs)
+    : capacity_(capacity),
+      obs_dim_(obs_dim),
+      act_dim_(act_dim),
+      num_envs_(num_envs) {
   VTM_EXPECTS(capacity >= 1);
   VTM_EXPECTS(obs_dim >= 1);
   VTM_EXPECTS(act_dim >= 1);
-  data_.reserve(capacity);
+  VTM_EXPECTS(num_envs >= 1);
+  segments_.resize(num_envs);
+  for (auto& segment : segments_) segment.reserve(capacity);
 }
 
 void rollout_buffer::add(const nn::tensor& observation,
                          const nn::tensor& action, double reward, double value,
                          double log_prob, bool done) {
-  VTM_EXPECTS(size() < capacity_);
-  VTM_EXPECTS(observation.dims() == (nn::shape{1, obs_dim_}));
-  VTM_EXPECTS(action.dims() == (nn::shape{1, act_dim_}));
-  transition t;
-  t.observation.assign(observation.flat().begin(), observation.flat().end());
-  t.action.assign(action.flat().begin(), action.flat().end());
-  t.reward = reward;
-  t.value = value;
-  t.log_prob = log_prob;
-  t.done = done;
-  data_.push_back(std::move(t));
+  VTM_EXPECTS(num_envs_ == 1);
+  const double rewards[] = {reward};
+  const double values[] = {value};
+  const double log_probs[] = {log_prob};
+  const std::uint8_t dones[] = {done ? std::uint8_t{1} : std::uint8_t{0}};
+  add_batch(observation, action, rewards, values, log_probs, dones);
+}
+
+void rollout_buffer::add_batch(const nn::tensor& observations,
+                               const nn::tensor& actions,
+                               std::span<const double> rewards,
+                               std::span<const double> values,
+                               std::span<const double> log_probs,
+                               std::span<const std::uint8_t> dones) {
+  VTM_EXPECTS(steps_ < capacity_);
+  VTM_EXPECTS(observations.dims() == (nn::shape{num_envs_, obs_dim_}));
+  VTM_EXPECTS(actions.dims() == (nn::shape{num_envs_, act_dim_}));
+  VTM_EXPECTS(rewards.size() == num_envs_);
+  VTM_EXPECTS(values.size() == num_envs_);
+  VTM_EXPECTS(log_probs.size() == num_envs_);
+  VTM_EXPECTS(dones.size() == num_envs_);
+  for (std::size_t e = 0; e < num_envs_; ++e) {
+    transition t;
+    t.observation.resize(obs_dim_);
+    for (std::size_t c = 0; c < obs_dim_; ++c)
+      t.observation[c] = observations(e, c);
+    t.action.resize(act_dim_);
+    for (std::size_t c = 0; c < act_dim_; ++c) t.action[c] = actions(e, c);
+    t.reward = rewards[e];
+    t.value = values[e];
+    t.log_prob = log_probs[e];
+    t.done = dones[e] != 0;
+    segments_[e].push_back(std::move(t));
+  }
+  ++steps_;
   ready_ = false;
 }
 
 void rollout_buffer::compute_advantages(double gamma, double lambda,
-                                        double last_value) {
-  VTM_EXPECTS(!data_.empty());
+                                        std::span<const double> last_values) {
+  VTM_EXPECTS(steps_ >= 1);
+  VTM_EXPECTS(last_values.size() == num_envs_);
   VTM_EXPECTS(gamma >= 0.0 && gamma <= 1.0);
   VTM_EXPECTS(lambda >= 0.0 && lambda <= 1.0);
-  const std::size_t n = data_.size();
-  advantages_.assign(n, 0.0);
-  returns_.assign(n, 0.0);
+  advantages_.assign(size(), 0.0);
+  returns_.assign(size(), 0.0);
 
-  double gae = 0.0;
-  double next_value = last_value;
-  for (std::size_t idx = n; idx-- > 0;) {
-    const transition& t = data_[idx];
-    const double not_done = t.done ? 0.0 : 1.0;
-    const double delta = t.reward + gamma * next_value * not_done - t.value;
-    gae = delta + gamma * lambda * not_done * gae;
-    advantages_[idx] = gae;
-    returns_[idx] = gae + t.value;  // λ-return target for the critic
-    next_value = t.value;
+  for (std::size_t e = 0; e < num_envs_; ++e) {
+    const auto& segment = segments_[e];
+    const std::size_t base = e * steps_;
+    double gae = 0.0;
+    double next_value = last_values[e];
+    for (std::size_t idx = steps_; idx-- > 0;) {
+      const transition& t = segment[idx];
+      const double not_done = t.done ? 0.0 : 1.0;
+      const double delta = t.reward + gamma * next_value * not_done - t.value;
+      gae = delta + gamma * lambda * not_done * gae;
+      advantages_[base + idx] = gae;
+      returns_[base + idx] = gae + t.value;  // λ-return target for the critic
+      next_value = t.value;
+    }
   }
 
   util::running_stats acc;
@@ -60,6 +93,17 @@ void rollout_buffer::compute_advantages(double gamma, double lambda,
   adv_mean_ = acc.mean();
   adv_std_ = acc.count() > 1 ? acc.stddev() : 0.0;
   ready_ = true;
+}
+
+void rollout_buffer::compute_advantages(double gamma, double lambda,
+                                        double last_value) {
+  VTM_EXPECTS(num_envs_ == 1);
+  const double last_values[] = {last_value};
+  compute_advantages(gamma, lambda, std::span<const double>(last_values));
+}
+
+const transition& rollout_buffer::at_flat(std::size_t i) const {
+  return segments_[i / steps_][i % steps_];
 }
 
 minibatch rollout_buffer::gather(std::span<const std::size_t> indices,
@@ -75,8 +119,8 @@ minibatch rollout_buffer::gather(std::span<const std::size_t> indices,
   const double denom = adv_std_ > 1e-8 ? adv_std_ : 1.0;
   for (std::size_t r = 0; r < b; ++r) {
     const std::size_t i = indices[r];
-    VTM_EXPECTS(i < data_.size());
-    const transition& t = data_[i];
+    VTM_EXPECTS(i < size());
+    const transition& t = at_flat(i);
     for (std::size_t c = 0; c < obs_dim_; ++c)
       batch.observations(r, c) = t.observation[c];
     for (std::size_t c = 0; c < act_dim_; ++c)
@@ -117,7 +161,8 @@ double rollout_buffer::return_at(std::size_t i) const {
 }
 
 void rollout_buffer::clear() noexcept {
-  data_.clear();
+  for (auto& segment : segments_) segment.clear();
+  steps_ = 0;
   advantages_.clear();
   returns_.clear();
   ready_ = false;

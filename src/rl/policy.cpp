@@ -45,38 +45,68 @@ actor_critic::forward_result actor_critic::forward(
   return {mean_head_.forward(features), value_head_.forward(features)};
 }
 
+actor_critic::value_forward_result actor_critic::forward_values(
+    const nn::tensor& observations, nn::math_mode mode) const {
+  nn::tensor features = trunk_.forward_values(observations, mode);
+  nn::apply_activation_values(features, config_.hidden_activation, mode);
+  return {mean_head_.forward_values(features),
+          value_head_.forward_values(features)};
+}
+
 actor_critic::action_sample actor_critic::act(const nn::tensor& observation,
-                                              util::rng& gen) const {
+                                              util::rng& gen,
+                                              nn::math_mode mode) const {
   VTM_EXPECTS(observation.dims() == (nn::shape{1, config_.obs_dim}));
-  const auto out = forward(nn::variable::constant(observation));
-  action_sample sample;
-  sample.action =
-      nn::gaussian_sample(out.mean.value(), log_std_.value(), gen);
-  sample.log_prob = nn::gaussian_log_prob_value(out.mean.value(),
-                                                log_std_.value(),
-                                                sample.action)
-                        .item();
-  sample.value = out.value.value().item();
+  batch_action_sample batch = act_batch(observation, gen, mode);
+  return {std::move(batch.actions), batch.log_probs[0], batch.values[0]};
+}
+
+actor_critic::batch_action_sample actor_critic::act_batch(
+    const nn::tensor& observations, util::rng& gen, nn::math_mode mode) const {
+  VTM_EXPECTS(observations.rows() >= 1);
+  VTM_EXPECTS(observations.cols() == config_.obs_dim);
+  const std::size_t batch = observations.rows();
+  const value_forward_result out = forward_values(observations, mode);
+
+  batch_action_sample sample;
+  sample.actions = nn::gaussian_sample(out.mean, log_std_.value(), gen);
+  const nn::tensor log_probs = nn::gaussian_log_prob_value(
+      out.mean, log_std_.value(), sample.actions);
+  sample.log_probs.resize(batch);
+  sample.values.resize(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    sample.log_probs[r] = log_probs(r, 0);
+    sample.values[r] = out.value(r, 0);
+  }
   return sample;
 }
 
 actor_critic::action_sample actor_critic::act_deterministic(
     const nn::tensor& observation) const {
   VTM_EXPECTS(observation.dims() == (nn::shape{1, config_.obs_dim}));
-  const auto out = forward(nn::variable::constant(observation));
+  const value_forward_result out = forward_values(observation);
   action_sample sample;
-  sample.action = out.mean.value();
-  sample.log_prob = nn::gaussian_log_prob_value(out.mean.value(),
-                                                log_std_.value(),
-                                                sample.action)
-                        .item();
-  sample.value = out.value.value().item();
+  sample.action = out.mean;
+  sample.log_prob =
+      nn::gaussian_log_prob_value(out.mean, log_std_.value(), sample.action)
+          .item();
+  sample.value = out.value.item();
   return sample;
 }
 
 double actor_critic::value(const nn::tensor& observation) const {
   VTM_EXPECTS(observation.dims() == (nn::shape{1, config_.obs_dim}));
-  return forward(nn::variable::constant(observation)).value.value().item();
+  return forward_values(observation).value.item();
+}
+
+std::vector<double> actor_critic::values_batch(
+    const nn::tensor& observations, nn::math_mode mode) const {
+  VTM_EXPECTS(observations.rows() >= 1);
+  VTM_EXPECTS(observations.cols() == config_.obs_dim);
+  const nn::tensor values = forward_values(observations, mode).value;
+  std::vector<double> out(observations.rows());
+  for (std::size_t r = 0; r < out.size(); ++r) out[r] = values(r, 0);
+  return out;
 }
 
 std::vector<nn::variable> actor_critic::parameters() const {

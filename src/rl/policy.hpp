@@ -37,14 +37,40 @@ class actor_critic {
   };
   [[nodiscard]] forward_result forward(const nn::variable& observations) const;
 
+  /// Graph-free forward for rollout collection: one batched matmul chain,
+  /// no autograd nodes. With math_mode::exact the outputs are
+  /// bitwise-identical to forward(); math_mode::fast substitutes nn/fastmath
+  /// activations (sampling-only precision — PPO's update graph stays exact).
+  struct value_forward_result {
+    nn::tensor mean;   ///< batch x act_dim.
+    nn::tensor value;  ///< batch x 1.
+  };
+  [[nodiscard]] value_forward_result forward_values(
+      const nn::tensor& observations,
+      nn::math_mode mode = nn::math_mode::exact) const;
+
   /// Sampled action for one observation (no gradients).
   struct action_sample {
     nn::tensor action;    ///< 1 x act_dim, pre-clipping.
     double log_prob = 0;  ///< Behaviour log-density of `action`.
     double value = 0;     ///< Critic estimate V(o).
   };
-  [[nodiscard]] action_sample act(const nn::tensor& observation,
-                                  util::rng& gen) const;
+  [[nodiscard]] action_sample act(
+      const nn::tensor& observation, util::rng& gen,
+      nn::math_mode mode = nn::math_mode::exact) const;
+
+  /// Sampled actions for a whole observation batch in one forward pass (no
+  /// gradients). Row i of `actions` is drawn for row i of the input; RNG
+  /// consumption order matches B successive act() calls, so a B=1 batch is
+  /// bitwise-identical to act().
+  struct batch_action_sample {
+    nn::tensor actions;             ///< B x act_dim, pre-clipping.
+    std::vector<double> log_probs;  ///< Behaviour log-densities, one per row.
+    std::vector<double> values;     ///< Critic estimates, one per row.
+  };
+  [[nodiscard]] batch_action_sample act_batch(
+      const nn::tensor& observations, util::rng& gen,
+      nn::math_mode mode = nn::math_mode::exact) const;
 
   /// Deterministic (mean) action for evaluation.
   [[nodiscard]] action_sample act_deterministic(
@@ -52,6 +78,11 @@ class actor_critic {
 
   /// Critic value for one observation (no gradients).
   [[nodiscard]] double value(const nn::tensor& observation) const;
+
+  /// Critic values for a whole observation batch in one forward pass.
+  [[nodiscard]] std::vector<double> values_batch(
+      const nn::tensor& observations,
+      nn::math_mode mode = nn::math_mode::exact) const;
 
   /// All trainable parameters (trunk, heads, log_std).
   [[nodiscard]] std::vector<nn::variable> parameters() const;

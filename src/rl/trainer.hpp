@@ -1,9 +1,16 @@
-// Training driver implementing the paper's Algorithm 1.
+// Training drivers implementing the paper's Algorithm 1.
 //
-// For each of E episodes: reset the environment and the buffer; for each of
-// K rounds, act with the current policy, store the transition, and every |I|
-// steps run a PPO update (M epochs of random mini-batches). Per-episode
-// statistics feed the convergence figures (Fig. 2).
+// `vector_trainer` is the batched rollout engine: it steps B environments in
+// lockstep through a vector_env, samples all B actions with one network
+// forward, stores lockstep rows in a batch-aware rollout_buffer (per-env GAE
+// segments), and runs a PPO update every |I| lockstep steps or at an episode
+// boundary. With B = 1 the control flow — action-RNG consumption, buffer
+// contents, update cadence, bootstrap values — reproduces the legacy
+// single-env `trainer` bitwise: same seeds give identical episode_stats.
+//
+// `trainer` is kept as the thin single-env path (one episode at a time, E
+// episodes of K rounds, update every |I| steps). Per-episode statistics feed
+// the convergence figures (Fig. 2).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include "rl/env.hpp"
 #include "rl/policy.hpp"
 #include "rl/ppo.hpp"
+#include "rl/vector_env.hpp"
 #include "util/rng.hpp"
 
 namespace vtm::rl {
@@ -23,6 +31,12 @@ struct trainer_config {
   std::size_t rounds_per_episode = 100;  ///< K.
   std::size_t update_interval = 20;      ///< Run PPO when k % |I| == 0.
   std::uint64_t seed = 42;               ///< Action-sampling seed.
+  /// Collect rollouts with nn::math_mode::fast activations (sampling and
+  /// GAE bootstraps only — PPO's update graph always uses exact math). Off
+  /// by default, keeping rollout sampling bitwise-consistent with the
+  /// training graph; both trainers honour the flag identically, so B=1
+  /// trainer/vector_trainer equivalence holds in either mode.
+  bool fast_rollout = false;
 };
 
 /// Per-episode training record.
@@ -60,6 +74,34 @@ class trainer {
 
  private:
   environment& env_;
+  actor_critic& policy_;
+  ppo& learner_;
+  trainer_config config_;
+  util::rng gen_;
+};
+
+/// Batched rollout engine over a vector_env.
+///
+/// `config.episodes` counts episodes *completed across all environments*;
+/// episodes finish either when an environment reports done (auto-reset) or
+/// when it reaches `rounds_per_episode` (trainer-driven truncation, the value
+/// function bootstraps the cut). Stats are emitted in completion order, ties
+/// broken by environment index.
+class vector_trainer {
+ public:
+  /// All references must outlive the trainer. Validates the configuration.
+  vector_trainer(vector_env& envs, actor_critic& policy, ppo& learner,
+                 const trainer_config& config);
+
+  /// Run until `episodes` episodes have completed; returns one record each.
+  [[nodiscard]] std::vector<episode_stats> train(
+      const trainer::episode_callback& on_episode = {});
+
+  /// Run one greedy (mean-action) episode on environment 0 without learning.
+  [[nodiscard]] episode_stats evaluate();
+
+ private:
+  vector_env& envs_;
   actor_critic& policy_;
   ppo& learner_;
   trainer_config config_;

@@ -1,0 +1,98 @@
+#include "rl/vector_env.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vtm::rl {
+
+vector_env::vector_env(const env_factory& factory, std::size_t count,
+                       std::size_t threads) {
+  VTM_EXPECTS(factory != nullptr);
+  VTM_EXPECTS(count >= 1);
+  envs_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto env = factory(i);
+    VTM_EXPECTS(env != nullptr);
+    envs_.push_back(std::move(env));
+  }
+  const auto& first = *envs_.front();
+  for (const auto& env : envs_) {
+    VTM_EXPECTS(env->observation_dim() == first.observation_dim());
+    VTM_EXPECTS(env->action_dim() == first.action_dim());
+    VTM_EXPECTS(env->action_low() == first.action_low());
+    VTM_EXPECTS(env->action_high() == first.action_high());
+  }
+  action_rows_.assign(count, nn::tensor({1, first.action_dim()}));
+  if (threads > 0) pool_ = std::make_unique<util::thread_pool>(threads);
+}
+
+std::size_t vector_env::observation_dim() const {
+  return envs_.front()->observation_dim();
+}
+
+std::size_t vector_env::action_dim() const {
+  return envs_.front()->action_dim();
+}
+
+double vector_env::action_low() const { return envs_.front()->action_low(); }
+
+double vector_env::action_high() const { return envs_.front()->action_high(); }
+
+environment& vector_env::env(std::size_t i) {
+  VTM_EXPECTS(i < envs_.size());
+  return *envs_[i];
+}
+
+const environment& vector_env::env(std::size_t i) const {
+  VTM_EXPECTS(i < envs_.size());
+  return *envs_[i];
+}
+
+nn::tensor vector_env::reset() {
+  nn::tensor observations({size(), observation_dim()});
+  for (std::size_t i = 0; i < size(); ++i)
+    observations.set_row(i, envs_[i]->reset());
+  return observations;
+}
+
+nn::tensor vector_env::reset_env(std::size_t i) {
+  VTM_EXPECTS(i < envs_.size());
+  nn::tensor observation = envs_[i]->reset();
+  VTM_EXPECTS(observation.dims() == (nn::shape{1, observation_dim()}));
+  return observation;
+}
+
+vector_step_result vector_env::step(const nn::tensor& actions) {
+  const std::size_t batch = size();
+  VTM_EXPECTS(actions.dims() == (nn::shape{batch, action_dim()}));
+
+  vector_step_result result{nn::tensor({batch, observation_dim()}),
+                            std::vector<double>(batch, 0.0),
+                            std::vector<std::uint8_t>(batch, 0),
+                            std::vector<std::unordered_map<std::string,
+                                                          double>>(batch)};
+
+  const auto step_one = [&](std::size_t i) {
+    nn::tensor& action_row = action_rows_[i];
+    for (std::size_t c = 0; c < actions.cols(); ++c)
+      action_row(0, c) = actions(i, c);
+    step_result one = envs_[i]->step(action_row);
+    result.rewards[i] = one.reward;
+    result.dones[i] = one.done ? 1 : 0;
+    result.infos[i] = std::move(one.info);
+    // Auto-reset: a finished episode hands back the next episode's initial
+    // observation; the terminal observation is not observable through the
+    // batched API (the trainer bootstraps done rows with 0).
+    result.observations.set_row(i,
+                                one.done ? envs_[i]->reset()
+                                         : one.observation);
+  };
+
+  if (pool_) {
+    pool_->parallel_for(batch, step_one);
+  } else {
+    for (std::size_t i = 0; i < batch; ++i) step_one(i);
+  }
+  return result;
+}
+
+}  // namespace vtm::rl

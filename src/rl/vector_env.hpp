@@ -1,0 +1,81 @@
+// Vectorized environment: B independent episodic environments stepped as one.
+//
+// `vector_env` owns B `environment` instances built from a factory, exposes
+// observations/actions as B x dim tensors, and auto-resets any environment
+// whose episode finished — the returned observation row is the *next*
+// episode's initial observation while `dones[i]` still reports the boundary
+// (standard vectorized-PPO semantics). With a thread count > 0 the B step
+// calls are sharded across a util::thread_pool; environments are independent
+// (each owns its RNG), so results are bitwise-identical to the serial order
+// regardless of the thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rl/env.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vtm::rl {
+
+/// Builds the i-th environment replica. Replicas must be behaviourally
+/// identical up to their (per-index) seeds.
+using env_factory = std::function<std::unique_ptr<environment>(std::size_t)>;
+
+/// Outcome of stepping all B environments once.
+struct vector_step_result {
+  nn::tensor observations;          ///< B x obs_dim, post-auto-reset.
+  std::vector<double> rewards;      ///< B scalar rewards.
+  std::vector<std::uint8_t> dones;  ///< 1 where the episode ended this step.
+  std::vector<std::unordered_map<std::string, double>> infos;  ///< Per env.
+};
+
+/// Fixed-width batch of environments with auto-reset.
+class vector_env {
+ public:
+  /// Build `count` >= 1 environments from `factory`; `threads` workers step
+  /// them in parallel (0 = serial). All replicas must agree on the
+  /// observation/action box.
+  vector_env(const env_factory& factory, std::size_t count,
+             std::size_t threads = 0);
+
+  /// Number of environments B.
+  [[nodiscard]] std::size_t size() const noexcept { return envs_.size(); }
+
+  [[nodiscard]] std::size_t observation_dim() const;
+  [[nodiscard]] std::size_t action_dim() const;
+  [[nodiscard]] double action_low() const;
+  [[nodiscard]] double action_high() const;
+
+  /// Worker threads backing step() (0 = serial).
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return pool_ ? pool_->size() : 0;
+  }
+
+  /// Reset every environment; returns the B x obs_dim initial observations.
+  [[nodiscard]] nn::tensor reset();
+
+  /// Reset only environment i (trainer-driven truncation); returns its
+  /// 1 x obs_dim initial observation.
+  [[nodiscard]] nn::tensor reset_env(std::size_t i);
+
+  /// Step all environments with a B x act_dim action batch. Environments
+  /// whose episode ends are reset in place (dones[i] marks the boundary and
+  /// infos[i] carries the terminal step's diagnostics).
+  [[nodiscard]] vector_step_result step(const nn::tensor& actions);
+
+  /// Direct access to the i-th environment (evaluation, diagnostics).
+  [[nodiscard]] environment& env(std::size_t i);
+  [[nodiscard]] const environment& env(std::size_t i) const;
+
+ private:
+  std::vector<std::unique_ptr<environment>> envs_;
+  std::vector<nn::tensor> action_rows_;  ///< Per-env 1 x act_dim scratch.
+  std::unique_ptr<util::thread_pool> pool_;
+};
+
+}  // namespace vtm::rl

@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include "util/contracts.hpp"
+
+namespace vtm::util {
+
+thread_pool::thread_pool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void thread_pool::run_indices() {
+  const auto n = job_size_;
+  const auto& fn = *job_;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      fn(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void thread_pool::worker_loop() {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    run_indices();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    done_.notify_one();
+  }
+}
+
+void thread_pool::parallel_for(std::size_t n,
+                               const std::function<void(std::size_t)>& fn) {
+  VTM_EXPECTS(fn != nullptr);
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    VTM_EXPECTS(job_ == nullptr);  // not reentrant
+    job_ = &fn;
+    job_size_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = workers_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  run_indices();  // the caller helps drain the loop
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+    job_size_ = 0;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace vtm::util

@@ -1,0 +1,61 @@
+// Fixed-size worker pool for data-parallel loops.
+//
+// `parallel_for(n, fn)` runs fn(0..n-1) across the workers plus the calling
+// thread and blocks until every index has finished. Indices are handed out
+// through an atomic counter, so the partitioning is load-balanced; the work
+// function must make each index independent (the rollout engine steps one
+// environment per index, each with its own RNG). A pool of size zero has no
+// workers and parallel_for degenerates to a plain serial loop, which keeps
+// single-threaded call sites allocation- and synchronization-free.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vtm::util {
+
+/// Persistent pool of worker threads for index-parallel loops.
+class thread_pool {
+ public:
+  /// Spawn `threads` workers; 0 means "serial" (no threads, no locking).
+  explicit thread_pool(std::size_t threads);
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Joins all workers.
+  ~thread_pool();
+
+  /// Number of worker threads (0 for a serial pool).
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Invoke fn(i) for every i in [0, n); blocks until all calls return.
+  /// The calling thread participates. If any invocation throws, the first
+  /// exception is rethrown here after the loop drains. Not reentrant.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void run_indices();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_size_ = 0;
+  std::size_t generation_ = 0;    ///< Bumped per parallel_for call.
+  std::size_t active_ = 0;        ///< Workers still draining the current job.
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace vtm::util

@@ -56,7 +56,7 @@ TEST(golden_section_edge, degenerate_interval) {
 
 TEST(golden_section_edge, rejects_bad_arguments) {
   EXPECT_THROW(
-      g::golden_section_maximize([](double) { return 0.0; }, 1.0, 0.0),
+      (void)g::golden_section_maximize([](double) { return 0.0; }, 1.0, 0.0),
       vtm::util::contract_error);
   EXPECT_THROW((void)g::golden_section_maximize([](double) { return 0.0; }, 0.0,
                                           1.0, 0.0),

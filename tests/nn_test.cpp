@@ -5,6 +5,7 @@
 #include <numbers>
 #include <sstream>
 
+#include "nn/fastmath.hpp"
 #include "nn/gaussian.hpp"
 #include "nn/init.hpp"
 #include "nn/layers.hpp"
@@ -359,4 +360,59 @@ TEST(serialize, full_precision_roundtrip) {
   nn::load_parameters(stream, params);
   EXPECT_DOUBLE_EQ(p.value()(0, 0), std::numbers::pi);
   EXPECT_DOUBLE_EQ(p.value()(0, 1), 1.0 / 3.0);
+}
+
+// ---- inference forward / fastmath -------------------------------------------
+
+TEST(fastmath, fast_tanh_accuracy_and_saturation) {
+  double max_err = 0.0;
+  double max_err_core = 0.0;
+  for (double x = -10.0; x <= 10.0; x += 1e-3) {
+    const double err = std::abs(nn::fast_tanh(x) - std::tanh(x));
+    max_err = std::max(max_err, err);
+    if (std::abs(x) <= 3.0) max_err_core = std::max(max_err_core, err);
+  }
+  EXPECT_LT(max_err, 1e-4);       // worst case at the saturation clamp
+  EXPECT_LT(max_err_core, 1e-6);  // the range activations actually live in
+  EXPECT_NEAR(nn::fast_tanh(100.0), 1.0, 1e-4);
+  EXPECT_NEAR(nn::fast_tanh(-100.0), -1.0, 1e-4);
+  EXPECT_DOUBLE_EQ(nn::fast_tanh(0.0), 0.0);
+}
+
+TEST(layers, forward_values_exact_is_bitwise_identical_to_graph) {
+  vtm::util::rng gen(11);
+  const nn::mlp net({5, 16, 16, 3}, nn::activation::tanh, gen);
+  nn::tensor x({4, 5});
+  vtm::util::rng data_gen(12);
+  for (double& v : x.flat()) v = data_gen.normal();
+
+  const nn::tensor graph = net.forward(nn::variable::constant(x)).value();
+  const nn::tensor values = net.forward_values(x, nn::math_mode::exact);
+  ASSERT_EQ(values.dims(), graph.dims());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_EQ(values.flat()[i], graph.flat()[i]);  // bitwise, not approx
+}
+
+TEST(layers, forward_values_fast_tracks_exact_closely) {
+  vtm::util::rng gen(13);
+  const nn::mlp net({5, 32, 32, 2}, nn::activation::tanh, gen);
+  nn::tensor x({8, 5});
+  vtm::util::rng data_gen(14);
+  for (double& v : x.flat()) v = data_gen.normal();
+
+  const nn::tensor exact = net.forward_values(x, nn::math_mode::exact);
+  const nn::tensor fast = net.forward_values(x, nn::math_mode::fast);
+  EXPECT_TRUE(fast.allclose(exact, 1e-4));
+}
+
+TEST(layers, apply_activation_values_matches_graph_ops) {
+  for (const auto act : {nn::activation::identity, nn::activation::tanh,
+                         nn::activation::relu, nn::activation::sigmoid}) {
+    nn::tensor x({2, 3}, {-1.5, -0.2, 0.0, 0.4, 1.1, 3.0});
+    const nn::tensor graph =
+        nn::apply_activation(nn::variable::constant(x), act).value();
+    nn::apply_activation_values(x, act, nn::math_mode::exact);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      EXPECT_EQ(x.flat()[i], graph.flat()[i]);
+  }
 }

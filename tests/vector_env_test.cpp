@@ -1,0 +1,273 @@
+// Tests for the vectorized environment: B x dim shape contracts, auto-reset
+// semantics, equivalence with B independent single environments, and
+// thread-pool determinism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/env.hpp"
+#include "core/market.hpp"
+#include "rl/vector_env.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rl = vtm::rl;
+namespace nn = vtm::nn;
+namespace core = vtm::core;
+
+namespace {
+
+/// Deterministic scripted environment: observation counts its own steps,
+/// reward is index*100 + step, episode ends after `horizon` steps.
+class scripted_env final : public rl::environment {
+ public:
+  scripted_env(std::size_t index, std::size_t horizon)
+      : index_(index), horizon_(horizon) {}
+
+  std::size_t observation_dim() const override { return 3; }
+  std::size_t action_dim() const override { return 2; }
+  double action_low() const override { return -1.0; }
+  double action_high() const override { return 1.0; }
+
+  nn::tensor reset() override {
+    ++resets;
+    step_count_ = 0;
+    return observation();
+  }
+
+  rl::step_result step(const nn::tensor& action) override {
+    ++step_count_;
+    rl::step_result result;
+    result.reward = static_cast<double>(index_) * 100.0 +
+                    static_cast<double>(step_count_);
+    result.done = step_count_ >= horizon_;
+    result.observation = observation();
+    result.info["index"] = static_cast<double>(index_);
+    result.info["first_action"] = action(0, 0);
+    return result;
+  }
+
+  std::size_t resets = 0;
+
+ private:
+  nn::tensor observation() const {
+    nn::tensor obs({1, 3});
+    obs(0, 0) = static_cast<double>(index_);
+    obs(0, 1) = static_cast<double>(step_count_);
+    obs(0, 2) = 1.0;
+    return obs;
+  }
+
+  std::size_t index_;
+  std::size_t horizon_;
+  std::size_t step_count_ = 0;
+};
+
+rl::env_factory scripted_factory(std::size_t horizon) {
+  return [horizon](std::size_t index) {
+    return std::make_unique<scripted_env>(index, horizon);
+  };
+}
+
+nn::tensor constant_actions(std::size_t batch, double value) {
+  return nn::tensor({batch, 2}, value);
+}
+
+core::market_params two_vmu_market() {
+  core::market_params params;
+  params.vmus = {{500.0, 200.0}, {500.0, 100.0}};
+  return params;
+}
+
+}  // namespace
+
+TEST(vector_env, validates_construction) {
+  EXPECT_THROW((void)rl::vector_env(scripted_factory(5), 0),
+               vtm::util::contract_error);
+  EXPECT_THROW((void)rl::vector_env(rl::env_factory{}, 2),
+               vtm::util::contract_error);
+  // Mismatched replica shapes are rejected.
+  const rl::env_factory mixed = [](std::size_t index) {
+    return std::make_unique<scripted_env>(index,
+                                          /*horizon=*/index == 0 ? 5 : 7);
+  };
+  EXPECT_NO_THROW((void)rl::vector_env(mixed, 2));  // same dims, ok
+}
+
+TEST(vector_env, shape_contracts) {
+  rl::vector_env envs(scripted_factory(10), 4);
+  EXPECT_EQ(envs.size(), 4u);
+  EXPECT_EQ(envs.observation_dim(), 3u);
+  EXPECT_EQ(envs.action_dim(), 2u);
+
+  const nn::tensor obs = envs.reset();
+  EXPECT_EQ(obs.dims(), (nn::shape{4, 3}));
+
+  const auto result = envs.step(constant_actions(4, 0.5));
+  EXPECT_EQ(result.observations.dims(), (nn::shape{4, 3}));
+  EXPECT_EQ(result.rewards.size(), 4u);
+  EXPECT_EQ(result.dones.size(), 4u);
+  EXPECT_EQ(result.infos.size(), 4u);
+
+  // Wrong action batch shape is a contract violation.
+  EXPECT_THROW((void)envs.step(constant_actions(3, 0.5)),
+               vtm::util::contract_error);
+  EXPECT_THROW((void)envs.step(nn::tensor({4, 1}, 0.0)),
+               vtm::util::contract_error);
+}
+
+TEST(vector_env, rows_carry_per_env_results) {
+  rl::vector_env envs(scripted_factory(10), 3);
+  (void)envs.reset();
+  const auto result = envs.step(constant_actions(3, 0.25));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(result.rewards[i], static_cast<double>(i) * 100.0 + 1.0);
+    EXPECT_DOUBLE_EQ(result.infos[i].at("index"), static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(result.infos[i].at("first_action"), 0.25);
+    EXPECT_DOUBLE_EQ(result.observations(i, 0), static_cast<double>(i));
+  }
+}
+
+TEST(vector_env, auto_reset_returns_next_episode_initial_observation) {
+  constexpr std::size_t horizon = 3;
+  rl::vector_env envs(scripted_factory(horizon), 2);
+  (void)envs.reset();
+
+  for (std::size_t k = 1; k < horizon; ++k) {
+    const auto result = envs.step(constant_actions(2, 0.0));
+    EXPECT_EQ(result.dones[0], 0);
+    EXPECT_EQ(result.dones[1], 0);
+    // Observation reflects the in-episode step counter.
+    EXPECT_DOUBLE_EQ(result.observations(0, 1), static_cast<double>(k));
+  }
+
+  const auto boundary = envs.step(constant_actions(2, 0.0));
+  EXPECT_EQ(boundary.dones[0], 1);
+  EXPECT_EQ(boundary.dones[1], 1);
+  // Auto-reset: rows hold the *next* episode's initial observation
+  // (step counter back to 0), while rewards/infos describe the final step.
+  EXPECT_DOUBLE_EQ(boundary.observations(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(boundary.observations(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(boundary.rewards[0], static_cast<double>(horizon));
+
+  // Each env saw exactly one extra reset (initial + auto).
+  EXPECT_EQ(dynamic_cast<scripted_env&>(envs.env(0)).resets, 2u);
+
+  // The next episode proceeds normally.
+  const auto next = envs.step(constant_actions(2, 0.0));
+  EXPECT_EQ(next.dones[0], 0);
+  EXPECT_DOUBLE_EQ(next.rewards[0], 1.0);
+}
+
+TEST(vector_env, manual_reset_env_restarts_one_row) {
+  rl::vector_env envs(scripted_factory(10), 2);
+  (void)envs.reset();
+  (void)envs.step(constant_actions(2, 0.0));
+  const nn::tensor row = envs.reset_env(1);
+  EXPECT_EQ(row.dims(), (nn::shape{1, 3}));
+  EXPECT_DOUBLE_EQ(row(0, 1), 0.0);  // step counter restarted
+  // Env 0 is untouched: its next step continues the episode.
+  const auto result = envs.step(constant_actions(2, 0.0));
+  EXPECT_DOUBLE_EQ(result.rewards[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.rewards[1], 101.0);  // env 1 restarted
+}
+
+TEST(vector_env, matches_independent_single_envs_with_same_seeds) {
+  // The batched pricing environments must traverse exactly the trajectories
+  // of B independently-constructed single envs sharing the per-replica seeds.
+  constexpr std::size_t batch = 3;
+  core::pricing_env_config config;
+  config.rounds_per_episode = 5;
+  config.seed = 123;
+
+  const auto factory = core::make_pricing_env_factory(two_vmu_market(), config);
+  rl::vector_env envs(factory, batch);
+
+  std::vector<std::unique_ptr<rl::environment>> singles;
+  for (std::size_t i = 0; i < batch; ++i) singles.push_back(factory(i));
+
+  nn::tensor batched_obs = envs.reset();
+  std::vector<nn::tensor> single_obs;
+  for (auto& env : singles) single_obs.push_back(env->reset());
+  for (std::size_t i = 0; i < batch; ++i)
+    EXPECT_TRUE(batched_obs.row_at(i).allclose(single_obs[i], 0.0));
+
+  // Distinct replicas received distinct warm-up seeds.
+  EXPECT_FALSE(batched_obs.row_at(0).allclose(batched_obs.row_at(1), 1e-12));
+
+  for (std::size_t k = 0; k < 12; ++k) {  // crosses the auto-reset boundary
+    nn::tensor actions({batch, 1});
+    for (std::size_t i = 0; i < batch; ++i)
+      actions(i, 0) = -0.9 + 0.3 * static_cast<double>(i) +
+                      0.1 * static_cast<double>(k % 3);
+    const auto result = envs.step(actions);
+    for (std::size_t i = 0; i < batch; ++i) {
+      auto one = singles[i]->step(actions.row_at(i));
+      EXPECT_DOUBLE_EQ(result.rewards[i], one.reward);
+      EXPECT_EQ(result.dones[i] != 0, one.done);
+      EXPECT_DOUBLE_EQ(result.infos[i].at("leader_utility"),
+                       one.info.at("leader_utility"));
+      if (one.done) one.observation = singles[i]->reset();  // mirror auto-reset
+      EXPECT_TRUE(result.observations.row_at(i).allclose(one.observation, 0.0))
+          << "env " << i << " diverged at step " << k;
+    }
+  }
+}
+
+TEST(vector_env, threaded_step_is_bitwise_identical_to_serial) {
+  core::pricing_env_config config;
+  config.rounds_per_episode = 4;
+  config.seed = 7;
+  const auto factory = core::make_pricing_env_factory(two_vmu_market(), config);
+
+  rl::vector_env serial(factory, 8, /*threads=*/0);
+  rl::vector_env threaded(factory, 8, /*threads=*/3);
+  EXPECT_EQ(serial.threads(), 0u);
+  EXPECT_EQ(threaded.threads(), 3u);
+
+  nn::tensor obs_a = serial.reset();
+  nn::tensor obs_b = threaded.reset();
+  EXPECT_TRUE(obs_a.allclose(obs_b, 0.0));
+
+  for (std::size_t k = 0; k < 10; ++k) {
+    nn::tensor actions({8, 1});
+    for (std::size_t i = 0; i < 8; ++i)
+      actions(i, 0) = -1.0 + 0.25 * static_cast<double>(i);
+    const auto a = serial.step(actions);
+    const auto b = threaded.step(actions);
+    EXPECT_TRUE(a.observations.allclose(b.observations, 0.0));
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(a.rewards[i], b.rewards[i]);
+      EXPECT_EQ(a.dones[i], b.dones[i]);
+    }
+  }
+}
+
+TEST(thread_pool, covers_every_index_exactly_once) {
+  vtm::util::thread_pool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Serial pool degenerates to a plain loop.
+  vtm::util::thread_pool serial(0);
+  int count = 0;
+  serial.parallel_for(5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(thread_pool, propagates_exceptions) {
+  vtm::util::thread_pool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  // The pool survives a throwing job.
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 4);
+}
