@@ -1,0 +1,110 @@
+// Fleet-scale throughput of the joint spot-market engine.
+//
+// Runs the fleet scenario at growing vehicle counts over an 8-RSU chain with
+// per-RSU OFDMA pools and reports simulation throughput (handovers/sec and
+// migrations/sec of wall clock), market pressure (deferrals, cohort sizes),
+// and the demand-weighted clearing price. A second section times a seed
+// sweep serially versus through util::thread_pool.
+//
+//   $ ./fleet_throughput [--smoke]
+//
+// --smoke trims the counts and horizon for CI; the full run covers vehicle
+// counts {10, 100, 1000, 5000}.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fleet_scenario.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+vtm::core::fleet_config base_config(double duration_s) {
+  vtm::core::fleet_config config;
+  config.rsu_count = 8;
+  config.duration_s = duration_s;
+  config.record_migrations = false;  // aggregates only: pure engine cost
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double duration_s = smoke ? 30.0 : 120.0;
+  const std::vector<std::size_t> counts =
+      smoke ? std::vector<std::size_t>{10, 100}
+            : std::vector<std::size_t>{10, 100, 1000, 5000};
+
+  std::printf("fleet_throughput: 8 RSUs, per-RSU 50 MHz pools, joint "
+              "clearing (epoch 0.5 s), %.0f s horizon%s\n\n",
+              duration_s, smoke ? " [smoke]" : "");
+
+  vtm::util::ascii_table table({"vehicles", "wall (s)", "handovers",
+                                "migrations", "handovers/s", "migrations/s",
+                                "deferred", "max cohort", "mean price"});
+  for (const std::size_t vehicles : counts) {
+    auto config = base_config(duration_s);
+    config.vehicle_count = vehicles;
+    const auto start = clock_type::now();
+    const auto result = vtm::core::run_fleet_scenario(config);
+    const double wall = seconds_since(start);
+    const double safe_wall = wall > 1e-9 ? wall : 1e-9;
+    table.add_row(std::vector<double>{
+        static_cast<double>(vehicles), wall,
+        static_cast<double>(result.handovers),
+        static_cast<double>(result.completed),
+        static_cast<double>(result.handovers) / safe_wall,
+        static_cast<double>(result.completed) / safe_wall,
+        static_cast<double>(result.deferred),
+        static_cast<double>(result.max_cohort), result.mean_price});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Seed-sweep scaling: independent seeds sharded across the thread pool.
+  const std::size_t sweep_vehicles = smoke ? 100 : 1000;
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
+  auto sweep_config = base_config(duration_s);
+  sweep_config.vehicle_count = sweep_vehicles;
+
+  const auto serial_start = clock_type::now();
+  const auto serial = vtm::core::run_fleet_sweep(sweep_config, seeds, 0);
+  const double serial_wall = seconds_since(serial_start);
+
+  const std::size_t threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  const auto parallel_start = clock_type::now();
+  const auto parallel = vtm::core::run_fleet_sweep(sweep_config, seeds, threads);
+  const double parallel_wall = seconds_since(parallel_start);
+
+  // Gate: the threaded sweep must reproduce every per-seed result, not just
+  // a lucky aggregate.
+  bool reproduced = serial.size() == parallel.size();
+  std::size_t serial_migrations = 0;
+  for (std::size_t i = 0; i < serial.size() && reproduced; ++i) {
+    serial_migrations += serial[i].completed;
+    reproduced = serial[i].completed == parallel[i].completed &&
+                 serial[i].handovers == parallel[i].handovers &&
+                 serial[i].msp_total_utility == parallel[i].msp_total_utility &&
+                 serial[i].vmu_total_utility == parallel[i].vmu_total_utility &&
+                 serial[i].mean_price == parallel[i].mean_price;
+  }
+
+  std::printf("seed sweep (%zu seeds x %zu vehicles): serial %.2f s, "
+              "%zu threads %.2f s (%.2fx), %zu migrations, per-seed "
+              "reproduction %s\n",
+              seeds.size(), sweep_vehicles, serial_wall, threads,
+              parallel_wall,
+              parallel_wall > 1e-9 ? serial_wall / parallel_wall : 0.0,
+              serial_migrations, reproduced ? "OK" : "FAILED");
+  return reproduced ? 0 : 1;
+}

@@ -1,14 +1,18 @@
 // Highway scenario: the full pipeline the paper motivates — vehicles moving
-// along an RSU chain, coverage handovers triggering VT migrations, spot
-// pricing at the Stackelberg equilibrium, bandwidth grants from the OFDMA
-// pool, and pre-copy live migration with dirty-page retransmission.
+// along an RSU chain, coverage handovers triggering VT migrations, joint
+// epoch-based spot pricing at the Stackelberg equilibrium, bandwidth grants
+// from the OFDMA pool, and pre-copy live migration with dirty-page
+// retransmission.
 //
 // Compares the closed-form AoTM (eq. 1) against the AoTM measured from the
-// simulated block timeline for every migration.
+// simulated block timeline for every migration. The cohort column shows how
+// many followers were priced together in the migration's market; pass
+// "single" to restore the legacy one-VMU-at-a-time spot market.
 //
-//   $ ./highway_migration [vehicles] [duration_s] [dirty_rate_mb_s]
+//   $ ./highway_migration [vehicles] [duration_s] [dirty_rate_mb_s] [mode]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/scenario.hpp"
 #include "util/csv.hpp"
@@ -19,17 +23,21 @@ int main(int argc, char** argv) {
   if (argc > 1) config.vehicle_count = std::strtoul(argv[1], nullptr, 10);
   if (argc > 2) config.duration_s = std::strtod(argv[2], nullptr);
   if (argc > 3) config.dirty_rate_mb_s = std::strtod(argv[3], nullptr);
+  if (argc > 4 && std::strcmp(argv[4], "single") == 0)
+    config.mode = vtm::core::market_mode::single;
 
   std::printf("Highway: %zu RSUs every %.0f m (coverage %.0f m), %zu "
-              "vehicles, %.0f s horizon, dirty rate %.0f MB/s\n\n",
+              "vehicles, %.0f s horizon, dirty rate %.0f MB/s, %s market\n\n",
               config.rsu_count, config.rsu_spacing_m,
               config.coverage_radius_m, config.vehicle_count,
-              config.duration_s, config.dirty_rate_mb_s);
+              config.duration_s, config.dirty_rate_mb_s,
+              config.mode == vtm::core::market_mode::joint ? "joint"
+                                                           : "single");
 
   const auto result = vtm::core::run_highway_scenario(config);
 
   vtm::util::ascii_table table({"t (s)", "veh", "RSU", "price", "b (MHz)",
-                                "AoTM eq.1", "AoTM sim", "downtime",
+                                "cohort", "AoTM eq.1", "AoTM sim", "downtime",
                                 "sent (MB)", "U_vmu", "U_msp"});
   for (const auto& m : result.migrations) {
     table.add_row({vtm::util::format_number(m.start_s),
@@ -38,6 +46,7 @@ int main(int argc, char** argv) {
                        std::to_string(m.to_rsu),
                    vtm::util::format_number(m.price),
                    vtm::util::format_number(m.bandwidth_mhz),
+                   std::to_string(m.cohort),
                    vtm::util::format_number(m.aotm_closed_form),
                    vtm::util::format_number(m.aotm_simulated),
                    vtm::util::format_number(m.downtime_s),
@@ -47,8 +56,10 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.render().c_str());
 
-  std::printf("\nHandovers: %zu (deferred %zu), migrations completed: %zu\n",
-              result.handovers, result.deferred, result.migrations.size());
+  std::printf("\nHandovers: %zu (deferred %zu, priced out %zu, abandoned "
+              "%zu), migrations completed: %zu\n",
+              result.handovers, result.deferred, result.priced_out,
+              result.abandoned, result.completed);
   std::printf("MSP total utility: %.1f | VMU total utility: %.1f\n",
               result.msp_total_utility, result.vmu_total_utility);
   std::printf("Mean AoTM: %.3f | pre-copy data amplification: %.3fx\n",

@@ -1,0 +1,98 @@
+// Fleet-scale highway scenario with joint spot-market clearing.
+//
+// The event-driven engine behind `run_highway_scenario`, exposed directly for
+// fleet workloads (thousands of vehicles, long RSU chains). Each destination
+// RSU owns its own OFDMA pool and `core::spot_market` book; handovers landing
+// within one clearing epoch aggregate into a single N-follower Stackelberg
+// market over that pool's remaining capacity, and migration completions
+// trigger immediate re-clearing for deferred requests (DESIGN.md §8).
+//
+// Accounting is completion-based: utilities and records accrue when a
+// migration finishes, and the run drains the event queue to empty, so totals
+// always equal the sum over `migrations` and no in-flight work is lost.
+//
+// `run_fleet_sweep` evaluates independent seeds in parallel through
+// `util::thread_pool`; each run owns its RNG, queue, and pools, so the sweep
+// is bitwise identical to running the seeds serially.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace vtm::core {
+
+/// Fleet shape, economics, and clearing semantics.
+struct fleet_config {
+  // Geometry / fleet shape.
+  std::size_t rsu_count = 8;
+  double rsu_spacing_m = 1000.0;
+  double coverage_radius_m = 600.0;
+  std::size_t vehicle_count = 100;
+  double min_speed_mps = 20.0;
+  double max_speed_mps = 35.0;
+  double duration_s = 120.0;     ///< Handover-admission horizon.
+
+  /// Spawn span along the highway; <= 0 means "auto" (spread across the whole
+  /// chain so every RSU sees load). The legacy scenario pins this to the
+  /// stretch before the first handover boundary.
+  double spawn_min_m = -1.0;
+  double spawn_max_m = -1.0;
+
+  // Economics (paper ranges; α enters ×100 per the unit calibration).
+  double min_alpha = 500.0;
+  double max_alpha = 2000.0;
+  double min_data_mb = 100.0;
+  double max_data_mb = 300.0;
+  double bandwidth_per_pool_mhz = 50.0;  ///< Capacity of each OFDMA pool.
+  bool shared_pool = false;  ///< true: one global pool (legacy topology).
+  double unit_cost = 5.0;
+  double price_cap = 50.0;
+  wireless::link_params link{};  ///< d is overridden by the RSU spacing.
+
+  // Spot-market clearing.
+  market_mode mode = market_mode::joint;
+  double clearing_epoch_s = 0.5;   ///< 0 clears at each handover instant.
+  double min_clearable_mhz = 0.5;  ///< Defer below this pool remainder.
+
+  // Migration machinery.
+  double dirty_rate_mb_s = 50.0;
+  double page_mb = 0.25;
+  double stop_copy_threshold_mb = 1.0;
+
+  /// Keep per-migration records (turn off for throughput benches at scale;
+  /// aggregates are accumulated either way).
+  bool record_migrations = true;
+
+  std::uint64_t seed = 2023;
+};
+
+/// Aggregate outcome of a fleet run.
+struct fleet_result {
+  std::vector<migration_record> migrations;  ///< Empty when not recording.
+  std::size_t handovers = 0;    ///< Boundary crossings admitted.
+  std::size_t deferred = 0;     ///< Request-clearings delayed by a full pool.
+  std::size_t priced_out = 0;   ///< Handovers priced to b* = 0 (no migration).
+  std::size_t abandoned = 0;    ///< Requests dropped as permanently unservable.
+  std::size_t completed = 0;    ///< Migrations run to completion.
+  std::size_t clearings = 0;    ///< Clearing events that priced >= 1 market.
+  std::size_t max_cohort = 0;   ///< Largest cohort priced as one market.
+  double msp_total_utility = 0.0;  ///< Σ over completed migrations.
+  double vmu_total_utility = 0.0;
+  double mean_aotm = 0.0;
+  double mean_amplification = 0.0;
+  double mean_price = 0.0;         ///< Demand-weighted across completions.
+};
+
+/// Run one fleet scenario to completion (deterministic given the seed).
+[[nodiscard]] fleet_result run_fleet_scenario(const fleet_config& config);
+
+/// Run `base` once per seed (overriding `base.seed`), sharded across
+/// `threads` workers (0 = serial). Results are indexed like `seeds`.
+[[nodiscard]] std::vector<fleet_result> run_fleet_sweep(
+    const fleet_config& base, std::span<const std::uint64_t> seeds,
+    std::size_t threads);
+
+}  // namespace vtm::core

@@ -1,191 +1,58 @@
 #include "core/scenario.hpp"
 
-#include <algorithm>
-#include <memory>
+#include <utility>
 
-#include "core/aotm.hpp"
-#include "core/equilibrium.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/mobility.hpp"
-#include "sim/precopy.hpp"
-#include "sim/vt.hpp"
-#include "util/contracts.hpp"
-#include "util/rng.hpp"
-#include "wireless/ofdma.hpp"
+#include "core/fleet_scenario.hpp"
 
 namespace vtm::core {
 
-namespace {
-
-/// Mutable per-vehicle simulation state.
-struct vehicle_slot {
-  sim::vehicle_state kinematics;
-  vmu_profile profile;
-  std::unique_ptr<sim::vehicular_twin> twin;
-  double position_at = 0.0;  ///< Simulation time of `kinematics.position_m`.
-  bool migrating = false;
-};
-
-}  // namespace
-
+// The highway scenario is the fleet engine on the legacy topology: one shared
+// OFDMA pool serving the whole chain, and vehicles spawned on the stretch
+// before the first handover boundary. The clearing mode passes through, so
+// `market_mode::single` reproduces the original one-VMU-at-a-time market and
+// `market_mode::joint` prices same-epoch handovers as one N-follower game.
 scenario_result run_highway_scenario(const scenario_config& config) {
-  VTM_EXPECTS(config.vehicle_count >= 1);
-  VTM_EXPECTS(config.duration_s > 0.0);
-  VTM_EXPECTS(config.min_speed_mps > 0.0);
-  VTM_EXPECTS(config.max_speed_mps >= config.min_speed_mps);
-  VTM_EXPECTS(config.min_data_mb > 0.0);
-  VTM_EXPECTS(config.max_data_mb >= config.min_data_mb);
-  VTM_EXPECTS(config.min_alpha > 0.0);
-  VTM_EXPECTS(config.max_alpha >= config.min_alpha);
+  // Validation happens in run_fleet_scenario on the forwarded values.
+  fleet_config fleet;
+  fleet.rsu_count = config.rsu_count;
+  fleet.rsu_spacing_m = config.rsu_spacing_m;
+  fleet.coverage_radius_m = config.coverage_radius_m;
+  fleet.vehicle_count = config.vehicle_count;
+  fleet.min_speed_mps = config.min_speed_mps;
+  fleet.max_speed_mps = config.max_speed_mps;
+  fleet.duration_s = config.duration_s;
+  fleet.spawn_min_m = 0.5 * config.rsu_spacing_m;
+  fleet.spawn_max_m = 1.4 * config.rsu_spacing_m;
+  fleet.min_alpha = config.min_alpha;
+  fleet.max_alpha = config.max_alpha;
+  fleet.min_data_mb = config.min_data_mb;
+  fleet.max_data_mb = config.max_data_mb;
+  fleet.bandwidth_per_pool_mhz = config.bandwidth_cap_mhz;
+  fleet.shared_pool = true;
+  fleet.unit_cost = config.unit_cost;
+  fleet.price_cap = config.price_cap;
+  fleet.link = config.link;
+  fleet.mode = config.mode;
+  fleet.clearing_epoch_s = config.clearing_epoch_s;
+  fleet.dirty_rate_mb_s = config.dirty_rate_mb_s;
+  fleet.page_mb = config.page_mb;
+  fleet.stop_copy_threshold_mb = config.stop_copy_threshold_mb;
+  fleet.record_migrations = true;
+  fleet.seed = config.seed;
 
-  util::rng gen(config.seed);
-  sim::event_queue queue;
-  sim::rsu_chain chain(config.rsu_count, config.rsu_spacing_m,
-                       config.coverage_radius_m);
-  wireless::ofdma_pool pool(config.bandwidth_cap_mhz);
-
-  wireless::link_params link = config.link;
-  link.distance_m = config.rsu_spacing_m;  // adjacent-RSU migration link
-  const wireless::link_budget budget(link);
+  fleet_result run = run_fleet_scenario(fleet);
 
   scenario_result result;
-  std::vector<vehicle_slot> vehicles(config.vehicle_count);
-
-  // Initialize vehicles spread before the first handover boundary.
-  for (std::size_t v = 0; v < vehicles.size(); ++v) {
-    auto& slot = vehicles[v];
-    slot.kinematics.position_m =
-        gen.uniform(0.5 * config.rsu_spacing_m, 1.4 * config.rsu_spacing_m);
-    slot.kinematics.speed_mps =
-        gen.uniform(config.min_speed_mps, config.max_speed_mps);
-    slot.profile.alpha = gen.uniform(config.min_alpha, config.max_alpha);
-    slot.profile.data_mb = gen.uniform(config.min_data_mb, config.max_data_mb);
-    slot.twin = std::make_unique<sim::vehicular_twin>(
-        sim::vehicular_twin::with_total_mb(v, slot.profile.data_mb,
-                                           config.page_mb));
-    slot.twin->set_host_rsu(chain.serving_rsu(slot.kinematics.position_m));
-  }
-
-  // Forward declaration so handover handlers can schedule successors.
-  std::function<void(std::size_t)> schedule_next_handover;
-  std::function<void(std::size_t, std::size_t, std::size_t)> start_migration;
-
-  start_migration = [&](std::size_t v, std::size_t from, std::size_t to) {
-    auto& slot = vehicles[v];
-    ++result.handovers;
-
-    // Price this migration market: every VMU currently needing migration is a
-    // follower; for simplicity concurrent handovers at distinct instants each
-    // clear their own spot market over the remaining pool capacity.
-    const double available = pool.available_mhz();
-    if (available < 0.5) {
-      // Pool exhausted: retry shortly (bounded by ongoing releases). Stop
-      // retrying past the horizon so the drain phase terminates.
-      ++result.deferred;
-      if (queue.now() <= config.duration_s)
-        queue.schedule_in(1.0,
-                          [&, v, from, to] { start_migration(v, from, to); });
-      return;
-    }
-
-    market_params market_config;
-    market_config.vmus = {slot.profile};
-    market_config.link = link;
-    market_config.bandwidth_cap_mhz = available;
-    market_config.unit_cost = config.unit_cost;
-    market_config.price_cap = config.price_cap;
-    migration_market market(market_config);
-    const equilibrium eq = solve_equilibrium(market);
-
-    const double bandwidth = eq.demands[0];
-    if (bandwidth <= 0.0) {
-      // Price too high for this VMU: twin stays (service degrades); the
-      // handover completes without migration. Counted but not recorded.
-      slot.twin->set_host_rsu(to);
-      schedule_next_handover(v);
-      return;
-    }
-    const auto grant = pool.allocate(bandwidth);
-    VTM_ASSERT(grant.has_value());
-    slot.migrating = true;
-
-    // Pre-copy migration over the granted bandwidth (normalized MB/s rate:
-    // MHz × spectral efficiency, matching the paper's unit convention).
-    sim::precopy_params precopy;
-    precopy.dirty_rate_mb_s = config.dirty_rate_mb_s;
-    precopy.stop_copy_threshold_mb = config.stop_copy_threshold_mb;
-    const double rate_mb_s = bandwidth * budget.spectral_efficiency();
-    const auto report = sim::run_precopy(*slot.twin, rate_mb_s, precopy);
-
-    migration_record record;
-    record.start_s = queue.now();
-    record.vehicle = v;
-    record.from_rsu = from;
-    record.to_rsu = to;
-    record.price = eq.price;
-    record.bandwidth_mhz = bandwidth;
-    record.aotm_closed_form =
-        aotm_closed_form(slot.twin->total_mb(), bandwidth, budget);
-    record.aotm_simulated = aotm_from_migration(report);
-    record.downtime_s = report.downtime_s;
-    record.data_sent_mb = report.total_sent_mb;
-    record.vmu_utility = eq.vmu_utilities[0];
-    record.msp_utility = eq.leader_utility;
-    record.precopy_converged = report.converged;
-
-    result.msp_total_utility += record.msp_utility;
-    result.vmu_total_utility += record.vmu_utility;
-
-    const auto grant_id = *grant;
-    queue.schedule_in(report.total_time_s, [&, v, to, grant_id, record] {
-      pool.release(grant_id);
-      auto& finished = vehicles[v];
-      finished.migrating = false;
-      finished.twin->set_host_rsu(to);
-      finished.twin->record_migration();
-      result.migrations.push_back(record);
-      schedule_next_handover(v);
-    });
-  };
-
-  schedule_next_handover = [&](std::size_t v) {
-    auto& slot = vehicles[v];
-    // Bring kinematics forward to 'now' before asking for the next crossing.
-    const double dt = queue.now() - slot.position_at;
-    if (dt > 0.0) {
-      slot.kinematics = sim::advance(slot.kinematics, dt);
-      slot.position_at = queue.now();
-    }
-    const auto next = chain.next_handover(slot.kinematics);
-    if (!next) return;  // cruising past the end of the chain
-    const double when = queue.now() + next->after_s;
-    if (when > config.duration_s) return;
-    queue.schedule(when, [&, v, from = next->from_rsu, to = next->to_rsu] {
-      auto& crossing = vehicles[v];
-      const double lag = queue.now() - crossing.position_at;
-      crossing.kinematics = sim::advance(crossing.kinematics, lag);
-      crossing.position_at = queue.now();
-      start_migration(v, from, to);
-    });
-  };
-
-  for (std::size_t v = 0; v < vehicles.size(); ++v) schedule_next_handover(v);
-  queue.run_until(config.duration_s);
-  // Drain phase: let in-flight migrations complete (new handovers are gated
-  // on duration_s, so only completions and bounded retries remain).
-  queue.run_until(config.duration_s + 120.0);
-
-  if (!result.migrations.empty()) {
-    for (const auto& record : result.migrations) {
-      result.mean_aotm += record.aotm_simulated;
-      result.mean_amplification +=
-          record.data_sent_mb /
-          std::max(1e-9, vehicles[record.vehicle].twin->total_mb());
-    }
-    result.mean_aotm /= static_cast<double>(result.migrations.size());
-    result.mean_amplification /=
-        static_cast<double>(result.migrations.size());
-  }
+  result.migrations = std::move(run.migrations);
+  result.handovers = run.handovers;
+  result.deferred = run.deferred;
+  result.priced_out = run.priced_out;
+  result.abandoned = run.abandoned;
+  result.completed = run.completed;
+  result.msp_total_utility = run.msp_total_utility;
+  result.vmu_total_utility = run.vmu_total_utility;
+  result.mean_aotm = run.mean_aotm;
+  result.mean_amplification = run.mean_amplification;
   return result;
 }
 

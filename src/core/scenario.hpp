@@ -7,6 +7,10 @@
 // OFDMA pool, and the twin is moved with the pre-copy engine. The record
 // compares the closed-form AoTM (eq. 1) with the AoTM measured from the
 // simulated block timeline, and accumulates both sides' utilities.
+//
+// Handovers landing within one clearing epoch are priced together as a joint
+// N-follower market (DESIGN.md §8); `market_mode::single` restores the legacy
+// one-VMU-at-a-time spot market for the paper's monopoly curves.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,12 @@
 #include "core/market.hpp"
 
 namespace vtm::core {
+
+/// How concurrent handovers are priced.
+enum class market_mode {
+  joint,   ///< Epoch-aggregated N-follower Stackelberg markets (eq. 8–13).
+  single,  ///< Legacy: each handover clears its own one-follower market.
+};
 
 /// Scenario shape and economics.
 struct scenario_config {
@@ -37,6 +47,10 @@ struct scenario_config {
   double price_cap = 50.0;
   wireless::link_params link{};  ///< d is overridden by actual RSU spacing.
 
+  // Spot-market clearing.
+  market_mode mode = market_mode::joint;
+  double clearing_epoch_s = 0.5; ///< Aggregation window (joint mode only).
+
   // Migration machinery.
   double dirty_rate_mb_s = 50.0;     ///< Memory dirtying while live.
   double page_mb = 0.25;
@@ -47,12 +61,14 @@ struct scenario_config {
 
 /// One completed migration.
 struct migration_record {
-  double start_s = 0.0;          ///< Handover (market) time.
+  double start_s = 0.0;          ///< Clearing (market) time.
+  double requested_s = 0.0;      ///< Handover time (<= start_s).
   std::size_t vehicle = 0;
   std::size_t from_rsu = 0;
   std::size_t to_rsu = 0;
   double price = 0.0;            ///< Equilibrium unit price charged.
   double bandwidth_mhz = 0.0;    ///< Purchased (granted) bandwidth.
+  std::size_t cohort = 1;        ///< Followers in the market that priced it.
   double aotm_closed_form = 0.0; ///< D/(b·R), eq. 1.
   double aotm_simulated = 0.0;   ///< Pre-copy first-to-last-block time.
   double downtime_s = 0.0;       ///< Stop-and-copy pause.
@@ -66,7 +82,10 @@ struct migration_record {
 struct scenario_result {
   std::vector<migration_record> migrations;
   std::size_t handovers = 0;         ///< Triggered handover events.
-  std::size_t deferred = 0;          ///< Migrations delayed by a full pool.
+  std::size_t deferred = 0;          ///< Request-clearings delayed by a full pool.
+  std::size_t priced_out = 0;        ///< Handovers where b* = 0 (no migration).
+  std::size_t abandoned = 0;         ///< Requests dropped as unservable.
+  std::size_t completed = 0;         ///< Migrations run to completion.
   double msp_total_utility = 0.0;
   double vmu_total_utility = 0.0;
   double mean_aotm = 0.0;

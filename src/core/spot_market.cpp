@@ -1,0 +1,145 @@
+#include "core/spot_market.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+const char* to_string(clearing_discipline discipline) noexcept {
+  switch (discipline) {
+    case clearing_discipline::joint:
+      return "joint";
+    case clearing_discipline::sequential:
+      return "sequential";
+  }
+  return "?";
+}
+
+spot_market::spot_market(spot_market_config config)
+    : config_(std::move(config)) {
+  VTM_EXPECTS(config_.unit_cost > 0.0);
+  VTM_EXPECTS(config_.price_cap >= config_.unit_cost);
+  VTM_EXPECTS(config_.min_clearable_mhz > 0.0);
+}
+
+void spot_market::submit(clearing_request request) {
+  VTM_EXPECTS(request.profile.alpha > 0.0);
+  VTM_EXPECTS(request.profile.data_mb > 0.0);
+  pending_.push_back(std::move(request));
+}
+
+clearing_outcome spot_market::clear(double available_mhz) {
+  VTM_EXPECTS(available_mhz >= 0.0);
+  if (pending_.empty()) return {};
+  if (available_mhz < config_.min_clearable_mhz) {
+    clearing_outcome outcome;
+    outcome.deferred = pending_.size();
+    return outcome;
+  }
+  return config_.discipline == clearing_discipline::joint
+             ? clear_joint(available_mhz)
+             : clear_sequential(available_mhz);
+}
+
+clearing_outcome spot_market::clear_joint(double available_mhz) {
+  clearing_outcome outcome;
+
+  market_params params;
+  params.vmus.reserve(pending_.size());
+  for (const auto& request : pending_) params.vmus.push_back(request.profile);
+  params.link = config_.link;
+  params.bandwidth_cap_mhz = available_mhz;
+  params.unit_cost = config_.unit_cost;
+  params.price_cap = config_.price_cap;
+
+  const migration_market market(std::move(params));
+  const equilibrium eq = solve_equilibrium(market);
+  outcome.price = eq.price;
+  outcome.markets_cleared = 1;
+
+  // Proportional rationing guarantees Σ b*_n <= cap up to rounding; clamp the
+  // running remainder so grants never oversubscribe the pool. A follower with
+  // a positive equilibrium demand whose clamp lands at (effectively) zero is
+  // NOT priced out — rounding ate its share — so it defers to the next
+  // clearing instead of losing its migration.
+  double remaining = available_mhz;
+  const std::size_t cohort = pending_.size();
+  std::vector<clearing_request> still_pending;
+  for (std::size_t n = 0; n < cohort; ++n) {
+    if (eq.demands[n] <= 0.0) {
+      outcome.priced_out.push_back(pending_[n]);
+      continue;
+    }
+    const double bandwidth = std::min(eq.demands[n], remaining);
+    if (bandwidth <= 1e-9) {
+      still_pending.push_back(pending_[n]);
+      ++outcome.deferred;
+      continue;
+    }
+    remaining -= bandwidth;
+    clearing_grant grant;
+    grant.request = pending_[n];
+    grant.price = eq.price;
+    grant.bandwidth_mhz = bandwidth;
+    grant.vmu_utility = eq.vmu_utilities[n];
+    grant.msp_utility = (eq.price - config_.unit_cost) * bandwidth;
+    grant.cohort = cohort;
+    grant.regime = eq.regime;
+    outcome.grants.push_back(std::move(grant));
+  }
+  pending_ = std::move(still_pending);
+  return outcome;
+}
+
+clearing_outcome spot_market::clear_sequential(double available_mhz) {
+  clearing_outcome outcome;
+  double remaining = available_mhz;
+
+  std::vector<clearing_request> still_pending;
+  for (auto& request : pending_) {
+    if (remaining < config_.min_clearable_mhz) {
+      // Pool exhausted mid-book: everything behind the cut waits.
+      still_pending.push_back(std::move(request));
+      ++outcome.deferred;
+      continue;
+    }
+    market_params params;
+    params.vmus = {request.profile};
+    params.link = config_.link;
+    params.bandwidth_cap_mhz = remaining;
+    params.unit_cost = config_.unit_cost;
+    params.price_cap = config_.price_cap;
+    const migration_market market(std::move(params));
+    const equilibrium eq = solve_equilibrium(market);
+    outcome.price = eq.price;
+    ++outcome.markets_cleared;
+
+    const double bandwidth = std::min(eq.demands[0], remaining);
+    if (bandwidth <= 0.0) {
+      outcome.priced_out.push_back(std::move(request));
+      continue;
+    }
+    remaining -= bandwidth;
+    clearing_grant grant;
+    grant.request = std::move(request);
+    grant.price = eq.price;
+    grant.bandwidth_mhz = bandwidth;
+    grant.vmu_utility = eq.vmu_utilities[0];
+    grant.msp_utility = (eq.price - config_.unit_cost) * bandwidth;
+    grant.cohort = 1;
+    grant.regime = eq.regime;
+    outcome.grants.push_back(std::move(grant));
+  }
+  pending_ = std::move(still_pending);
+  return outcome;
+}
+
+std::vector<clearing_request> spot_market::abandon_pending() {
+  std::vector<clearing_request> dropped = std::move(pending_);
+  pending_.clear();
+  return dropped;
+}
+
+}  // namespace vtm::core

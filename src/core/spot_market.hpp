@@ -1,0 +1,117 @@
+// Epoch-based joint spot market for concurrent VT migrations.
+//
+// The paper's Stackelberg game is an N-follower market: the MSP's equilibrium
+// price depends on *every* VMU migrating concurrently (eq. 8–13). This module
+// is the clearing engine behind that semantics: handover requests accumulate
+// in a pending book, and each clearing event prices the whole cohort as one
+// N-follower market over the destination pool's *remaining* capacity, using
+// `solve_equilibrium` (so rationing is the market's proportional rule).
+//
+// Two disciplines are supported:
+//   - joint:      one N-follower market per clearing (the paper's game);
+//   - sequential: FIFO single-follower markets over the shrinking remainder —
+//                 the legacy one-VMU-at-a-time behaviour, kept as a config
+//                 knob so the monopoly (fig3*) curves stay reproducible.
+//
+// The engine that owns the pool decides *when* to clear (epoch boundaries,
+// migration completions); this class only prices and partitions the book.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/equilibrium.hpp"
+#include "core/market.hpp"
+#include "wireless/link.hpp"
+
+namespace vtm::core {
+
+/// How a clearing prices the pending cohort.
+enum class clearing_discipline {
+  joint,       ///< One N-follower Stackelberg market over the whole cohort.
+  sequential,  ///< Legacy: FIFO single-follower markets over the remainder.
+};
+
+/// Human-readable discipline name.
+[[nodiscard]] const char* to_string(clearing_discipline discipline) noexcept;
+
+/// A VMU waiting for migration bandwidth at a destination RSU.
+struct clearing_request {
+  std::size_t vehicle = 0;
+  vmu_profile profile{};
+  std::size_t from_rsu = 0;   ///< RSU currently hosting the twin.
+  std::size_t to_rsu = 0;     ///< Destination (the vehicle's serving RSU).
+  double submitted_s = 0.0;   ///< Handover time (for wait accounting).
+};
+
+/// One granted migration out of a clearing.
+struct clearing_grant {
+  clearing_request request;
+  double price = 0.0;          ///< Equilibrium unit price of its market.
+  double bandwidth_mhz = 0.0;  ///< Rationed allocation b*_n.
+  double vmu_utility = 0.0;    ///< U_n at the equilibrium.
+  double msp_utility = 0.0;    ///< This follower's share (p − C)·b*_n of U_s.
+  std::size_t cohort = 1;      ///< Followers in the market that priced it.
+  equilibrium_regime regime = equilibrium_regime::interior;
+};
+
+/// Outcome of one clearing event. Granted and priced-out requests leave the
+/// pending book; deferred ones stay for the next clearing.
+struct clearing_outcome {
+  std::vector<clearing_grant> grants;
+  std::vector<clearing_request> priced_out;  ///< b* = 0: handover, no move.
+  std::size_t deferred = 0;        ///< Requests left pending this clearing.
+  std::size_t markets_cleared = 0; ///< Equilibria solved (joint: 0 or 1).
+  double price = 0.0;              ///< Price of the last market solved.
+};
+
+/// Economics shared by every clearing of one pool.
+struct spot_market_config {
+  clearing_discipline discipline = clearing_discipline::joint;
+  wireless::link_params link{};    ///< Source→destination RSU channel.
+  double unit_cost = 5.0;          ///< C — MSP's unit transmission cost.
+  double price_cap = 50.0;         ///< p_max.
+  double min_clearable_mhz = 0.5;  ///< Below this remainder, defer instead.
+};
+
+/// Pending-request book + clearing logic for one bandwidth pool.
+class spot_market {
+ public:
+  explicit spot_market(spot_market_config config);
+
+  [[nodiscard]] const spot_market_config& config() const noexcept {
+    return config_;
+  }
+
+  /// Add a request to the book (FIFO order is the tie-break everywhere).
+  void submit(clearing_request request);
+
+  /// Requests currently waiting for a clearing.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+
+  /// Mutable view of the book so the owner can retarget deferred requests
+  /// (e.g. the vehicle crossed another boundary while waiting).
+  [[nodiscard]] std::vector<clearing_request>& pending_requests() noexcept {
+    return pending_;
+  }
+
+  /// Price the book against `available_mhz` of remaining pool capacity.
+  /// Granted and priced-out requests are removed; deferred ones remain.
+  /// Grant bandwidths always sum to <= available_mhz.
+  [[nodiscard]] clearing_outcome clear(double available_mhz);
+
+  /// Drop every pending request (end of run, nothing can serve them).
+  /// Returns the dropped requests.
+  [[nodiscard]] std::vector<clearing_request> abandon_pending();
+
+ private:
+  [[nodiscard]] clearing_outcome clear_joint(double available_mhz);
+  [[nodiscard]] clearing_outcome clear_sequential(double available_mhz);
+
+  spot_market_config config_;
+  std::vector<clearing_request> pending_;
+};
+
+}  // namespace vtm::core

@@ -1,0 +1,268 @@
+// Fleet engine and highway-scenario edge cases: pool exhaustion -> deferral
+// -> successful retry, drain completeness (totals == sum over records, every
+// handover accounted for), bitwise seed determinism, joint-epoch cohort
+// pricing, and thread-parallel seed sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+#include "core/fleet_scenario.hpp"
+#include "core/scenario.hpp"
+#include "util/contracts.hpp"
+
+namespace core = vtm::core;
+
+namespace {
+
+/// Every handover eventually resolves exactly one way.
+void expect_conservation(std::size_t handovers, std::size_t completed,
+                         std::size_t priced_out, std::size_t abandoned) {
+  EXPECT_EQ(handovers, completed + priced_out + abandoned);
+}
+
+core::scenario_config starved_config() {
+  // Capacity-hungry fleet on a tight shared pool: the first cohort drains the
+  // pool, later handovers must defer until a completion releases capacity.
+  core::scenario_config config;
+  config.vehicle_count = 6;
+  config.min_alpha = 5000.0;
+  config.max_alpha = 5000.0;
+  config.min_data_mb = 280.0;
+  config.max_data_mb = 300.0;
+  config.bandwidth_cap_mhz = 8.0;
+  config.duration_s = 90.0;
+  return config;
+}
+
+}  // namespace
+
+// ---- pool exhaustion -> deferral -> successful retry ------------------------
+
+TEST(fleet_scenario, exhausted_pool_defers_then_retries_successfully) {
+  for (const auto mode : {core::market_mode::joint, core::market_mode::single}) {
+    auto config = starved_config();
+    config.mode = mode;
+    const auto result = core::run_highway_scenario(config);
+    EXPECT_GT(result.deferred, 0u)
+        << (mode == core::market_mode::joint ? "joint" : "single");
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_EQ(result.abandoned, 0u);
+    expect_conservation(result.handovers, result.completed, result.priced_out,
+                        result.abandoned);
+    // At least one deferred request later migrated: its clearing happened
+    // strictly after its handover.
+    const bool retried_late = std::any_of(
+        result.migrations.begin(), result.migrations.end(),
+        [](const core::migration_record& m) {
+          return m.start_s > m.requested_s + 1e-9;
+        });
+    EXPECT_TRUE(retried_late);
+  }
+}
+
+// A handover is never double-counted across deferral retries: handovers on a
+// starved pool still equal the number of terminal outcomes.
+TEST(fleet_scenario, deferral_retries_do_not_inflate_handovers) {
+  const auto result = core::run_highway_scenario(starved_config());
+  ASSERT_GT(result.deferred, 0u);
+  expect_conservation(result.handovers, result.completed, result.priced_out,
+                      result.abandoned);
+}
+
+// ---- drain completeness -----------------------------------------------------
+
+TEST(fleet_scenario, drains_until_empty_and_totals_match_records) {
+  core::scenario_config config;
+  config.vehicle_count = 5;
+  config.duration_s = 150.0;
+  const auto result = core::run_highway_scenario(config);
+
+  ASSERT_FALSE(result.migrations.empty());
+  EXPECT_EQ(result.completed, result.migrations.size());
+  expect_conservation(result.handovers, result.completed, result.priced_out,
+                      result.abandoned);
+  double msp = 0.0;
+  double vmu = 0.0;
+  for (const auto& record : result.migrations) {
+    msp += record.msp_utility;
+    vmu += record.vmu_utility;
+  }
+  EXPECT_DOUBLE_EQ(result.msp_total_utility, msp);
+  EXPECT_DOUBLE_EQ(result.vmu_total_utility, vmu);
+}
+
+// Migrations in flight at the horizon still land in both totals and records:
+// a long-running config must keep totals == sum over records.
+TEST(fleet_scenario, in_flight_migrations_at_horizon_are_not_lost) {
+  core::scenario_config config;
+  config.vehicle_count = 8;
+  config.duration_s = 20.0;        // short horizon, migrations overhang it
+  config.bandwidth_cap_mhz = 2.0;  // tight pool: slow transfers...
+  config.dirty_rate_mb_s = 70.0;   // ...dirtied near line rate: long pre-copy
+  const auto result = core::run_highway_scenario(config);
+  EXPECT_EQ(result.completed, result.migrations.size());
+  double msp = 0.0;
+  for (const auto& record : result.migrations) msp += record.msp_utility;
+  EXPECT_DOUBLE_EQ(result.msp_total_utility, msp);
+  // Some migration finished after the horizon (the drain did real work).
+  const bool overhang = std::any_of(
+      result.migrations.begin(), result.migrations.end(),
+      [&](const core::migration_record& m) {
+        return m.start_s + m.aotm_simulated > config.duration_s;
+      });
+  EXPECT_TRUE(overhang);
+}
+
+// ---- bitwise seed determinism ----------------------------------------------
+
+TEST(fleet_scenario, highway_scenario_is_bitwise_deterministic) {
+  core::scenario_config config;
+  config.vehicle_count = 4;
+  const auto a = core::run_highway_scenario(config);
+  const auto b = core::run_highway_scenario(config);
+
+  EXPECT_EQ(a.handovers, b.handovers);
+  EXPECT_EQ(a.deferred, b.deferred);
+  EXPECT_EQ(a.priced_out, b.priced_out);
+  EXPECT_EQ(a.msp_total_utility, b.msp_total_utility);
+  EXPECT_EQ(a.vmu_total_utility, b.vmu_total_utility);
+  EXPECT_EQ(a.mean_aotm, b.mean_aotm);
+  ASSERT_EQ(a.migrations.size(), b.migrations.size());
+  for (std::size_t i = 0; i < a.migrations.size(); ++i) {
+    const auto& x = a.migrations[i];
+    const auto& y = b.migrations[i];
+    EXPECT_EQ(x.start_s, y.start_s);
+    EXPECT_EQ(x.requested_s, y.requested_s);
+    EXPECT_EQ(x.vehicle, y.vehicle);
+    EXPECT_EQ(x.from_rsu, y.from_rsu);
+    EXPECT_EQ(x.to_rsu, y.to_rsu);
+    EXPECT_EQ(x.price, y.price);
+    EXPECT_EQ(x.bandwidth_mhz, y.bandwidth_mhz);
+    EXPECT_EQ(x.cohort, y.cohort);
+    EXPECT_EQ(x.aotm_simulated, y.aotm_simulated);
+    EXPECT_EQ(x.data_sent_mb, y.data_sent_mb);
+    EXPECT_EQ(x.vmu_utility, y.vmu_utility);
+    EXPECT_EQ(x.msp_utility, y.msp_utility);
+  }
+
+  auto other = config;
+  other.seed = config.seed + 1;
+  const auto c = core::run_highway_scenario(other);
+  EXPECT_NE(a.msp_total_utility, c.msp_total_utility);
+}
+
+// ---- joint-epoch cohort pricing --------------------------------------------
+
+TEST(fleet_scenario, same_epoch_handovers_clear_as_one_market) {
+  core::scenario_config config;
+  config.vehicle_count = 8;
+  config.min_speed_mps = 30.0;
+  config.max_speed_mps = 30.0;  // same speed: crossings cluster by position
+  config.clearing_epoch_s = 10.0;
+  config.duration_s = 60.0;
+  const auto result = core::run_highway_scenario(config);
+
+  ASSERT_FALSE(result.migrations.empty());
+  std::size_t max_cohort = 0;
+  for (const auto& record : result.migrations)
+    max_cohort = std::max(max_cohort, record.cohort);
+  EXPECT_GE(max_cohort, 2u);
+
+  // Records cleared together (same market time) share the one cohort price.
+  for (const auto& a : result.migrations) {
+    for (const auto& b : result.migrations) {
+      if (a.start_s == b.start_s && a.cohort >= 2) {
+        EXPECT_EQ(a.price, b.price);
+      }
+    }
+  }
+}
+
+TEST(fleet_scenario, single_mode_always_prices_solo_markets) {
+  core::scenario_config config;
+  config.mode = core::market_mode::single;
+  config.vehicle_count = 8;
+  config.min_speed_mps = 30.0;
+  config.max_speed_mps = 30.0;
+  config.duration_s = 60.0;
+  const auto result = core::run_highway_scenario(config);
+  ASSERT_FALSE(result.migrations.empty());
+  for (const auto& record : result.migrations) EXPECT_EQ(record.cohort, 1u);
+}
+
+// ---- fleet engine: per-RSU pools, scale, sweeps -----------------------------
+
+TEST(fleet_scenario, fleet_run_spreads_load_over_rsu_pools) {
+  core::fleet_config config;
+  config.rsu_count = 8;
+  config.vehicle_count = 60;
+  config.duration_s = 60.0;
+  const auto result = core::run_fleet_scenario(config);
+
+  EXPECT_GT(result.handovers, 0u);
+  EXPECT_GT(result.completed, 0u);
+  expect_conservation(result.handovers, result.completed, result.priced_out,
+                      result.abandoned);
+  EXPECT_EQ(result.completed, result.migrations.size());
+  EXPECT_GE(result.max_cohort, 1u);
+  EXPECT_GT(result.mean_price, 0.0);
+  // The auto spawn span loads more than one destination RSU.
+  std::size_t distinct = 0;
+  std::array<bool, 8> seen{};
+  for (const auto& record : result.migrations) {
+    ASSERT_LT(record.to_rsu, seen.size());
+    if (!seen[record.to_rsu]) {
+      seen[record.to_rsu] = true;
+      ++distinct;
+    }
+  }
+  EXPECT_GE(distinct, 2u);
+}
+
+TEST(fleet_scenario, record_toggle_preserves_aggregates) {
+  core::fleet_config config;
+  config.vehicle_count = 30;
+  config.duration_s = 45.0;
+  auto bare = config;
+  bare.record_migrations = false;
+  const auto with_records = core::run_fleet_scenario(config);
+  const auto without = core::run_fleet_scenario(bare);
+  EXPECT_TRUE(without.migrations.empty());
+  EXPECT_EQ(with_records.completed, without.completed);
+  EXPECT_EQ(with_records.handovers, without.handovers);
+  EXPECT_EQ(with_records.msp_total_utility, without.msp_total_utility);
+  EXPECT_EQ(with_records.mean_aotm, without.mean_aotm);
+}
+
+TEST(fleet_scenario, parallel_sweep_is_bitwise_equal_to_serial) {
+  core::fleet_config base;
+  base.vehicle_count = 20;
+  base.duration_s = 40.0;
+  const std::array<std::uint64_t, 4> seeds{1, 2, 3, 4};
+  const auto serial = core::run_fleet_sweep(base, seeds, 0);
+  const auto threaded = core::run_fleet_sweep(base, seeds, 2);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].handovers, threaded[i].handovers);
+    EXPECT_EQ(serial[i].completed, threaded[i].completed);
+    EXPECT_EQ(serial[i].msp_total_utility, threaded[i].msp_total_utility);
+    EXPECT_EQ(serial[i].vmu_total_utility, threaded[i].vmu_total_utility);
+    EXPECT_EQ(serial[i].mean_aotm, threaded[i].mean_aotm);
+    EXPECT_EQ(serial[i].mean_price, threaded[i].mean_price);
+  }
+  // Different seeds genuinely vary.
+  EXPECT_NE(serial[0].msp_total_utility, serial[1].msp_total_utility);
+}
+
+TEST(fleet_scenario, rejects_invalid_configs) {
+  core::fleet_config bad;
+  bad.vehicle_count = 0;
+  EXPECT_THROW((void)core::run_fleet_scenario(bad),
+               vtm::util::contract_error);
+  core::fleet_config negative_epoch;
+  negative_epoch.clearing_epoch_s = -1.0;
+  EXPECT_THROW((void)core::run_fleet_scenario(negative_epoch),
+               vtm::util::contract_error);
+}
