@@ -6,10 +6,15 @@
 // and the demand-weighted clearing price. A second section times a seed
 // sweep serially versus through util::thread_pool.
 //
-//   $ ./fleet_throughput [--smoke]
+//   $ ./fleet_throughput [--smoke] [--compare] [--json PATH]
 //
 // --smoke trims the counts and horizon for CI; the full run covers vehicle
-// counts {10, 100, 1000, 5000}.
+// counts {10, 100, 1000, 5000}. --compare additionally trains the
+// partial-information fleet pricer (core::train_fleet_pricer) and re-runs
+// every regime with the learned backend, reporting learned/oracle MSP
+// utility ratios. Every run writes a machine-readable BENCH_fleet.json
+// (vehicles/sec, per-regime MSP utility, and the comparison when enabled)
+// so the perf trajectory is trackable across PRs; --json overrides the path.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "core/fleet_scenario.hpp"
+#include "core/mechanism.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -36,39 +42,196 @@ vtm::core::fleet_config base_config(double duration_s) {
   return config;
 }
 
+/// One vehicle-count regime's measurements (oracle backend, plus the learned
+/// backend when --compare is on).
+struct regime_report {
+  std::size_t vehicles = 0;
+  double wall_s = 0.0;
+  vtm::core::fleet_result oracle;
+  bool compared = false;
+  vtm::core::fleet_result learned;
+  double learned_wall_s = 0.0;
+};
+
+void write_json(const std::string& path, bool smoke, double duration_s,
+                const std::vector<regime_report>& regimes,
+                double train_wall_s, std::size_t train_cohorts,
+                double eval_mean_ratio, double sweep_serial_s,
+                double sweep_parallel_s, std::size_t sweep_threads) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "fleet_throughput: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"fleet_throughput\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(out, "  \"horizon_s\": %g,\n", duration_s);
+  std::fprintf(out, "  \"regimes\": [\n");
+  for (std::size_t i = 0; i < regimes.size(); ++i) {
+    const auto& regime = regimes[i];
+    const double wall = regime.wall_s > 1e-9 ? regime.wall_s : 1e-9;
+    std::fprintf(out, "    {\n");
+    std::fprintf(out, "      \"vehicles\": %zu,\n", regime.vehicles);
+    std::fprintf(out, "      \"wall_s\": %.6f,\n", regime.wall_s);
+    std::fprintf(out, "      \"vehicles_per_sec\": %.1f,\n",
+                 static_cast<double>(regime.vehicles) / wall);
+    std::fprintf(out, "      \"handovers_per_sec\": %.1f,\n",
+                 static_cast<double>(regime.oracle.handovers) / wall);
+    std::fprintf(out, "      \"migrations_per_sec\": %.1f,\n",
+                 static_cast<double>(regime.oracle.completed) / wall);
+    std::fprintf(out, "      \"handovers\": %zu,\n", regime.oracle.handovers);
+    std::fprintf(out, "      \"completed\": %zu,\n", regime.oracle.completed);
+    std::fprintf(out, "      \"deferred\": %zu,\n", regime.oracle.deferred);
+    std::fprintf(out, "      \"max_cohort\": %zu,\n",
+                 regime.oracle.max_cohort);
+    std::fprintf(out, "      \"mean_price\": %.6f,\n",
+                 regime.oracle.mean_price);
+    std::fprintf(out, "      \"msp_utility_oracle\": %.6f",
+                 regime.oracle.msp_total_utility);
+    if (regime.compared) {
+      std::fprintf(out, ",\n      \"msp_utility_learned\": %.6f,\n",
+                   regime.learned.msp_total_utility);
+      std::fprintf(out, "      \"learned_wall_s\": %.6f,\n",
+                   regime.learned_wall_s);
+      // Degenerate-oracle fallback mirrors the threshold gate below: no
+      // oracle utility to beat means parity, not collapse.
+      std::fprintf(out, "      \"learned_over_oracle\": %.6f\n",
+                   regime.oracle.msp_total_utility > 0.0
+                       ? regime.learned.msp_total_utility /
+                             regime.oracle.msp_total_utility
+                       : 1.0);
+    } else {
+      std::fprintf(out, "\n");
+    }
+    std::fprintf(out, "    }%s\n", i + 1 < regimes.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  if (train_cohorts > 0) {
+    std::fprintf(out, "  \"pricer_training\": {\n");
+    std::fprintf(out, "    \"wall_s\": %.6f,\n", train_wall_s);
+    std::fprintf(out, "    \"cohorts\": %zu,\n", train_cohorts);
+    std::fprintf(out, "    \"eval_mean_ratio\": %.6f\n", eval_mean_ratio);
+    std::fprintf(out, "  },\n");
+  }
+  std::fprintf(out, "  \"seed_sweep\": {\n");
+  std::fprintf(out, "    \"serial_s\": %.6f,\n", sweep_serial_s);
+  std::fprintf(out, "    \"parallel_s\": %.6f,\n", sweep_parallel_s);
+  std::fprintf(out, "    \"threads\": %zu\n", sweep_threads);
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  bool compare = false;
+  std::string json_path = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--compare") == 0) compare = true;
+    else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  }
   const double duration_s = smoke ? 30.0 : 120.0;
   const std::vector<std::size_t> counts =
       smoke ? std::vector<std::size_t>{10, 100}
             : std::vector<std::size_t>{10, 100, 1000, 5000};
 
   std::printf("fleet_throughput: 8 RSUs, per-RSU 50 MHz pools, joint "
-              "clearing (epoch 0.5 s), %.0f s horizon%s\n\n",
-              duration_s, smoke ? " [smoke]" : "");
+              "clearing (epoch 0.5 s), %.0f s horizon%s%s\n\n",
+              duration_s, smoke ? " [smoke]" : "",
+              compare ? " [oracle-vs-learned]" : "");
 
+  // Optional learned backend: one pricer trained on cohorts harvested from
+  // the smallest and largest regimes covers the whole sweep.
+  std::shared_ptr<const vtm::core::learned_pricer> pricer;
+  double train_wall_s = 0.0;
+  std::size_t train_cohorts = 0;
+  double eval_mean_ratio = 0.0;
+  if (compare) {
+    vtm::core::fleet_pricer_config train;
+    auto harvest_small = base_config(duration_s);
+    harvest_small.vehicle_count = counts.front() * 10;
+    auto harvest_large = base_config(duration_s);
+    harvest_large.vehicle_count = counts.back();
+    train.harvest = {harvest_small, harvest_large};
+    const auto start = clock_type::now();
+    const auto trained = vtm::core::train_fleet_pricer(train);
+    train_wall_s = seconds_since(start);
+    pricer = trained.pricer;
+    train_cohorts = trained.cohorts;
+    eval_mean_ratio = trained.eval_mean_ratio;
+    std::printf("pricer: trained on %zu cohorts in %.1f s, deterministic "
+                "eval %.1f%% of oracle per cohort\n\n",
+                trained.cohorts, train_wall_s,
+                100.0 * trained.eval_mean_ratio);
+  }
+
+  std::vector<regime_report> regimes;
   vtm::util::ascii_table table({"vehicles", "wall (s)", "handovers",
                                 "migrations", "handovers/s", "migrations/s",
                                 "deferred", "max cohort", "mean price"});
   for (const std::size_t vehicles : counts) {
     auto config = base_config(duration_s);
     config.vehicle_count = vehicles;
+    regime_report regime;
+    regime.vehicles = vehicles;
     const auto start = clock_type::now();
-    const auto result = vtm::core::run_fleet_scenario(config);
-    const double wall = seconds_since(start);
-    const double safe_wall = wall > 1e-9 ? wall : 1e-9;
+    regime.oracle = vtm::core::run_fleet_scenario(config);
+    regime.wall_s = seconds_since(start);
+    const double safe_wall = regime.wall_s > 1e-9 ? regime.wall_s : 1e-9;
     table.add_row(std::vector<double>{
-        static_cast<double>(vehicles), wall,
-        static_cast<double>(result.handovers),
-        static_cast<double>(result.completed),
-        static_cast<double>(result.handovers) / safe_wall,
-        static_cast<double>(result.completed) / safe_wall,
-        static_cast<double>(result.deferred),
-        static_cast<double>(result.max_cohort), result.mean_price});
+        static_cast<double>(vehicles), regime.wall_s,
+        static_cast<double>(regime.oracle.handovers),
+        static_cast<double>(regime.oracle.completed),
+        static_cast<double>(regime.oracle.handovers) / safe_wall,
+        static_cast<double>(regime.oracle.completed) / safe_wall,
+        static_cast<double>(regime.oracle.deferred),
+        static_cast<double>(regime.oracle.max_cohort),
+        regime.oracle.mean_price});
+    if (compare) {
+      auto learned_config = config;
+      learned_config.pricing = vtm::core::pricing_backend::learned;
+      learned_config.pricer = pricer;
+      const auto learned_start = clock_type::now();
+      regime.learned = vtm::core::run_fleet_scenario(learned_config);
+      regime.learned_wall_s = seconds_since(learned_start);
+      regime.compared = true;
+    }
+    regimes.push_back(std::move(regime));
   }
   std::printf("%s\n", table.render().c_str());
+
+  bool thresholds_ok = true;
+  if (compare) {
+    std::printf("pricing backends: %s (full profiles) vs %s "
+                "(partial-information observation)\n",
+                vtm::core::to_string(vtm::core::pricing_backend::oracle),
+                vtm::core::to_string(vtm::core::pricing_backend::learned));
+    vtm::util::ascii_table compare_table(
+        {"vehicles", "oracle U_s", "learned U_s", "learned/oracle",
+         "oracle price", "learned price"});
+    for (const auto& regime : regimes) {
+      const double ratio =
+          regime.oracle.msp_total_utility > 0.0
+              ? regime.learned.msp_total_utility /
+                    regime.oracle.msp_total_utility
+              : 1.0;
+      compare_table.add_row(std::vector<double>{
+          static_cast<double>(regime.vehicles),
+          regime.oracle.msp_total_utility,
+          regime.learned.msp_total_utility, ratio,
+          regime.oracle.mean_price, regime.learned.mean_price});
+      // Acceptance floors: 90% uncongested, 95% in the congested regimes
+      // (cohorts > 60, price cap saturated) where partial information is
+      // cheapest.
+      const double floor = regime.vehicles >= 1000 ? 0.95 : 0.90;
+      if (ratio < floor) thresholds_ok = false;
+    }
+    std::printf("%s\n", compare_table.render().c_str());
+  }
 
   // Seed-sweep scaling: independent seeds sharded across the thread pool.
   const std::size_t sweep_vehicles = smoke ? 100 : 1000;
@@ -106,5 +269,13 @@ int main(int argc, char** argv) {
               parallel_wall,
               parallel_wall > 1e-9 ? serial_wall / parallel_wall : 0.0,
               serial_migrations, reproduced ? "OK" : "FAILED");
-  return reproduced ? 0 : 1;
+  if (compare)
+    std::printf("oracle-vs-learned thresholds (>=0.90 uncongested, >=0.95 "
+                "congested): %s\n",
+                thresholds_ok ? "OK" : "FAILED");
+
+  write_json(json_path, smoke, duration_s, regimes, train_wall_s,
+             train_cohorts, eval_mean_ratio, serial_wall, parallel_wall,
+             threads);
+  return reproduced && thresholds_ok ? 0 : 1;
 }

@@ -166,4 +166,99 @@ rl::env_factory make_pricing_env_factory(const market_params& params,
   };
 }
 
+// --- cohort-conditioned pricing environment --------------------------------
+
+std::vector<prepared_cohort> prepare_cohorts(
+    std::span<const cohort_snapshot> snapshots) {
+  std::vector<prepared_cohort> prepared;
+  prepared.reserve(snapshots.size());
+  for (const auto& snapshot : snapshots) {
+    if (snapshot.profiles.empty() || snapshot.available_mhz <= 0.0) continue;
+    prepared_cohort cohort{migration_market(snapshot.to_market_params()),
+                           {}, 0.0, 0.0};
+    const equilibrium oracle = solve_equilibrium(cohort.market);
+    if (oracle.leader_utility <= 1e-6) continue;  // degenerate: no trade
+    cohort.features = cohort_features(make_cohort_observation(
+        cohort.market, snapshot.available_mhz, snapshot.capacity_mhz));
+    cohort.oracle_price = oracle.price;
+    cohort.oracle_utility = oracle.leader_utility;
+    prepared.push_back(std::move(cohort));
+  }
+  return prepared;
+}
+
+fleet_pricing_env::fleet_pricing_env(
+    std::shared_ptr<const std::vector<prepared_cohort>> cohorts,
+    const fleet_pricing_env_config& config)
+    : cohorts_(std::move(cohorts)), config_(config), gen_(config.seed) {
+  VTM_EXPECTS(cohorts_ != nullptr && !cohorts_->empty());
+  VTM_EXPECTS(config.rounds_per_episode >= 1);
+}
+
+const prepared_cohort& fleet_pricing_env::current() const {
+  return (*cohorts_)[current_];
+}
+
+nn::tensor fleet_pricing_env::observation_tensor() const {
+  return nn::tensor({1, cohort_feature_dim}, current().features);
+}
+
+void fleet_pricing_env::draw_cohort() {
+  current_ = static_cast<std::size_t>(gen_.uniform_int(
+      0, static_cast<std::int64_t>(cohorts_->size()) - 1));
+}
+
+double fleet_pricing_env::price_from_action(double raw_action) const {
+  // squashed_price, matching learned_pricer::price_from_action bit for bit —
+  // the policy must see the same action→price map in training and deployment.
+  const auto& p = current().market.params();
+  return squashed_price(raw_action, p.unit_cost, p.price_cap);
+}
+
+nn::tensor fleet_pricing_env::reset() {
+  round_ = 0;
+  draw_cohort();
+  return observation_tensor();
+}
+
+rl::step_result fleet_pricing_env::step(const nn::tensor& action) {
+  VTM_EXPECTS(action.dims() == (nn::shape{1, 1}));
+  VTM_EXPECTS(round_ < config_.rounds_per_episode);
+
+  const prepared_cohort& cohort = current();
+  const double raw = action.item();
+  const double price = price_from_action(raw);
+  const double utility = cohort.market.leader_utility(price);
+  ++round_;
+
+  rl::step_result result;
+  // Ratio reward: 1.0 means the posted price matched the oracle's utility on
+  // this cohort, so returns are comparable across mixed regimes (interior
+  // 100-vehicle cohorts and cap-saturated 5000-vehicle ones alike). The
+  // quadratic out-of-box penalty keeps the raw action where tanh still has
+  // slope; it is a training regularizer only (deployment squashes the mean).
+  const double ratio = utility / cohort.oracle_utility;
+  const double overflow = std::max(0.0, std::abs(raw) - 1.0);
+  result.reward = ratio - 0.1 * overflow * overflow;
+  result.done = round_ >= config_.rounds_per_episode;
+  result.info["leader_utility"] = utility;
+  result.info["price"] = price;
+  result.info["oracle_price"] = cohort.oracle_price;
+  result.info["utility_ratio"] = ratio;
+  draw_cohort();
+  result.observation = observation_tensor();
+  return result;
+}
+
+rl::env_factory make_fleet_pricing_env_factory(
+    std::shared_ptr<const std::vector<prepared_cohort>> cohorts,
+    const fleet_pricing_env_config& config) {
+  VTM_EXPECTS(cohorts != nullptr && !cohorts->empty());
+  return [cohorts, config](std::size_t index) {
+    fleet_pricing_env_config replica = config;
+    replica.seed = pricing_env_replica_seed(config.seed, index);
+    return std::make_unique<fleet_pricing_env>(cohorts, replica);
+  };
+}
+
 }  // namespace vtm::core

@@ -17,9 +17,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/market.hpp"
+#include "core/pricing_policy.hpp"
 #include "rl/env.hpp"
 #include "rl/vector_env.hpp"
 #include "util/rng.hpp"
@@ -109,5 +112,82 @@ class pricing_env final : public rl::environment {
 /// The seed replica i receives from make_pricing_env_factory (for tests).
 [[nodiscard]] std::uint64_t pricing_env_replica_seed(std::uint64_t seed,
                                                      std::size_t index);
+
+// --- cohort-conditioned pricing environment (fleet pricer training) --------
+
+/// One harvested clearing cohort prepared for training: its market
+/// evaluator, the partial-information feature row the policy sees, and the
+/// oracle label normalizing the reward.
+struct prepared_cohort {
+  migration_market market;        ///< Cohort market over the pool remainder.
+  std::vector<double> features;   ///< cohort_features of the observation.
+  double oracle_price = 0.0;      ///< solve_equilibrium price (label).
+  double oracle_utility = 0.0;    ///< Oracle U_s (reward scale).
+};
+
+/// Prepare harvested snapshots for training. Degenerate cohorts whose oracle
+/// utility is ~0 (nothing to sell or nobody buys) are dropped — a ratio
+/// reward against them is undefined.
+[[nodiscard]] std::vector<prepared_cohort> prepare_cohorts(
+    std::span<const cohort_snapshot> snapshots);
+
+/// Knobs of the cohort-conditioned environment.
+struct fleet_pricing_env_config {
+  std::size_t rounds_per_episode = 64;  ///< Cohorts priced per episode.
+  std::uint64_t seed = 7;               ///< Cohort-draw randomization.
+};
+
+/// Contextual pricing environment over a bank of harvested cohorts: each
+/// round shows the partial-information features of one cohort, the action
+/// posts a price, and the reward is the MSP utility ratio U_s(p)/U_s(oracle)
+/// on that cohort. Rounds are independent draws (the fleet's clearing
+/// sequence is not replayed), which matches the per-clearing decision the
+/// deployed `learned_policy` faces.
+class fleet_pricing_env final : public rl::environment {
+ public:
+  /// The bank must be non-null and non-empty; shared (const) across replicas.
+  fleet_pricing_env(
+      std::shared_ptr<const std::vector<prepared_cohort>> cohorts,
+      const fleet_pricing_env_config& config);
+
+  [[nodiscard]] std::size_t observation_dim() const override {
+    return cohort_feature_dim;
+  }
+  [[nodiscard]] std::size_t action_dim() const override { return 1; }
+  [[nodiscard]] double action_low() const override { return -1.0; }
+  [[nodiscard]] double action_high() const override { return 1.0; }
+
+  nn::tensor reset() override;
+  rl::step_result step(const nn::tensor& action) override;
+
+  /// The squashed_price map (tanh + headroom) onto the current cohort's
+  /// price box [C, p_max] — identical to learned_pricer::price_from_action,
+  /// so training and deployment see the same action→price map.
+  [[nodiscard]] double price_from_action(double raw_action) const;
+
+  /// The cohort the next step() will price.
+  [[nodiscard]] const prepared_cohort& current() const;
+
+  [[nodiscard]] const fleet_pricing_env_config& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] nn::tensor observation_tensor() const;
+  void draw_cohort();
+
+  std::shared_ptr<const std::vector<prepared_cohort>> cohorts_;
+  fleet_pricing_env_config config_;
+  util::rng gen_;
+  std::size_t current_ = 0;
+  std::size_t round_ = 0;
+};
+
+/// Factory building fleet_pricing_env replicas over one shared cohort bank
+/// for rl::vector_env. Replica 0 keeps `config.seed` exactly; replica i > 0
+/// derives an independent stream via pricing_env_replica_seed.
+[[nodiscard]] rl::env_factory make_fleet_pricing_env_factory(
+    std::shared_ptr<const std::vector<prepared_cohort>> cohorts,
+    const fleet_pricing_env_config& config);
 
 }  // namespace vtm::core

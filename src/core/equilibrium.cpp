@@ -48,6 +48,23 @@ equilibrium finalize(const migration_market& market, double price,
 
 }  // namespace
 
+equilibrium evaluate_at_price(const migration_market& market, double price) {
+  const auto& p = market.params();
+  VTM_EXPECTS(price >= p.unit_cost && price <= p.price_cap);
+
+  double unconstrained = 0.0;
+  for (double b : market.unconstrained_demands(price)) unconstrained += b;
+
+  equilibrium_regime regime = equilibrium_regime::interior;
+  if (unconstrained > p.bandwidth_cap_mhz * (1.0 + 1e-12))
+    regime = equilibrium_regime::capacity_bound;
+  else if (price >= p.price_cap * (1.0 - 1e-12))
+    regime = equilibrium_regime::price_capped;
+  else if (price <= p.unit_cost * (1.0 + 1e-12))
+    regime = equilibrium_regime::cost_floor;
+  return finalize(market, price, regime);
+}
+
 equilibrium solve_equilibrium(const migration_market& market) {
   const auto& p = market.params();
   const std::size_t n_vmus = market.vmu_count();

@@ -45,6 +45,15 @@ struct equilibrium {
 /// Closed-form solve with active-set iteration (exact for this model).
 [[nodiscard]] equilibrium solve_equilibrium(const migration_market& market);
 
+/// Market response to a *posted* (not necessarily optimal) price: rationed
+/// demands, both sides' utilities, and per-VMU AoTM, with the regime label
+/// classifying the posted price (rationing active -> capacity_bound; at the
+/// box edges -> price_capped / cost_floor). This is the follower side of
+/// every pricing backend — the oracle optimizes the price first, a learned
+/// policy posts it directly. Requires price in [C, p_max].
+[[nodiscard]] equilibrium evaluate_at_price(const migration_market& market,
+                                            double price);
+
 /// Numeric solve (grid + golden-section over the leader objective with
 /// market-determined demands); used to cross-validate the closed form.
 [[nodiscard]] equilibrium solve_equilibrium_numeric(

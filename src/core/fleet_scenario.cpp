@@ -29,33 +29,55 @@ struct vehicle_slot {
   double position_at = 0.0;  ///< Simulation time of `kinematics.position_m`.
 };
 
+/// Build the RSU chain: explicit (possibly non-uniform) centres when given,
+/// the legacy uniform layout otherwise.
+sim::rsu_chain make_chain(const fleet_config& config) {
+  if (!config.rsu_positions_m.empty())
+    return sim::rsu_chain(config.rsu_positions_m, config.coverage_radius_m);
+  return sim::rsu_chain(config.rsu_count, config.rsu_spacing_m,
+                        config.coverage_radius_m);
+}
+
 /// One fleet run: per-RSU pools + spot-market books over an event queue.
 class fleet_engine {
  public:
   explicit fleet_engine(const fleet_config& config)
       : config_(config),
         gen_(config.seed),
-        chain_(config.rsu_count, config.rsu_spacing_m,
-               config.coverage_radius_m),
+        chain_(make_chain(config)),
         epoch_s_(config.mode == market_mode::joint ? config.clearing_epoch_s
                                                    : 0.0) {
-    link_ = config.link;
-    link_.distance_m = config.rsu_spacing_m;  // adjacent-RSU migration link
-    budget_ = std::make_unique<wireless::link_budget>(link_);
-
     const std::size_t pool_count =
-        config.shared_pool ? 1 : config.rsu_count;
-    pools_.reserve(pool_count);
+        config.shared_pool ? 1 : chain_.count();
+
+    // Pricing backend, shared by every pool's book (one learned pricer can
+    // serve the whole chain; null selects the analytic oracle).
+    std::shared_ptr<pricing_policy> policy;
+    if (config.pricing == pricing_backend::learned) {
+      VTM_EXPECTS(config.pricer != nullptr);
+      policy = std::make_shared<learned_policy>(config.pricer);
+    }
+
     spot_market_config market_config;
     market_config.discipline = config.mode == market_mode::joint
                                    ? clearing_discipline::joint
                                    : clearing_discipline::sequential;
-    market_config.link = link_;
     market_config.unit_cost = config.unit_cost;
     market_config.price_cap = config.price_cap;
     market_config.min_clearable_mhz = config.min_clearable_mhz;
+    market_config.pool_capacity_mhz = config.bandwidth_per_pool_mhz;
+    market_config.policy = policy;
+
+    pools_.reserve(pool_count);
     markets_.reserve(pool_count);
+    pool_links_.reserve(pool_count);
+    budgets_.reserve(pool_count);
     for (std::size_t p = 0; p < pool_count; ++p) {
+      wireless::link_params link = config.link;
+      link.distance_m = pool_link_distance_m(p);
+      pool_links_.push_back(link);
+      budgets_.emplace_back(link);
+      market_config.link = link;
       pools_.emplace_back(config.bandwidth_per_pool_mhz);
       markets_.emplace_back(market_config);
     }
@@ -92,17 +114,45 @@ class fleet_engine {
     return config_.shared_pool ? 0 : rsu;
   }
 
+  /// Migration-link distance of pool `p`: the actual gap to the destination
+  /// RSU's upstream neighbour (forward traffic hands over from RSU p-1 to
+  /// RSU p). RSU 0 receives no forward handovers, so its pool uses the
+  /// downstream gap; the legacy shared pool keeps the chain-wide spacing.
+  /// Uniform chains return the configured spacing directly — on a uniform
+  /// chain every gap *is* the spacing, and the centre-difference arithmetic
+  /// would drift from it by ulps for non-dyadic values, breaking bitwise
+  /// reproduction of the pre-heterogeneity engine.
+  [[nodiscard]] double pool_link_distance_m(std::size_t p) const {
+    if (config_.shared_pool || chain_.count() < 2 ||
+        config_.rsu_positions_m.empty())
+      return chain_.spacing_m();
+    return p > 0 ? chain_.link_distance_m(p - 1, p)
+                 : chain_.link_distance_m(0, 1);
+  }
+
   void spawn_vehicles() {
     // Auto spawn span: spread the fleet over the whole chain so every RSU
     // sees load; the legacy scenario pins the span before the first boundary.
-    const double spacing = config_.rsu_spacing_m;
-    const double lo =
-        config_.spawn_min_m > 0.0 ? config_.spawn_min_m : 0.5 * spacing;
-    const double hi =
-        config_.spawn_max_m > 0.0
-            ? config_.spawn_max_m
-            : std::max(lo, (static_cast<double>(config_.rsu_count) - 0.5) *
-                               spacing);
+    // Uniform chains keep the original spacing arithmetic verbatim (bitwise
+    // reproduction); explicit chains derive the span from the actual centres.
+    double auto_lo, auto_hi;
+    if (config_.rsu_positions_m.empty()) {
+      const double spacing = config_.rsu_spacing_m;
+      auto_lo = 0.5 * spacing;
+      auto_hi = (static_cast<double>(config_.rsu_count) - 0.5) * spacing;
+    } else {
+      auto_lo = chain_.center_m(0) -
+                0.5 * (chain_.count() > 1 ? chain_.link_distance_m(0, 1)
+                                          : chain_.spacing_m());
+      auto_hi = chain_.center_m(chain_.count() - 1) -
+                0.5 * (chain_.count() > 1
+                           ? chain_.link_distance_m(chain_.count() - 2,
+                                                    chain_.count() - 1)
+                           : 0.0);
+    }
+    const double lo = config_.spawn_min_m > 0.0 ? config_.spawn_min_m : auto_lo;
+    const double hi = config_.spawn_max_m > 0.0 ? config_.spawn_max_m
+                                                : std::max(lo, auto_hi);
     VTM_EXPECTS(hi >= lo);
 
     vehicles_.resize(config_.vehicle_count);
@@ -208,8 +258,29 @@ class fleet_engine {
 
     // The pool tolerates epsilon overshoot at the capacity boundary, so the
     // remainder can read a hair below zero.
-    auto outcome =
-        markets_[pidx].clear(std::max(0.0, pools_[pidx].available_mhz()));
+    const double available = std::max(0.0, pools_[pidx].available_mhz());
+    // Harvest only joint-mode clearings: they price the whole book as one
+    // market, which is exactly what a snapshot of (book, available)
+    // describes. Sequential mode prices size-1 sub-markets over a shrinking
+    // remainder, so a whole-book snapshot would train the pricer on
+    // observations it never sees at deployment.
+    if (config_.record_cohorts && config_.mode == market_mode::joint &&
+        !book.empty() && available >= config_.min_clearable_mhz) {
+      // Harvest the clearing cohort as training data for the learned pricer:
+      // full profiles (the oracle label needs them) + the pool state the
+      // partial-information observation summarizes.
+      cohort_snapshot snapshot;
+      snapshot.profiles.reserve(book.size());
+      for (const auto& request : book)
+        snapshot.profiles.push_back(request.profile);
+      snapshot.available_mhz = available;
+      snapshot.capacity_mhz = config_.bandwidth_per_pool_mhz;
+      snapshot.link = pool_links_[pidx];
+      snapshot.unit_cost = config_.unit_cost;
+      snapshot.price_cap = config_.price_cap;
+      result_.cohorts.push_back(std::move(snapshot));
+    }
+    auto outcome = markets_[pidx].clear(available);
     result_.deferred += outcome.deferred;
     if (outcome.markets_cleared > 0) ++result_.clearings;
 
@@ -248,7 +319,7 @@ class fleet_engine {
     precopy.dirty_rate_mb_s = config_.dirty_rate_mb_s;
     precopy.stop_copy_threshold_mb = config_.stop_copy_threshold_mb;
     const double rate_mb_s =
-        grant.bandwidth_mhz * budget_->spectral_efficiency();
+        grant.bandwidth_mhz * budgets_[pidx].spectral_efficiency();
     const auto report = sim::run_precopy(*slot.twin, rate_mb_s, precopy);
 
     migration_record record;
@@ -260,8 +331,8 @@ class fleet_engine {
     record.price = grant.price;
     record.bandwidth_mhz = grant.bandwidth_mhz;
     record.cohort = grant.cohort;
-    record.aotm_closed_form =
-        aotm_closed_form(slot.twin->total_mb(), grant.bandwidth_mhz, *budget_);
+    record.aotm_closed_form = aotm_closed_form(
+        slot.twin->total_mb(), grant.bandwidth_mhz, budgets_[pidx]);
     record.aotm_simulated = aotm_from_migration(report);
     record.downtime_s = report.downtime_s;
     record.data_sent_mb = report.total_sent_mb;
@@ -306,8 +377,8 @@ class fleet_engine {
   sim::event_queue queue_;
   sim::rsu_chain chain_;
   double epoch_s_;
-  wireless::link_params link_;
-  std::unique_ptr<wireless::link_budget> budget_;
+  std::vector<wireless::link_params> pool_links_;   ///< Per-pool channel.
+  std::vector<wireless::link_budget> budgets_;      ///< Per-pool rates.
   std::vector<wireless::ofdma_pool> pools_;
   std::vector<spot_market> markets_;
   std::vector<bool> clearing_scheduled_;
@@ -322,7 +393,9 @@ class fleet_engine {
 }  // namespace
 
 fleet_result run_fleet_scenario(const fleet_config& config) {
-  VTM_EXPECTS(config.rsu_count >= 1);
+  VTM_EXPECTS(config.rsu_count >= 1 || !config.rsu_positions_m.empty());
+  VTM_EXPECTS(config.pricing == pricing_backend::oracle ||
+              config.pricer != nullptr);
   VTM_EXPECTS(config.vehicle_count >= 1);
   VTM_EXPECTS(config.duration_s > 0.0);
   VTM_EXPECTS(config.min_speed_mps > 0.0);

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/pricing_policy.hpp"
 #include "core/scenario.hpp"
 
 namespace vtm::core {
@@ -30,6 +32,11 @@ struct fleet_config {
   std::size_t rsu_count = 8;
   double rsu_spacing_m = 1000.0;
   double coverage_radius_m = 600.0;
+  /// Explicit (possibly non-uniform) RSU centres. When non-empty it
+  /// overrides rsu_count x rsu_spacing_m, and each pool's migration link —
+  /// hence its spectral efficiency, κ_n, and cleared price — uses the actual
+  /// distance from its upstream neighbour instead of a global constant.
+  std::vector<double> rsu_positions_m;
   std::size_t vehicle_count = 100;
   double min_speed_mps = 20.0;
   double max_speed_mps = 35.0;
@@ -57,6 +64,19 @@ struct fleet_config {
   double clearing_epoch_s = 0.5;   ///< 0 clears at each handover instant.
   double min_clearable_mhz = 0.5;  ///< Defer below this pool remainder.
 
+  /// Pricing backend for every clearing. `oracle` is the analytic
+  /// `solve_equilibrium` (bitwise-identical to the pre-backend engine);
+  /// `learned` posts the trained pricer's price from the partial-information
+  /// cohort observation and requires `pricer` to be set.
+  pricing_backend pricing = pricing_backend::oracle;
+  std::shared_ptr<const learned_pricer> pricer;
+
+  /// Capture one `cohort_snapshot` per priced clearing into
+  /// `fleet_result::cohorts` (training-data harvest for the learned
+  /// pricer). Joint mode only: sequential clearings price size-1
+  /// sub-markets that a whole-book snapshot would misrepresent.
+  bool record_cohorts = false;
+
   // Migration machinery.
   double dirty_rate_mb_s = 50.0;
   double page_mb = 0.25;
@@ -72,6 +92,7 @@ struct fleet_config {
 /// Aggregate outcome of a fleet run.
 struct fleet_result {
   std::vector<migration_record> migrations;  ///< Empty when not recording.
+  std::vector<cohort_snapshot> cohorts;  ///< Filled when record_cohorts.
   std::size_t handovers = 0;    ///< Boundary crossings admitted.
   std::size_t deferred = 0;     ///< Request-clearings delayed by a full pool.
   std::size_t priced_out = 0;   ///< Handovers priced to b* = 0 (no migration).

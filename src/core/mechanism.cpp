@@ -133,6 +133,95 @@ baseline_result run_baseline(const market_params& params,
   return result;
 }
 
+fleet_pricer_result train_fleet_pricer(
+    const fleet_pricer_config& config,
+    const rl::trainer::episode_callback& on_episode) {
+  VTM_EXPECTS(!config.harvest.empty());
+  VTM_EXPECTS(config.rollout.num_envs >= 1);
+  VTM_EXPECTS(config.episodes >= 1);
+  VTM_EXPECTS(config.rounds_per_episode >= 1);
+
+  // Harvest clearing cohorts by replaying the scenarios under the oracle
+  // backend. All harvests must share one price box — it is baked into the
+  // pricer's action map.
+  const double unit_cost = config.harvest.front().unit_cost;
+  const double price_cap = config.harvest.front().price_cap;
+  std::vector<cohort_snapshot> snapshots;
+  for (fleet_config fleet : config.harvest) {
+    VTM_EXPECTS(fleet.unit_cost == unit_cost &&
+                fleet.price_cap == price_cap);
+    VTM_EXPECTS(fleet.mode == market_mode::joint);
+    fleet.pricing = pricing_backend::oracle;
+    fleet.pricer = nullptr;
+    fleet.record_cohorts = true;
+    fleet.record_migrations = false;
+    auto harvest = run_fleet_scenario(fleet);
+    snapshots.insert(snapshots.end(),
+                     std::make_move_iterator(harvest.cohorts.begin()),
+                     std::make_move_iterator(harvest.cohorts.end()));
+  }
+  auto prepared = prepare_cohorts(snapshots);
+  VTM_EXPECTS(!prepared.empty());
+  const auto bank = std::make_shared<const std::vector<prepared_cohort>>(
+      std::move(prepared));
+
+  fleet_pricing_env_config env_config;
+  env_config.rounds_per_episode = config.rounds_per_episode;
+  env_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+
+  util::rng net_gen(config.seed);
+  rl::actor_critic_config net_config;
+  net_config.obs_dim = cohort_feature_dim;
+  net_config.act_dim = 1;
+  net_config.hidden = config.hidden;
+  net_config.initial_log_std = config.initial_log_std;
+  rl::actor_critic policy(net_config, net_gen);
+
+  util::rng ppo_gen(config.seed + 1);
+  rl::ppo learner(policy, config.ppo, ppo_gen);
+
+  rl::trainer_config trainer_config;
+  trainer_config.episodes = config.episodes;
+  trainer_config.rounds_per_episode = config.rounds_per_episode;
+  trainer_config.update_interval = config.update_interval;
+  trainer_config.seed = config.seed + 2;
+  trainer_config.fast_rollout = config.rollout.fast_rollout;
+
+  fleet_pricer_result result;
+  result.cohorts = bank->size();
+
+  rl::vector_env envs(make_fleet_pricing_env_factory(bank, env_config),
+                      config.rollout.num_envs, config.rollout.threads);
+  rl::vector_trainer driver(envs, policy, learner, trainer_config);
+  result.history = driver.train(on_episode);
+
+  learned_pricer_config pricer_config;
+  pricer_config.hidden = config.hidden;
+  pricer_config.initial_log_std = config.initial_log_std;
+  pricer_config.unit_cost = unit_cost;
+  pricer_config.price_cap = price_cap;
+  learned_pricer pricer(pricer_config, policy);
+
+  // Deterministic (mean-action) sweep over the whole bank: the figure of
+  // merit the acceptance thresholds gate on.
+  double sum_ratio = 0.0;
+  double min_ratio = 1e300;
+  for (const auto& cohort : *bank) {
+    const nn::tensor observation({1, cohort_feature_dim}, cohort.features);
+    const double price = pricer.price_from_action(
+        policy.act_deterministic(observation).action.item());
+    const double ratio =
+        cohort.market.leader_utility(price) / cohort.oracle_utility;
+    sum_ratio += ratio;
+    min_ratio = std::min(min_ratio, ratio);
+  }
+  result.eval_mean_ratio = sum_ratio / static_cast<double>(bank->size());
+  result.eval_min_ratio = min_ratio;
+  result.checkpoint = pricer.checkpoint();
+  result.pricer = std::make_shared<const learned_pricer>(std::move(pricer));
+  return result;
+}
+
 std::vector<baseline_result> run_paper_baselines(const market_params& params,
                                                  std::size_t episodes,
                                                  std::size_t rounds,

@@ -8,12 +8,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/env.hpp"
 #include "core/equilibrium.hpp"
+#include "core/fleet_scenario.hpp"
 #include "core/market.hpp"
+#include "core/pricing_policy.hpp"
 #include "rl/agents.hpp"
 #include "rl/policy.hpp"
 #include "rl/ppo.hpp"
@@ -94,5 +97,53 @@ struct mechanism_result {
 [[nodiscard]] std::vector<baseline_result> run_paper_baselines(
     const market_params& params, std::size_t episodes, std::size_t rounds,
     std::uint64_t seed);
+
+// --- fleet pricer training (RL-priced spot markets) -------------------------
+
+/// Everything configurable about one fleet-pricer training run. Cohorts are
+/// harvested by replaying the `harvest` fleet scenarios with the oracle
+/// backend and `record_cohorts` on; mixing regimes (e.g. a 100-vehicle and a
+/// 5000-vehicle fleet) trains one policy covering both.
+struct fleet_pricer_config {
+  std::vector<fleet_config> harvest;     ///< Scenarios to harvest from.
+  std::size_t episodes = 300;            ///< Training episodes.
+  std::size_t rounds_per_episode = 64;   ///< Cohorts priced per episode.
+  std::size_t update_interval = 16;      ///< PPO cadence (lockstep rounds).
+  rl::ppo_config ppo{};                  ///< lr defaults overridden to 3e-4.
+  rollout_config rollout{4, 0, false};   ///< Batched collection (B=4).
+  std::vector<std::size_t> hidden{64, 64};
+  double initial_log_std = -0.7;
+  std::uint64_t seed = 42;
+
+  fleet_pricer_config() {
+    ppo.learning_rate = 3e-4;
+    // Cohort pricing is a contextual bandit: each round's reward depends
+    // only on the current cohort and price, and cohorts are independent
+    // draws. γ = 0 makes the advantage r − V(s) exactly the per-cohort
+    // pricing error instead of mixing in future-draw randomness.
+    ppo.gamma = 0.0;
+    ppo.gae_lambda = 0.0;
+  }
+};
+
+/// Outcome of train_fleet_pricer.
+struct fleet_pricer_result {
+  /// The trained pricer, ready to plug into fleet_config::{pricing, pricer}.
+  std::shared_ptr<const learned_pricer> pricer;
+  std::string checkpoint;             ///< nn::serialize blob of the policy.
+  std::size_t cohorts = 0;            ///< Usable cohorts after preparation.
+  std::vector<rl::episode_stats> history;  ///< Training curve (ratio return).
+  /// Mean deterministic U_s(p)/U_s(oracle) across the cohort bank.
+  double eval_mean_ratio = 0.0;
+  double eval_min_ratio = 0.0;
+};
+
+/// Train the partial-information fleet pricer on cohorts harvested from the
+/// given scenarios, through the batched rl::vector_trainer. Deterministic
+/// given the seeds. Requires at least one harvest scenario that produces
+/// non-degenerate cohorts.
+[[nodiscard]] fleet_pricer_result train_fleet_pricer(
+    const fleet_pricer_config& config,
+    const rl::trainer::episode_callback& on_episode = {});
 
 }  // namespace vtm::core

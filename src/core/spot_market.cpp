@@ -22,6 +22,14 @@ spot_market::spot_market(spot_market_config config)
   VTM_EXPECTS(config_.unit_cost > 0.0);
   VTM_EXPECTS(config_.price_cap >= config_.unit_cost);
   VTM_EXPECTS(config_.min_clearable_mhz > 0.0);
+  if (!config_.policy) config_.policy = std::make_shared<oracle_policy>();
+}
+
+equilibrium spot_market::price_market(const migration_market& market,
+                                      double available_mhz) {
+  return config_.policy->price_cohort(
+      market, make_cohort_observation(market, available_mhz,
+                                      config_.pool_capacity_mhz));
 }
 
 void spot_market::submit(clearing_request request) {
@@ -55,7 +63,7 @@ clearing_outcome spot_market::clear_joint(double available_mhz) {
   params.price_cap = config_.price_cap;
 
   const migration_market market(std::move(params));
-  const equilibrium eq = solve_equilibrium(market);
+  const equilibrium eq = price_market(market, available_mhz);
   outcome.price = eq.price;
   outcome.markets_cleared = 1;
 
@@ -112,7 +120,7 @@ clearing_outcome spot_market::clear_sequential(double available_mhz) {
     params.unit_cost = config_.unit_cost;
     params.price_cap = config_.price_cap;
     const migration_market market(std::move(params));
-    const equilibrium eq = solve_equilibrium(market);
+    const equilibrium eq = price_market(market, remaining);
     outcome.price = eq.price;
     ++outcome.markets_cleared;
 

@@ -13,15 +13,24 @@
 //                 the legacy one-VMU-at-a-time behaviour, kept as a config
 //                 knob so the monopoly (fig3*) curves stay reproducible.
 //
+// *Where the price comes from* is pluggable (`core::pricing_policy`): the
+// default analytic oracle solves the Stackelberg equilibrium over the full
+// follower profiles (bitwise-identical to the pre-backend engine), while a
+// learned backend prices the cohort from a partial-information observation.
+// Either way the followers best-respond through the market, so the grant
+// invariants (Σ b <= remainder, price in the box) hold for every backend.
+//
 // The engine that owns the pool decides *when* to clear (epoch boundaries,
 // migration completions); this class only prices and partitions the book.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/equilibrium.hpp"
 #include "core/market.hpp"
+#include "core/pricing_policy.hpp"
 #include "wireless/link.hpp"
 
 namespace vtm::core {
@@ -72,6 +81,12 @@ struct spot_market_config {
   double unit_cost = 5.0;          ///< C — MSP's unit transmission cost.
   double price_cap = 50.0;         ///< p_max.
   double min_clearable_mhz = 0.5;  ///< Below this remainder, defer instead.
+  /// Pricing backend; null selects the analytic oracle. Shared so one
+  /// learned pricer can serve every pool of a fleet run.
+  std::shared_ptr<pricing_policy> policy;
+  /// Nominal pool capacity anchoring observation normalization (<= 0 falls
+  /// back to the clearing's available bandwidth).
+  double pool_capacity_mhz = 0.0;
 };
 
 /// Pending-request book + clearing logic for one bandwidth pool.
@@ -109,6 +124,8 @@ class spot_market {
  private:
   [[nodiscard]] clearing_outcome clear_joint(double available_mhz);
   [[nodiscard]] clearing_outcome clear_sequential(double available_mhz);
+  [[nodiscard]] equilibrium price_market(const migration_market& market,
+                                         double available_mhz);
 
   spot_market_config config_;
   std::vector<clearing_request> pending_;

@@ -3,6 +3,7 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -48,6 +49,18 @@ void load_parameters(std::istream& in, std::vector<variable>& params) {
     }
     p.set_value(std::move(t));
   }
+}
+
+std::string save_parameters_string(const std::vector<variable>& params) {
+  std::ostringstream out;
+  save_parameters(out, params);
+  return out.str();
+}
+
+void load_parameters_string(const std::string& blob,
+                            std::vector<variable>& params) {
+  std::istringstream in(blob);
+  load_parameters(in, params);
 }
 
 }  // namespace vtm::nn

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "nn/autograd.hpp"
@@ -19,5 +20,12 @@ void save_parameters(std::ostream& out, const std::vector<variable>& params);
 /// Read values back into existing parameters; shapes must match pairwise.
 /// Throws std::runtime_error on malformed input or shape mismatch.
 void load_parameters(std::istream& in, std::vector<variable>& params);
+
+/// String-blob convenience wrappers for checkpoint round-trips (the blob is
+/// the same text format, so files and strings interchange freely).
+[[nodiscard]] std::string save_parameters_string(
+    const std::vector<variable>& params);
+void load_parameters_string(const std::string& blob,
+                            std::vector<variable>& params);
 
 }  // namespace vtm::nn

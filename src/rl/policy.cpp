@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/gaussian.hpp"
+#include "nn/serialize.hpp"
 #include "util/contracts.hpp"
 
 namespace vtm::rl {
@@ -115,6 +116,15 @@ std::vector<nn::variable> actor_critic::parameters() const {
   for (const auto& p : value_head_.parameters()) params.push_back(p);
   params.push_back(log_std_);
   return params;
+}
+
+std::string to_checkpoint(const actor_critic& policy) {
+  return nn::save_parameters_string(policy.parameters());
+}
+
+void load_checkpoint(actor_critic& policy, const std::string& checkpoint) {
+  auto params = policy.parameters();
+  nn::load_parameters_string(checkpoint, params);
 }
 
 }  // namespace vtm::rl

@@ -5,6 +5,7 @@
 // and the state value. A global learnable log-std parameterizes exploration.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "nn/autograd.hpp"
@@ -103,5 +104,15 @@ class actor_critic {
   nn::linear value_head_;
   nn::variable log_std_;
 };
+
+/// Serialize a policy's parameters to a text checkpoint (nn::serialize
+/// format). Round-trips exactly: load_checkpoint(to_checkpoint(p)) restores
+/// the same forward pass bit for bit.
+[[nodiscard]] std::string to_checkpoint(const actor_critic& policy);
+
+/// Load a checkpoint produced by to_checkpoint into an identically-shaped
+/// policy. Throws std::runtime_error on malformed input or an architecture
+/// (parameter shape) mismatch.
+void load_checkpoint(actor_critic& policy, const std::string& checkpoint);
 
 }  // namespace vtm::rl

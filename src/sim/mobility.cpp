@@ -15,7 +15,7 @@ vehicle_state advance(vehicle_state v, double dt) {
 
 rsu_chain::rsu_chain(std::size_t count, double spacing_m,
                      double coverage_radius_m)
-    : spacing_(spacing_m), radius_(coverage_radius_m) {
+    : spacing_(spacing_m), radius_(coverage_radius_m), uniform_(true) {
   VTM_EXPECTS(count >= 1);
   VTM_EXPECTS(spacing_m > 0.0);
   VTM_EXPECTS(coverage_radius_m > 0.0);
@@ -25,18 +25,48 @@ rsu_chain::rsu_chain(std::size_t count, double spacing_m,
     centers_.push_back(spacing_m * static_cast<double>(i + 1));
 }
 
+rsu_chain::rsu_chain(std::vector<double> centers_m, double coverage_radius_m)
+    : centers_(std::move(centers_m)),
+      radius_(coverage_radius_m),
+      uniform_(false) {
+  VTM_EXPECTS(!centers_.empty());
+  VTM_EXPECTS(coverage_radius_m > 0.0);
+  double max_gap = 0.0;
+  for (std::size_t i = 1; i < centers_.size(); ++i) {
+    const double gap = centers_[i] - centers_[i - 1];
+    VTM_EXPECTS(gap > 0.0);
+    max_gap = std::max(max_gap, gap);
+  }
+  VTM_EXPECTS(coverage_radius_m >= max_gap / 2.0);
+  spacing_ = centers_.size() > 1 ? (centers_.back() - centers_.front()) /
+                                       static_cast<double>(centers_.size() - 1)
+                                 : 2.0 * radius_;
+}
+
 double rsu_chain::center_m(std::size_t i) const {
   VTM_EXPECTS(i < centers_.size());
   return centers_[i];
 }
 
 std::size_t rsu_chain::serving_rsu(double position_m) const noexcept {
-  // Nearest centre; equal-spacing makes this arithmetic.
   if (position_m <= centers_.front()) return 0;
   if (position_m >= centers_.back()) return centers_.size() - 1;
-  const double offset = (position_m - centers_.front()) / spacing_;
-  const auto i = static_cast<std::size_t>(std::lround(offset));
-  return std::min(i, centers_.size() - 1);
+  if (uniform_) {
+    // Equal spacing makes nearest-centre arithmetic; kept verbatim so the
+    // uniform chains the fleet engine builds reproduce historic rounding at
+    // cell midpoints bit for bit.
+    const double offset = (position_m - centers_.front()) / spacing_;
+    const auto i = static_cast<std::size_t>(std::lround(offset));
+    return std::min(i, centers_.size() - 1);
+  }
+  // Non-uniform: nearest centre via the first midpoint strictly beyond the
+  // position (a position exactly on a midpoint belongs to the next cell,
+  // matching lround's round-half-up on the uniform path).
+  std::size_t i = 0;
+  while (i + 1 < centers_.size() &&
+         position_m >= 0.5 * (centers_[i] + centers_[i + 1]))
+    ++i;
+  return i;
 }
 
 double rsu_chain::handover_position_m(std::size_t i) const {

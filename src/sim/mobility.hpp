@@ -29,6 +29,11 @@ class rsu_chain {
   /// coverage (radius >= spacing/2) so every position is served.
   rsu_chain(std::size_t count, double spacing_m, double coverage_radius_m);
 
+  /// Explicitly-placed (possibly non-uniform) RSU centres, strictly
+  /// increasing. Requires every adjacent gap > 0 and contiguous coverage
+  /// (radius >= max gap / 2). `spacing_m()` then reports the mean gap.
+  rsu_chain(std::vector<double> centers_m, double coverage_radius_m);
+
   [[nodiscard]] std::size_t count() const noexcept { return centers_.size(); }
   [[nodiscard]] double spacing_m() const noexcept { return spacing_; }
   [[nodiscard]] double coverage_radius_m() const noexcept { return radius_; }
@@ -63,6 +68,7 @@ class rsu_chain {
   std::vector<double> centers_;
   double spacing_;
   double radius_;
+  bool uniform_;  ///< Uniform ctor: keep the exact arithmetic nearest-centre.
 };
 
 }  // namespace vtm::sim
