@@ -6,17 +6,24 @@
 // and the demand-weighted clearing price. A second section times a seed
 // sweep serially versus through util::thread_pool.
 //
-//   $ ./fleet_throughput [--smoke] [--compare] [--json PATH]
+//   $ ./fleet_throughput [--smoke] [--compare] [--shards N] [--json PATH]
 //
 // --smoke trims the counts and horizon for CI; the full run covers vehicle
 // counts {10, 100, 1000, 5000}. --compare additionally trains the
 // partial-information fleet pricer (core::train_fleet_pricer) and re-runs
 // every regime with the learned backend, reporting learned/oracle MSP
-// utility ratios. Every run writes a machine-readable BENCH_fleet.json
-// (vehicles/sec, per-regime MSP utility, and the comparison when enabled)
-// so the perf trajectory is trackable across PRs; --json overrides the path.
+// utility ratios. --shards N re-runs the largest regime with the sharded
+// engine at shard counts {1, 2, 4, ..., N} (default 8, smoke 4) and reports
+// the single-run speedup over the serial engine plus the boundary-traffic
+// counters; the conservation invariants gate the exit code, the speedup is
+// reported only (shared/single-core runners make a wall-clock ratio an
+// unreliable hard check). Every run writes a machine-readable
+// BENCH_fleet.json (vehicles/sec, per-regime MSP utility, the shard sweep,
+// and the comparison when enabled) so the perf trajectory is trackable
+// across PRs; --json overrides the path.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -53,8 +60,17 @@ struct regime_report {
   double learned_wall_s = 0.0;
 };
 
+/// One shard-count measurement of the largest regime.
+struct shard_report {
+  std::size_t shards = 1;
+  double wall_s = 0.0;
+  vtm::core::fleet_result result;
+  bool conserved = false;
+};
+
 void write_json(const std::string& path, bool smoke, double duration_s,
                 const std::vector<regime_report>& regimes,
+                const std::vector<shard_report>& shard_sweep,
                 double train_wall_s, std::size_t train_cohorts,
                 double eval_mean_ratio, double sweep_serial_s,
                 double sweep_parallel_s, std::size_t sweep_threads) {
@@ -106,6 +122,35 @@ void write_json(const std::string& path, bool smoke, double duration_s,
     std::fprintf(out, "    }%s\n", i + 1 < regimes.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  if (!shard_sweep.empty()) {
+    const double serial_wall =
+        shard_sweep.front().wall_s > 1e-9 ? shard_sweep.front().wall_s : 1e-9;
+    std::fprintf(out, "  \"shard_sweep\": [\n");
+    for (std::size_t i = 0; i < shard_sweep.size(); ++i) {
+      const auto& report = shard_sweep[i];
+      const double wall = report.wall_s > 1e-9 ? report.wall_s : 1e-9;
+      std::fprintf(out, "    {\n");
+      std::fprintf(out, "      \"shards\": %zu,\n", report.shards);
+      std::fprintf(out, "      \"wall_s\": %.6f,\n", report.wall_s);
+      std::fprintf(out, "      \"speedup\": %.3f,\n", serial_wall / wall);
+      std::fprintf(out, "      \"handovers\": %zu,\n",
+                   report.result.handovers);
+      std::fprintf(out, "      \"completed\": %zu,\n",
+                   report.result.completed);
+      std::fprintf(out, "      \"cross_shard_transfers\": %zu,\n",
+                   report.result.cross_shard_transfers);
+      std::fprintf(out, "      \"cross_shard_retargets\": %zu,\n",
+                   report.result.cross_shard_retargets);
+      std::fprintf(out, "      \"late_handoffs\": %zu,\n",
+                   report.result.late_handoffs);
+      std::fprintf(out, "      \"msp_utility\": %.6f,\n",
+                   report.result.msp_total_utility);
+      std::fprintf(out, "      \"invariants\": \"%s\"\n",
+                   report.conserved ? "ok" : "FAILED");
+      std::fprintf(out, "    }%s\n", i + 1 < shard_sweep.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+  }
   if (train_cohorts > 0) {
     std::fprintf(out, "  \"pricer_training\": {\n");
     std::fprintf(out, "    \"wall_s\": %.6f,\n", train_wall_s);
@@ -127,12 +172,24 @@ void write_json(const std::string& path, bool smoke, double duration_s,
 int main(int argc, char** argv) {
   bool smoke = false;
   bool compare = false;
+  std::size_t max_shards = 0;  // 0: default per mode (8 full, 4 smoke)
   std::string json_path = "BENCH_fleet.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--compare") == 0) compare = true;
+    else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      const long parsed = std::atol(argv[++i]);
+      max_shards = parsed > 0 ? static_cast<std::size_t>(parsed) : 1;
+    }
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+  }
+  if (max_shards == 0) max_shards = smoke ? 4 : 8;
+  // The engine requires shard_count <= RSU count; the bench chain is fixed
+  // at 8 RSUs, so clamp rather than abort mid-sweep on a contract error.
+  if (max_shards > 8) {
+    std::printf("--shards clamped to 8 (the bench chain has 8 RSUs)\n");
+    max_shards = 8;
   }
   const double duration_s = smoke ? 30.0 : 120.0;
   const std::vector<std::size_t> counts =
@@ -233,6 +290,54 @@ int main(int argc, char** argv) {
     std::printf("%s\n", compare_table.render().c_str());
   }
 
+  // Sharded single-run scaling on the largest regime: the same fleet, the
+  // RSU chain partitioned into per-shard event queues. Conservation must
+  // hold at every shard count; the wall-clock ratio is reported (it only
+  // materializes with real cores — on a 1-CPU runner expect ~1.0x plus
+  // barrier noise).
+  std::vector<shard_report> shard_sweep;
+  bool shards_conserved = true;
+  if (max_shards > 1) {
+    auto shard_config = base_config(duration_s);
+    shard_config.vehicle_count = counts.back();
+    std::printf("shard sweep (%zu vehicles, %zu RSUs):\n",
+                shard_config.vehicle_count, shard_config.rsu_count);
+    vtm::util::ascii_table shard_table(
+        {"shards", "wall (s)", "speedup", "handovers", "migrations",
+         "transfers", "retargets", "late"});
+    for (std::size_t shards = 1; shards <= max_shards; shards *= 2) {
+      shard_config.shard_count = shards;
+      shard_report report;
+      report.shards = shards;
+      const auto start = clock_type::now();
+      report.result = vtm::core::run_fleet_scenario(shard_config);
+      report.wall_s = seconds_since(start);
+      const auto& r = report.result;
+      std::size_t twin_migrations = 0;
+      for (const auto& v : r.vehicles) twin_migrations += v.migrations;
+      report.conserved =
+          r.handovers == r.completed + r.priced_out + r.abandoned &&
+          r.vehicles.size() == shard_config.vehicle_count &&
+          twin_migrations == r.completed;
+      shards_conserved = shards_conserved && report.conserved;
+      const double wall = report.wall_s > 1e-9 ? report.wall_s : 1e-9;
+      const double serial_wall =
+          shard_sweep.empty() ? report.wall_s : shard_sweep.front().wall_s;
+      shard_table.add_row(std::vector<double>{
+          static_cast<double>(shards), report.wall_s,
+          (serial_wall > 1e-9 ? serial_wall : 1e-9) / wall,
+          static_cast<double>(r.handovers),
+          static_cast<double>(r.completed),
+          static_cast<double>(r.cross_shard_transfers),
+          static_cast<double>(r.cross_shard_retargets),
+          static_cast<double>(r.late_handoffs)});
+      shard_sweep.push_back(std::move(report));
+    }
+    std::printf("%s", shard_table.render().c_str());
+    std::printf("shard invariants (conservation at every shard count): %s\n\n",
+                shards_conserved ? "OK" : "FAILED");
+  }
+
   // Seed-sweep scaling: independent seeds sharded across the thread pool.
   const std::size_t sweep_vehicles = smoke ? 100 : 1000;
   const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
@@ -274,8 +379,8 @@ int main(int argc, char** argv) {
                 "congested): %s\n",
                 thresholds_ok ? "OK" : "FAILED");
 
-  write_json(json_path, smoke, duration_s, regimes, train_wall_s,
-             train_cohorts, eval_mean_ratio, serial_wall, parallel_wall,
-             threads);
-  return reproduced && thresholds_ok ? 0 : 1;
+  write_json(json_path, smoke, duration_s, regimes, shard_sweep,
+             train_wall_s, train_cohorts, eval_mean_ratio, serial_wall,
+             parallel_wall, threads);
+  return reproduced && thresholds_ok && shards_conserved ? 0 : 1;
 }

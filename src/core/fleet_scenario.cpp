@@ -1,415 +1,22 @@
 #include "core/fleet_scenario.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <memory>
-#include <utility>
+#include <cstdint>
 
-#include "core/aotm.hpp"
-#include "core/spot_market.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/mobility.hpp"
-#include "sim/precopy.hpp"
-#include "sim/vt.hpp"
-#include "util/contracts.hpp"
-#include "util/rng.hpp"
+#include "core/fleet_shard.hpp"
 #include "util/thread_pool.hpp"
-#include "wireless/ofdma.hpp"
 
 namespace vtm::core {
 
-namespace {
-
-/// Mutable per-vehicle simulation state.
-struct vehicle_slot {
-  sim::vehicle_state kinematics;
-  vmu_profile profile;
-  std::unique_ptr<sim::vehicular_twin> twin;
-  double position_at = 0.0;  ///< Simulation time of `kinematics.position_m`.
-};
-
-/// Build the RSU chain: explicit (possibly non-uniform) centres when given,
-/// the legacy uniform layout otherwise.
-sim::rsu_chain make_chain(const fleet_config& config) {
-  if (!config.rsu_positions_m.empty())
-    return sim::rsu_chain(config.rsu_positions_m, config.coverage_radius_m);
-  return sim::rsu_chain(config.rsu_count, config.rsu_spacing_m,
-                        config.coverage_radius_m);
-}
-
-/// One fleet run: per-RSU pools + spot-market books over an event queue.
-class fleet_engine {
- public:
-  explicit fleet_engine(const fleet_config& config)
-      : config_(config),
-        gen_(config.seed),
-        chain_(make_chain(config)),
-        epoch_s_(config.mode == market_mode::joint ? config.clearing_epoch_s
-                                                   : 0.0) {
-    const std::size_t pool_count =
-        config.shared_pool ? 1 : chain_.count();
-
-    // Pricing backend, shared by every pool's book (one learned pricer can
-    // serve the whole chain; null selects the analytic oracle).
-    std::shared_ptr<pricing_policy> policy;
-    if (config.pricing == pricing_backend::learned) {
-      VTM_EXPECTS(config.pricer != nullptr);
-      policy = std::make_shared<learned_policy>(config.pricer);
-    }
-
-    spot_market_config market_config;
-    market_config.discipline = config.mode == market_mode::joint
-                                   ? clearing_discipline::joint
-                                   : clearing_discipline::sequential;
-    market_config.unit_cost = config.unit_cost;
-    market_config.price_cap = config.price_cap;
-    market_config.min_clearable_mhz = config.min_clearable_mhz;
-    market_config.pool_capacity_mhz = config.bandwidth_per_pool_mhz;
-    market_config.policy = policy;
-
-    pools_.reserve(pool_count);
-    markets_.reserve(pool_count);
-    pool_links_.reserve(pool_count);
-    budgets_.reserve(pool_count);
-    for (std::size_t p = 0; p < pool_count; ++p) {
-      wireless::link_params link = config.link;
-      link.distance_m = pool_link_distance_m(p);
-      pool_links_.push_back(link);
-      budgets_.emplace_back(link);
-      market_config.link = link;
-      pools_.emplace_back(config.bandwidth_per_pool_mhz);
-      markets_.emplace_back(market_config);
-    }
-    clearing_scheduled_.assign(pool_count, false);
-
-    spawn_vehicles();
-  }
-
-  fleet_result run() {
-    for (std::size_t v = 0; v < vehicles_.size(); ++v)
-      schedule_next_handover(v);
-    queue_.run_until(config_.duration_s);
-    // Drain phase: no new handovers are admitted past the horizon, so only
-    // completions and the re-clearings they trigger remain. Running the queue
-    // dry (rather than a fixed grace window) guarantees every started
-    // migration lands in the totals *and* the records.
-    queue_.run_all(std::numeric_limits<std::size_t>::max());
-    // Anything still booked has no release left to wait for.
-    for (auto& market : markets_)
-      result_.abandoned += market.abandon_pending().size();
-
-    if (result_.completed > 0) {
-      const double n = static_cast<double>(result_.completed);
-      result_.mean_aotm = sum_aotm_ / n;
-      result_.mean_amplification = sum_amplification_ / n;
-      if (sum_bandwidth_ > 0.0)
-        result_.mean_price = sum_price_bandwidth_ / sum_bandwidth_;
-    }
-    return std::move(result_);
-  }
-
- private:
-  [[nodiscard]] std::size_t pool_index(std::size_t rsu) const noexcept {
-    return config_.shared_pool ? 0 : rsu;
-  }
-
-  /// Migration-link distance of pool `p`: the actual gap to the destination
-  /// RSU's upstream neighbour (forward traffic hands over from RSU p-1 to
-  /// RSU p). RSU 0 receives no forward handovers, so its pool uses the
-  /// downstream gap; the legacy shared pool keeps the chain-wide spacing.
-  /// Uniform chains return the configured spacing directly — on a uniform
-  /// chain every gap *is* the spacing, and the centre-difference arithmetic
-  /// would drift from it by ulps for non-dyadic values, breaking bitwise
-  /// reproduction of the pre-heterogeneity engine.
-  [[nodiscard]] double pool_link_distance_m(std::size_t p) const {
-    if (config_.shared_pool || chain_.count() < 2 ||
-        config_.rsu_positions_m.empty())
-      return chain_.spacing_m();
-    return p > 0 ? chain_.link_distance_m(p - 1, p)
-                 : chain_.link_distance_m(0, 1);
-  }
-
-  void spawn_vehicles() {
-    // Auto spawn span: spread the fleet over the whole chain so every RSU
-    // sees load; the legacy scenario pins the span before the first boundary.
-    // Uniform chains keep the original spacing arithmetic verbatim (bitwise
-    // reproduction); explicit chains derive the span from the actual centres.
-    double auto_lo, auto_hi;
-    if (config_.rsu_positions_m.empty()) {
-      const double spacing = config_.rsu_spacing_m;
-      auto_lo = 0.5 * spacing;
-      auto_hi = (static_cast<double>(config_.rsu_count) - 0.5) * spacing;
-    } else {
-      auto_lo = chain_.center_m(0) -
-                0.5 * (chain_.count() > 1 ? chain_.link_distance_m(0, 1)
-                                          : chain_.spacing_m());
-      auto_hi = chain_.center_m(chain_.count() - 1) -
-                0.5 * (chain_.count() > 1
-                           ? chain_.link_distance_m(chain_.count() - 2,
-                                                    chain_.count() - 1)
-                           : 0.0);
-    }
-    const double lo = config_.spawn_min_m > 0.0 ? config_.spawn_min_m : auto_lo;
-    const double hi = config_.spawn_max_m > 0.0 ? config_.spawn_max_m
-                                                : std::max(lo, auto_hi);
-    VTM_EXPECTS(hi >= lo);
-
-    vehicles_.resize(config_.vehicle_count);
-    for (std::size_t v = 0; v < vehicles_.size(); ++v) {
-      auto& slot = vehicles_[v];
-      slot.kinematics.position_m = gen_.uniform(lo, hi);
-      slot.kinematics.speed_mps =
-          gen_.uniform(config_.min_speed_mps, config_.max_speed_mps);
-      slot.profile.alpha = gen_.uniform(config_.min_alpha, config_.max_alpha);
-      slot.profile.data_mb =
-          gen_.uniform(config_.min_data_mb, config_.max_data_mb);
-      slot.twin = std::make_unique<sim::vehicular_twin>(
-          sim::vehicular_twin::with_total_mb(v, slot.profile.data_mb,
-                                             config_.page_mb));
-      slot.twin->set_host_rsu(chain_.serving_rsu(slot.kinematics.position_m));
-    }
-  }
-
-  /// Bring a vehicle's kinematics forward to the current simulation time.
-  void sync_position(std::size_t v) {
-    auto& slot = vehicles_[v];
-    const double dt = queue_.now() - slot.position_at;
-    if (dt > 0.0) {
-      slot.kinematics = sim::advance(slot.kinematics, dt);
-      slot.position_at = queue_.now();
-    }
-  }
-
-  void schedule_next_handover(std::size_t v) {
-    sync_position(v);
-    const auto& slot = vehicles_[v];
-    const auto next = chain_.next_handover(slot.kinematics);
-    if (!next) return;  // cruising past the end of the chain
-    const double when = queue_.now() + next->after_s;
-    if (when > config_.duration_s) return;
-    queue_.schedule(when, [this, v, from = next->from_rsu,
-                           to = next->to_rsu] {
-      sync_position(v);
-      on_handover(v, from, to);
-    });
-  }
-
-  void on_handover(std::size_t v, std::size_t from, std::size_t to) {
-    ++result_.handovers;
-    clearing_request request;
-    request.vehicle = v;
-    request.profile = vehicles_[v].profile;
-    request.from_rsu = from;
-    request.to_rsu = to;
-    request.submitted_s = queue_.now();
-    const std::size_t pidx = pool_index(to);
-    markets_[pidx].submit(std::move(request));
-    schedule_clearing(pidx, next_epoch_boundary());
-  }
-
-  /// Smallest clearing-grid time >= now (now itself when it sits on the grid
-  /// or the epoch is zero), so same-epoch handovers aggregate into one market.
-  [[nodiscard]] double next_epoch_boundary() const {
-    if (epoch_s_ <= 0.0) return queue_.now();
-    return std::max(queue_.now(),
-                    epoch_s_ * std::ceil(queue_.now() / epoch_s_ - 1e-9));
-  }
-
-  void schedule_clearing(std::size_t pidx, double at) {
-    if (clearing_scheduled_[pidx]) return;
-    clearing_scheduled_[pidx] = true;
-    queue_.schedule(at, [this, pidx] { run_clearing(pidx); });
-  }
-
-  void run_clearing(std::size_t pidx) {
-    clearing_scheduled_[pidx] = false;
-
-    // Retarget deferred requests before pricing: a vehicle may have crossed
-    // further boundaries while waiting, so its destination (and therefore its
-    // pool) is recomputed from the *current* position, and the source from
-    // where the twin actually sits. Requests submitted at this very instant
-    // keep the handover's own from/to: recomputing them would trust a
-    // position that can sit one ulp shy of the cell midpoint and bounce the
-    // destination back into the source cell.
-    auto& book = markets_[pidx].pending_requests();
-    std::size_t keep = 0;  // FIFO-preserving compaction of kept requests
-    for (std::size_t i = 0; i < book.size(); ++i) {
-      auto& request = book[i];
-      bool stays = true;
-      if (request.submitted_s < queue_.now()) {
-        sync_position(request.vehicle);
-        const auto& slot = vehicles_[request.vehicle];
-        request.from_rsu = slot.twin->host_rsu();
-        request.to_rsu = chain_.serving_rsu(slot.kinematics.position_m);
-        const std::size_t target = pool_index(request.to_rsu);
-        if (target != pidx) {
-          markets_[target].submit(std::move(request));
-          schedule_clearing(target, next_epoch_boundary());
-          stays = false;
-        }
-      }
-      if (stays) {
-        if (keep != i) book[keep] = std::move(request);
-        ++keep;
-      }
-    }
-    book.resize(keep);
-
-    // The pool tolerates epsilon overshoot at the capacity boundary, so the
-    // remainder can read a hair below zero.
-    const double available = std::max(0.0, pools_[pidx].available_mhz());
-    // Harvest only joint-mode clearings: they price the whole book as one
-    // market, which is exactly what a snapshot of (book, available)
-    // describes. Sequential mode prices size-1 sub-markets over a shrinking
-    // remainder, so a whole-book snapshot would train the pricer on
-    // observations it never sees at deployment.
-    if (config_.record_cohorts && config_.mode == market_mode::joint &&
-        !book.empty() && available >= config_.min_clearable_mhz) {
-      // Harvest the clearing cohort as training data for the learned pricer:
-      // full profiles (the oracle label needs them) + the pool state the
-      // partial-information observation summarizes.
-      cohort_snapshot snapshot;
-      snapshot.profiles.reserve(book.size());
-      for (const auto& request : book)
-        snapshot.profiles.push_back(request.profile);
-      snapshot.available_mhz = available;
-      snapshot.capacity_mhz = config_.bandwidth_per_pool_mhz;
-      snapshot.link = pool_links_[pidx];
-      snapshot.unit_cost = config_.unit_cost;
-      snapshot.price_cap = config_.price_cap;
-      result_.cohorts.push_back(std::move(snapshot));
-    }
-    auto outcome = markets_[pidx].clear(available);
-    result_.deferred += outcome.deferred;
-    if (outcome.markets_cleared > 0) ++result_.clearings;
-
-    for (const auto& request : outcome.priced_out) {
-      // Price too high for this VMU: the twin stays behind (service
-      // degrades); the handover completes without migration.
-      ++result_.priced_out;
-      vehicles_[request.vehicle].twin->set_host_rsu(request.to_rsu);
-      schedule_next_handover(request.vehicle);
-    }
-    for (const auto& grant : outcome.grants) start_migration(pidx, grant);
-
-    if (outcome.deferred > 0) {
-      if (pools_[pidx].active_grants() > 0) {
-        // Capacity is in flight; the next completion re-clears this book.
-        return;
-      }
-      // Nothing will ever release capacity (the pool itself is smaller than
-      // the clearable minimum): drop the requests instead of spinning.
-      for (const auto& request : markets_[pidx].abandon_pending()) {
-        ++result_.abandoned;
-        vehicles_[request.vehicle].twin->set_host_rsu(request.to_rsu);
-        schedule_next_handover(request.vehicle);
-      }
-    }
-  }
-
-  void start_migration(std::size_t pidx, const clearing_grant& grant) {
-    auto& slot = vehicles_[grant.request.vehicle];
-    const auto handle = pools_[pidx].allocate(grant.bandwidth_mhz);
-    VTM_ASSERT(handle.has_value());
-
-    // Pre-copy migration over the granted bandwidth (normalized MB/s rate:
-    // MHz × spectral efficiency, matching the paper's unit convention).
-    sim::precopy_params precopy;
-    precopy.dirty_rate_mb_s = config_.dirty_rate_mb_s;
-    precopy.stop_copy_threshold_mb = config_.stop_copy_threshold_mb;
-    const double rate_mb_s =
-        grant.bandwidth_mhz * budgets_[pidx].spectral_efficiency();
-    const auto report = sim::run_precopy(*slot.twin, rate_mb_s, precopy);
-
-    migration_record record;
-    record.start_s = queue_.now();
-    record.requested_s = grant.request.submitted_s;
-    record.vehicle = grant.request.vehicle;
-    record.from_rsu = grant.request.from_rsu;
-    record.to_rsu = grant.request.to_rsu;
-    record.price = grant.price;
-    record.bandwidth_mhz = grant.bandwidth_mhz;
-    record.cohort = grant.cohort;
-    record.aotm_closed_form = aotm_closed_form(
-        slot.twin->total_mb(), grant.bandwidth_mhz, budgets_[pidx]);
-    record.aotm_simulated = aotm_from_migration(report);
-    record.downtime_s = report.downtime_s;
-    record.data_sent_mb = report.total_sent_mb;
-    record.vmu_utility = grant.vmu_utility;
-    record.msp_utility = grant.msp_utility;
-    record.precopy_converged = report.converged;
-    result_.max_cohort = std::max(result_.max_cohort, grant.cohort);
-
-    queue_.schedule_in(report.total_time_s,
-                       [this, pidx, grant_id = *handle, record] {
-                         finish_migration(pidx, grant_id, record);
-                       });
-  }
-
-  void finish_migration(std::size_t pidx, wireless::grant_id grant_id,
-                        const migration_record& record) {
-    pools_[pidx].release(grant_id);
-    auto& slot = vehicles_[record.vehicle];
-    slot.twin->set_host_rsu(record.to_rsu);
-    slot.twin->record_migration();
-
-    // Completion-based accounting: totals and records accrue together, so a
-    // fully drained run always satisfies totals == Σ over `migrations`.
-    ++result_.completed;
-    result_.msp_total_utility += record.msp_utility;
-    result_.vmu_total_utility += record.vmu_utility;
-    sum_aotm_ += record.aotm_simulated;
-    sum_amplification_ +=
-        record.data_sent_mb / std::max(1e-9, slot.twin->total_mb());
-    sum_price_bandwidth_ += record.price * record.bandwidth_mhz;
-    sum_bandwidth_ += record.bandwidth_mhz;
-    if (config_.record_migrations) result_.migrations.push_back(record);
-
-    schedule_next_handover(record.vehicle);
-    // A release frees capacity: re-clear any deferred requests immediately.
-    if (markets_[pidx].pending() > 0)
-      schedule_clearing(pidx, queue_.now());
-  }
-
-  const fleet_config& config_;
-  util::rng gen_;
-  sim::event_queue queue_;
-  sim::rsu_chain chain_;
-  double epoch_s_;
-  std::vector<wireless::link_params> pool_links_;   ///< Per-pool channel.
-  std::vector<wireless::link_budget> budgets_;      ///< Per-pool rates.
-  std::vector<wireless::ofdma_pool> pools_;
-  std::vector<spot_market> markets_;
-  std::vector<bool> clearing_scheduled_;
-  std::vector<vehicle_slot> vehicles_;
-  fleet_result result_;
-  double sum_aotm_ = 0.0;
-  double sum_amplification_ = 0.0;
-  double sum_price_bandwidth_ = 0.0;
-  double sum_bandwidth_ = 0.0;
-};
-
-}  // namespace
+// The engine itself lives in core/fleet_shard.{hpp,cpp}: a run is a
+// `shard_coordinator` owning `shard_count` shard-local engines (per-RSU
+// pools and books over per-shard event queues) advanced in conservative
+// time windows. `shard_count = 1` — the default, and the only topology the
+// legacy shared pool supports — executes the exact pre-shard event
+// sequence, so this entry point stayed bitwise stable across the refactor.
 
 fleet_result run_fleet_scenario(const fleet_config& config) {
-  VTM_EXPECTS(config.rsu_count >= 1 || !config.rsu_positions_m.empty());
-  VTM_EXPECTS(config.pricing == pricing_backend::oracle ||
-              config.pricer != nullptr);
-  VTM_EXPECTS(config.vehicle_count >= 1);
-  VTM_EXPECTS(config.duration_s > 0.0);
-  VTM_EXPECTS(config.min_speed_mps > 0.0);
-  VTM_EXPECTS(config.max_speed_mps >= config.min_speed_mps);
-  VTM_EXPECTS(config.min_data_mb > 0.0);
-  VTM_EXPECTS(config.max_data_mb >= config.min_data_mb);
-  VTM_EXPECTS(config.min_alpha > 0.0);
-  VTM_EXPECTS(config.max_alpha >= config.min_alpha);
-  VTM_EXPECTS(config.bandwidth_per_pool_mhz > 0.0);
-  VTM_EXPECTS(config.clearing_epoch_s >= 0.0);
-  VTM_EXPECTS(config.min_clearable_mhz > 0.0);
-
-  fleet_engine engine(config);
-  return engine.run();
+  shard_coordinator coordinator(config);
+  return coordinator.run();
 }
 
 std::vector<fleet_result> run_fleet_sweep(

@@ -11,9 +11,15 @@
 // migration finishes, and the run drains the event queue to empty, so totals
 // always equal the sum over `migrations` and no in-flight work is lost.
 //
+// A single run parallelizes across `shard_count` contiguous RSU shards, each
+// owning its RSUs' pools, books, and its own `sim::event_queue`; shards
+// advance in conservative time windows and exchange boundary handoffs at
+// barriers (core/fleet_shard.hpp, DESIGN.md §10). `shard_count = 1` (the
+// default) is bitwise identical to the pre-shard serial engine.
+//
 // `run_fleet_sweep` evaluates independent seeds in parallel through
-// `util::thread_pool`; each run owns its RNG, queue, and pools, so the sweep
-// is bitwise identical to running the seeds serially.
+// `util::thread_pool`; each run owns its RNG, queues, and pools, so the
+// sweep is bitwise identical to running the seeds serially.
 #pragma once
 
 #include <cstdint>
@@ -42,9 +48,11 @@ struct fleet_config {
   double max_speed_mps = 35.0;
   double duration_s = 120.0;     ///< Handover-admission horizon.
 
-  /// Spawn span along the highway; <= 0 means "auto" (spread across the whole
-  /// chain so every RSU sees load). The legacy scenario pins this to the
-  /// stretch before the first handover boundary.
+  /// Spawn span along the highway; < 0 means "auto" (spread across the whole
+  /// chain so every RSU sees load), so an explicit window may start at 0 m.
+  /// When both bounds are explicit, spawn_max_m >= spawn_min_m is required.
+  /// The legacy scenario pins this to the stretch before the first handover
+  /// boundary.
   double spawn_min_m = -1.0;
   double spawn_max_m = -1.0;
 
@@ -86,7 +94,31 @@ struct fleet_config {
   /// aggregates are accumulated either way).
   bool record_migrations = true;
 
+  // Sharded execution (core/fleet_shard.hpp).
+  /// Contiguous RSU shards a single run is partitioned into. Each shard owns
+  /// its RSUs' pools, spot-market books, and its own event queue; shards run
+  /// on `util::thread_pool` workers and exchange boundary handoffs at
+  /// conservative window barriers. 1 = the serial engine (bitwise identical
+  /// to the pre-shard code); requires shard_count <= RSU count, and the
+  /// legacy `shared_pool` topology supports only shard_count = 1.
+  std::size_t shard_count = 1;
+  /// Synchronization window length in seconds; <= 0 derives it from the
+  /// chain's minimum boundary travel time at `max_speed_mps` (snapped to a
+  /// clearing-epoch multiple so grid clearings land on barriers). Any
+  /// positive value is *safe* — late boundary crossings are clamped to the
+  /// next barrier and counted in `fleet_result::late_handoffs` — but windows
+  /// longer than the lookahead trade fidelity for fewer barriers.
+  double window_s = 0.0;
+
   std::uint64_t seed = 2023;
+};
+
+/// Per-vehicle end-of-run state (always filled; indexed by vehicle id).
+struct vehicle_summary {
+  std::size_t host_rsu = 0;    ///< RSU hosting the twin after the drain.
+  std::size_t migrations = 0;  ///< Completed migrations of this twin.
+  double position_m = 0.0;     ///< Position at the vehicle's last sync.
+  std::size_t shard = 0;       ///< Shard owning the vehicle at the end.
 };
 
 /// Aggregate outcome of a fleet run.
@@ -100,6 +132,13 @@ struct fleet_result {
   std::size_t completed = 0;    ///< Migrations run to completion.
   std::size_t clearings = 0;    ///< Clearing events that priced >= 1 market.
   std::size_t max_cohort = 0;   ///< Largest cohort priced as one market.
+  std::vector<vehicle_summary> vehicles;  ///< Final per-vehicle state.
+  /// Sharding diagnostics (all zero for shard_count = 1).
+  std::size_t cross_shard_transfers = 0;  ///< Vehicles handed between shards.
+  std::size_t cross_shard_retargets = 0;  ///< Deferred requests re-homed.
+  std::size_t late_handoffs = 0;  ///< Deliveries clamped to a later barrier;
+                                  ///< 0 means the run matched the serial
+                                  ///< engine's event timing exactly.
   double msp_total_utility = 0.0;  ///< Σ over completed migrations.
   double vmu_total_utility = 0.0;
   double mean_aotm = 0.0;

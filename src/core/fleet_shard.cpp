@@ -1,0 +1,684 @@
+#include "core/fleet_shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/aotm.hpp"
+#include "sim/precopy.hpp"
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+namespace {
+
+/// Build the RSU chain: explicit (possibly non-uniform) centres when given,
+/// the legacy uniform layout otherwise.
+sim::rsu_chain make_chain(const fleet_config& config) {
+  if (!config.rsu_positions_m.empty())
+    return sim::rsu_chain(config.rsu_positions_m, config.coverage_radius_m);
+  return sim::rsu_chain(config.rsu_count, config.rsu_spacing_m,
+                        config.coverage_radius_m);
+}
+
+const fleet_config& validated(const fleet_config& config) {
+  validate_fleet_config(config);
+  return config;
+}
+
+/// Conservative window for the chain: a vehicle entering a shard's first
+/// cell must traverse at least the narrowest inter-boundary cell before it
+/// can cross into the next shard, so half that travel time leaves margin for
+/// crossings announced late (a migration resolving near the boundary). The
+/// window snaps down to a clearing-epoch multiple so epoch-grid clearings —
+/// and the requests they re-home across shards — land exactly on barriers.
+double auto_window_s(const fleet_config& config, const sim::rsu_chain& chain,
+                     double epoch_s) {
+  double min_cell_m = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 2 < chain.count(); ++i)
+    min_cell_m = std::min(min_cell_m, chain.handover_position_m(i + 1) -
+                                          chain.handover_position_m(i));
+  if (!std::isfinite(min_cell_m)) return config.duration_s;  // <= 1 boundary
+  double window = 0.5 * min_cell_m / config.max_speed_mps;
+  if (epoch_s > 0.0)
+    window = epoch_s * std::max(1.0, std::floor(window / epoch_s));
+  return std::clamp(window, 1e-3, config.duration_s);
+}
+
+}  // namespace
+
+double epoch_grid_snap(double now_s, double epoch_s) {
+  if (epoch_s <= 0.0) return now_s;
+  const double r = now_s / epoch_s;
+  // Absolute 1e-9 preserves the historic snap for short horizons; the
+  // ulp-scaled term takes over once 1e-9 falls below the grid coordinate's
+  // own rounding noise (r above ~2^20), where a time landing one ulp past a
+  // boundary must still count as *on* it.
+  const double tolerance =
+      std::max(1e-9, 8.0 * std::numeric_limits<double>::epsilon() * r);
+  return std::max(now_s, epoch_s * std::ceil(r - tolerance));
+}
+
+void validate_fleet_config(const fleet_config& config) {
+  VTM_EXPECTS(config.rsu_count >= 1 || !config.rsu_positions_m.empty());
+  VTM_EXPECTS(config.pricing == pricing_backend::oracle ||
+              config.pricer != nullptr);
+  VTM_EXPECTS(config.vehicle_count >= 1);
+  VTM_EXPECTS(config.duration_s > 0.0);
+  // Speeds must be strictly positive: each pool prices its *upstream* RSU
+  // gap, so backward traffic (which `rsu_chain::next_handover` itself can
+  // model) would clear over the wrong link. Rejected by design; see the
+  // (from, to)-gap handling in `shard_engine::start_migration` for how
+  // non-adjacent forward hops are priced.
+  VTM_EXPECTS(config.min_speed_mps > 0.0);
+  VTM_EXPECTS(config.max_speed_mps >= config.min_speed_mps);
+  VTM_EXPECTS(config.min_data_mb > 0.0);
+  VTM_EXPECTS(config.max_data_mb >= config.min_data_mb);
+  VTM_EXPECTS(config.min_alpha > 0.0);
+  VTM_EXPECTS(config.max_alpha >= config.min_alpha);
+  VTM_EXPECTS(config.bandwidth_per_pool_mhz > 0.0);
+  VTM_EXPECTS(config.clearing_epoch_s >= 0.0);
+  VTM_EXPECTS(config.min_clearable_mhz > 0.0);
+  // Both spawn bounds explicit (>= 0, the "< 0 means auto" sentinel) must
+  // form a window; mixed explicit/auto is resolved at spawn time.
+  if (config.spawn_min_m >= 0.0 && config.spawn_max_m >= 0.0)
+    VTM_EXPECTS(config.spawn_max_m >= config.spawn_min_m);
+  const std::size_t rsu_count = config.rsu_positions_m.empty()
+                                    ? config.rsu_count
+                                    : config.rsu_positions_m.size();
+  VTM_EXPECTS(config.shard_count >= 1);
+  VTM_EXPECTS(config.shard_count <= rsu_count);
+  // The legacy shared pool is one global book — there is nothing to shard.
+  VTM_EXPECTS(!config.shared_pool || config.shard_count == 1);
+}
+
+// ---- shard_engine -----------------------------------------------------------
+
+shard_engine::shard_engine(const fleet_config& config,
+                           const sim::rsu_chain& chain, std::size_t index,
+                           std::size_t rsu_lo, std::size_t rsu_count,
+                           std::span<const std::uint32_t> rsu_shard,
+                           std::vector<vehicle_slot>& vehicles,
+                           sim::shard_mailbox<shard_message>& mailbox,
+                           std::shared_ptr<pricing_policy> policy)
+    : config_(config),
+      chain_(chain),
+      index_(index),
+      rsu_lo_(rsu_lo),
+      rsu_shard_(rsu_shard),
+      vehicles_(vehicles),
+      mailbox_(mailbox),
+      epoch_s_(config.mode == market_mode::joint ? config.clearing_epoch_s
+                                                 : 0.0) {
+  VTM_EXPECTS(rsu_count >= 1);
+  VTM_EXPECTS(rsu_lo + rsu_count <= chain.count());
+  const std::size_t pool_count = config.shared_pool ? 1 : rsu_count;
+
+  spot_market_config market_config;
+  market_config.discipline = config.mode == market_mode::joint
+                                 ? clearing_discipline::joint
+                                 : clearing_discipline::sequential;
+  market_config.unit_cost = config.unit_cost;
+  market_config.price_cap = config.price_cap;
+  market_config.min_clearable_mhz = config.min_clearable_mhz;
+  market_config.pool_capacity_mhz = config.bandwidth_per_pool_mhz;
+  // Copied into every pool's book below (one learned pricer serves the
+  // whole chain; null selects the analytic oracle per book).
+  market_config.policy = std::move(policy);
+
+  pools_.reserve(pool_count);
+  markets_.reserve(pool_count);
+  pool_links_.reserve(pool_count);
+  budgets_.reserve(pool_count);
+  for (std::size_t p = 0; p < pool_count; ++p) {
+    wireless::link_params link = config.link;
+    link.distance_m = pool_link_distance_m(config.shared_pool ? 0 : rsu_lo + p);
+    pool_links_.push_back(link);
+    budgets_.emplace_back(link);
+    market_config.link = link;
+    pools_.emplace_back(config.bandwidth_per_pool_mhz);
+    markets_.emplace_back(market_config);
+  }
+  clearing_scheduled_.assign(pool_count, false);
+}
+
+std::size_t shard_engine::pool_index(std::size_t rsu) const noexcept {
+  return config_.shared_pool ? 0 : rsu - rsu_lo_;
+}
+
+spot_market& shard_engine::market_at(std::size_t rsu) {
+  const std::size_t pidx = pool_index(rsu);
+  VTM_EXPECTS(pidx < markets_.size());
+  return markets_[pidx];
+}
+
+/// Migration-link distance of the pool serving global RSU `rsu`: the actual
+/// gap to the destination RSU's upstream neighbour (forward traffic hands
+/// over from RSU r-1 to RSU r). RSU 0 receives no forward handovers, so its
+/// pool uses the downstream gap; the legacy shared pool keeps the chain-wide
+/// spacing. Uniform chains return the configured spacing directly — on a
+/// uniform chain every gap *is* the spacing, and the centre-difference
+/// arithmetic would drift from it by ulps for non-dyadic values, breaking
+/// bitwise reproduction of the pre-heterogeneity engine.
+double shard_engine::pool_link_distance_m(std::size_t rsu) const {
+  if (config_.shared_pool || chain_.count() < 2 ||
+      config_.rsu_positions_m.empty())
+    return chain_.spacing_m();
+  return rsu > 0 ? chain_.link_distance_m(rsu - 1, rsu)
+                 : chain_.link_distance_m(0, 1);
+}
+
+/// Bring a vehicle's kinematics forward to the current simulation time.
+void shard_engine::sync_position(std::size_t vehicle) {
+  auto& slot = vehicles_[vehicle];
+  const double dt = queue_.now() - slot.position_at;
+  if (dt > 0.0) {
+    slot.kinematics = sim::advance(slot.kinematics, dt);
+    slot.position_at = queue_.now();
+  }
+}
+
+void shard_engine::adopt(std::size_t vehicle) {
+  schedule_next_handover(vehicle);
+}
+
+void shard_engine::schedule_next_handover(std::size_t vehicle) {
+  sync_position(vehicle);
+  const auto& slot = vehicles_[vehicle];
+  const auto next = chain_.next_handover(slot.kinematics);
+  if (!next) return;  // cruising past the end of the chain
+  const double when = queue_.now() + next->after_s;
+  if (when > config_.duration_s) return;
+  const std::size_t dest = rsu_shard_[next->to_rsu];
+  if (dest != index_) {
+    // The crossing lands in another shard: hand the vehicle over now, at
+    // scheduling time, so the destination (which owns the target pool) can
+    // execute the handover at the exact kinematic crossing time.
+    ++counters_.cross_shard_transfers;
+    mailbox_.post(index_, dest,
+                  boundary_handoff{vehicle, next->from_rsu, next->to_rsu,
+                                   when});
+    return;
+  }
+  queue_.schedule(when, [this, vehicle, from = next->from_rsu,
+                         to = next->to_rsu] {
+    sync_position(vehicle);
+    on_handover(vehicle, from, to);
+  });
+}
+
+void shard_engine::on_handover(std::size_t vehicle, std::size_t from,
+                               std::size_t to) {
+  ++counters_.handovers;
+  clearing_request request;
+  request.vehicle = vehicle;
+  request.profile = vehicles_[vehicle].profile;
+  request.from_rsu = from;
+  request.to_rsu = to;
+  request.submitted_s = queue_.now();
+  const std::size_t pidx = pool_index(to);
+  markets_[pidx].submit(std::move(request));
+  schedule_clearing(pidx, epoch_grid_snap(queue_.now(), epoch_s_));
+}
+
+void shard_engine::schedule_clearing(std::size_t pidx, double at) {
+  if (clearing_scheduled_[pidx]) return;
+  clearing_scheduled_[pidx] = true;
+  queue_.schedule(at, [this, pidx] { run_clearing(pidx); });
+}
+
+void shard_engine::run_clearing(std::size_t pidx) {
+  clearing_scheduled_[pidx] = false;
+
+  // Retarget deferred requests before pricing: a vehicle may have crossed
+  // further boundaries while waiting, so its destination (and therefore its
+  // pool — possibly in another shard) is recomputed from the *current*
+  // position, and the source from where the twin actually sits. Requests
+  // submitted at this very instant keep the handover's own from/to:
+  // recomputing them would trust a position that can sit one ulp shy of the
+  // cell midpoint and bounce the destination back into the source cell.
+  auto& book = markets_[pidx].pending_requests();
+  std::size_t keep = 0;  // FIFO-preserving compaction of kept requests
+  for (std::size_t i = 0; i < book.size(); ++i) {
+    auto& request = book[i];
+    bool stays = true;
+    if (request.submitted_s < queue_.now()) {
+      sync_position(request.vehicle);
+      const auto& slot = vehicles_[request.vehicle];
+      request.from_rsu = slot.twin->host_rsu();
+      request.to_rsu = chain_.serving_rsu(slot.kinematics.position_m);
+      const std::size_t dest = rsu_shard_[request.to_rsu];
+      if (dest != index_) {
+        // The vehicle drifted out of this shard's RSU range while deferred:
+        // the request (and the vehicle with it) re-homes at the next
+        // barrier, at this clearing's grid time.
+        ++counters_.cross_shard_retargets;
+        mailbox_.post(index_, dest,
+                      retarget_handoff{std::move(request),
+                                       epoch_grid_snap(queue_.now(),
+                                                       epoch_s_)});
+        stays = false;
+      } else {
+        const std::size_t target = pool_index(request.to_rsu);
+        if (target != pidx) {
+          markets_[target].submit(std::move(request));
+          schedule_clearing(target, epoch_grid_snap(queue_.now(), epoch_s_));
+          stays = false;
+        }
+      }
+    }
+    if (stays) {
+      if (keep != i) book[keep] = std::move(request);
+      ++keep;
+    }
+  }
+  book.resize(keep);
+
+  // The pool tolerates epsilon overshoot at the capacity boundary, so the
+  // remainder can read a hair below zero.
+  const double available = std::max(0.0, pools_[pidx].available_mhz());
+  // Harvest only joint-mode clearings: they price the whole book as one
+  // market, which is exactly what a snapshot of (book, available)
+  // describes. Sequential mode prices size-1 sub-markets over a shrinking
+  // remainder, so a whole-book snapshot would train the pricer on
+  // observations it never sees at deployment.
+  if (config_.record_cohorts && config_.mode == market_mode::joint &&
+      !book.empty() && available >= config_.min_clearable_mhz) {
+    // Harvest the clearing cohort as training data for the learned pricer:
+    // full profiles (the oracle label needs them) + the pool state the
+    // partial-information observation summarizes.
+    cohort_snapshot snapshot;
+    snapshot.profiles.reserve(book.size());
+    for (const auto& request : book)
+      snapshot.profiles.push_back(request.profile);
+    snapshot.available_mhz = available;
+    snapshot.capacity_mhz = config_.bandwidth_per_pool_mhz;
+    snapshot.link = pool_links_[pidx];
+    snapshot.unit_cost = config_.unit_cost;
+    snapshot.price_cap = config_.price_cap;
+    cohorts_.push_back(std::move(snapshot));
+  }
+  auto outcome = markets_[pidx].clear(available);
+  counters_.deferred += outcome.deferred;
+  if (outcome.markets_cleared > 0) ++counters_.clearings;
+
+  for (const auto& request : outcome.priced_out) {
+    // Price too high for this VMU: the twin stays behind (service
+    // degrades); the handover completes without migration.
+    ++counters_.priced_out;
+    vehicles_[request.vehicle].twin->set_host_rsu(request.to_rsu);
+    schedule_next_handover(request.vehicle);
+  }
+  for (const auto& grant : outcome.grants) start_migration(pidx, grant);
+
+  if (outcome.deferred > 0) {
+    if (pools_[pidx].active_grants() > 0) {
+      // Capacity is in flight; the next completion re-clears this book.
+      return;
+    }
+    // Nothing will ever release capacity (the pool itself is smaller than
+    // the clearable minimum): drop the requests instead of spinning.
+    for (const auto& request : markets_[pidx].abandon_pending()) {
+      resolve_abandoned(request);
+      schedule_next_handover(request.vehicle);
+    }
+  }
+}
+
+void shard_engine::resolve_abandoned(const clearing_request& request) {
+  ++counters_.abandoned;
+  // Same twin bookkeeping as a priced-out handover: the twin is re-homed to
+  // the request's destination without a migration (service degrades). Both
+  // the in-run abandon path and the final drain sweep come through here.
+  vehicles_[request.vehicle].twin->set_host_rsu(request.to_rsu);
+}
+
+void shard_engine::start_migration(std::size_t pidx,
+                                   const clearing_grant& grant) {
+  auto& slot = vehicles_[grant.request.vehicle];
+  const auto handle = pools_[pidx].allocate(grant.bandwidth_mhz);
+  VTM_ASSERT(handle.has_value());
+
+  // Pre-copy migration over the granted bandwidth (normalized MB/s rate:
+  // MHz × spectral efficiency, matching the paper's unit convention).
+  sim::precopy_params precopy;
+  precopy.dirty_rate_mb_s = config_.dirty_rate_mb_s;
+  precopy.stop_copy_threshold_mb = config_.stop_copy_threshold_mb;
+
+  // The pool budget prices the upstream-adjacent gap, which is the link a
+  // forward handover actually migrates over. A request that drifted while
+  // deferred can arrive from further back (from + 1 != to): its twin moves
+  // over the true (from, to) distance, so the transfer rate and closed-form
+  // AoTM are rebuilt over that gap. The *price* stays the pool's posted
+  // cohort price — the N-follower market clears one link per pool. The
+  // legacy shared pool keeps its chain-constant link by construction.
+  const wireless::link_budget* budget = &budgets_[pidx];
+  std::optional<wireless::link_budget> actual;
+  if (!config_.shared_pool &&
+      grant.request.to_rsu != grant.request.from_rsu + 1) {
+    wireless::link_params link = config_.link;
+    link.distance_m =
+        chain_.link_distance_m(grant.request.from_rsu, grant.request.to_rsu);
+    actual.emplace(link);
+    budget = &*actual;
+  }
+  const double rate_mb_s =
+      grant.bandwidth_mhz * budget->spectral_efficiency();
+  const auto report = sim::run_precopy(*slot.twin, rate_mb_s, precopy);
+
+  migration_record record;
+  record.start_s = queue_.now();
+  record.requested_s = grant.request.submitted_s;
+  record.vehicle = grant.request.vehicle;
+  record.from_rsu = grant.request.from_rsu;
+  record.to_rsu = grant.request.to_rsu;
+  record.price = grant.price;
+  record.bandwidth_mhz = grant.bandwidth_mhz;
+  record.cohort = grant.cohort;
+  record.aotm_closed_form =
+      aotm_closed_form(slot.twin->total_mb(), grant.bandwidth_mhz, *budget);
+  record.aotm_simulated = aotm_from_migration(report);
+  record.downtime_s = report.downtime_s;
+  record.data_sent_mb = report.total_sent_mb;
+  record.vmu_utility = grant.vmu_utility;
+  record.msp_utility = grant.msp_utility;
+  record.precopy_converged = report.converged;
+  counters_.max_cohort = std::max(counters_.max_cohort, grant.cohort);
+
+  queue_.schedule_in(report.total_time_s,
+                     [this, pidx, grant_id = *handle, record] {
+                       finish_migration(pidx, grant_id, record);
+                     });
+}
+
+void shard_engine::finish_migration(std::size_t pidx,
+                                    wireless::grant_id grant_id,
+                                    const migration_record& record) {
+  pools_[pidx].release(grant_id);
+  auto& slot = vehicles_[record.vehicle];
+  slot.twin->set_host_rsu(record.to_rsu);
+  slot.twin->record_migration();
+
+  // Completion-based accounting: every completion lands one ledger entry
+  // (and one record when recording), and the coordinator reduces the merged
+  // ledger in global finish-time order, so totals == Σ over `migrations`
+  // and sharded aggregates reproduce the serial summation order.
+  completion_entry entry;
+  entry.finish_s = queue_.now();
+  entry.vehicle = record.vehicle;
+  entry.msp_utility = record.msp_utility;
+  entry.vmu_utility = record.vmu_utility;
+  entry.aotm = record.aotm_simulated;
+  entry.amplification =
+      record.data_sent_mb / std::max(1e-9, slot.twin->total_mb());
+  entry.price_bandwidth = record.price * record.bandwidth_mhz;
+  entry.bandwidth = record.bandwidth_mhz;
+  ledger_.push_back(entry);
+  if (config_.record_migrations) {
+    migration_record finished = record;
+    finished.finish_s = queue_.now();
+    records_.push_back(std::move(finished));
+  }
+
+  schedule_next_handover(record.vehicle);
+  // A release frees capacity: re-clear any deferred requests immediately.
+  if (markets_[pidx].pending() > 0)
+    schedule_clearing(pidx, queue_.now());
+}
+
+void shard_engine::deliver(const shard_message& message) {
+  if (const auto* handoff = std::get_if<boundary_handoff>(&message)) {
+    double at = handoff->crossing_s;
+    if (at < queue_.now()) {
+      // The crossing happened inside the window that announced it (the
+      // previous resolution landed close to the boundary): execute at the
+      // barrier instead — skewed by less than one window, never dropped.
+      ++counters_.late_handoffs;
+      at = queue_.now();
+    }
+    queue_.schedule(at, [this, vehicle = handoff->vehicle,
+                         from = handoff->from_rsu, to = handoff->to_rsu] {
+      sync_position(vehicle);
+      on_handover(vehicle, from, to);
+    });
+    return;
+  }
+  const auto& retarget = std::get<retarget_handoff>(message);
+  double at = retarget.clearing_s;
+  if (at < queue_.now()) {
+    ++counters_.late_handoffs;
+    at = queue_.now();
+  }
+  const std::size_t pidx = pool_index(retarget.request.to_rsu);
+  VTM_ASSERT(pidx < markets_.size());
+  markets_[pidx].submit(retarget.request);
+  schedule_clearing(pidx, at);
+}
+
+void shard_engine::run_window(double t_end) { queue_.run_until(t_end); }
+
+std::size_t shard_engine::drain_round() {
+  return queue_.run_all(std::numeric_limits<std::size_t>::max());
+}
+
+void shard_engine::abandon_remaining() {
+  for (auto& market : markets_)
+    for (const auto& request : market.abandon_pending())
+      resolve_abandoned(request);
+}
+
+// ---- shard_coordinator ------------------------------------------------------
+
+shard_coordinator::shard_coordinator(const fleet_config& config)
+    : config_(validated(config)),
+      chain_(make_chain(config_)),
+      gen_(config_.seed),
+      mailbox_(config_.shard_count),
+      pool_(config_.shard_count > 1 ? config_.shard_count - 1 : 0) {
+  window_s_ = config_.window_s > 0.0
+                  ? config_.window_s
+                  : auto_window_s(config_, chain_,
+                                  config_.mode == market_mode::joint
+                                      ? config_.clearing_epoch_s
+                                      : 0.0);
+
+  // Contiguous balanced partition of the chain into shards.
+  const std::size_t shard_count = config_.shard_count;
+  rsu_shard_.resize(chain_.count());
+  const std::size_t base = chain_.count() / shard_count;
+  const std::size_t extra = chain_.count() % shard_count;
+
+  if (config_.pricing == pricing_backend::learned)
+    policy_ = std::make_shared<learned_policy>(config_.pricer);
+
+  shards_.reserve(shard_count);
+  std::size_t lo = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t count = base + (s < extra ? 1 : 0);
+    for (std::size_t r = lo; r < lo + count; ++r)
+      rsu_shard_[r] = static_cast<std::uint32_t>(s);
+    shards_.push_back(std::make_unique<shard_engine>(
+        config_, chain_, s, lo, count, rsu_shard_, vehicles_, mailbox_,
+        policy_));
+    lo += count;
+  }
+
+  spawn_vehicles();
+}
+
+void shard_coordinator::spawn_vehicles() {
+  // Auto spawn span: spread the fleet over the whole chain so every RSU
+  // sees load; the legacy scenario pins the span before the first boundary.
+  // Uniform chains keep the original spacing arithmetic verbatim (bitwise
+  // reproduction); explicit chains derive the span from the actual centres.
+  double auto_lo, auto_hi;
+  if (config_.rsu_positions_m.empty()) {
+    const double spacing = config_.rsu_spacing_m;
+    auto_lo = 0.5 * spacing;
+    auto_hi = (static_cast<double>(config_.rsu_count) - 0.5) * spacing;
+  } else {
+    auto_lo = chain_.center_m(0) -
+              0.5 * (chain_.count() > 1 ? chain_.link_distance_m(0, 1)
+                                        : chain_.spacing_m());
+    auto_hi = chain_.center_m(chain_.count() - 1) -
+              0.5 * (chain_.count() > 1
+                         ? chain_.link_distance_m(chain_.count() - 2,
+                                                  chain_.count() - 1)
+                         : 0.0);
+  }
+  // Explicit bounds use the "< 0 means auto" sentinel, so a window may
+  // legitimately start (or end) at 0 m.
+  const double lo = config_.spawn_min_m >= 0.0 ? config_.spawn_min_m : auto_lo;
+  const double hi = config_.spawn_max_m >= 0.0 ? config_.spawn_max_m
+                                               : std::max(lo, auto_hi);
+  VTM_EXPECTS(hi >= lo);
+
+  vehicles_.resize(config_.vehicle_count);
+  owner_.resize(config_.vehicle_count);
+  for (std::size_t v = 0; v < vehicles_.size(); ++v) {
+    auto& slot = vehicles_[v];
+    slot.kinematics.position_m = gen_.uniform(lo, hi);
+    slot.kinematics.speed_mps =
+        gen_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+    slot.profile.alpha = gen_.uniform(config_.min_alpha, config_.max_alpha);
+    slot.profile.data_mb =
+        gen_.uniform(config_.min_data_mb, config_.max_data_mb);
+    slot.twin = std::make_unique<sim::vehicular_twin>(
+        sim::vehicular_twin::with_total_mb(v, slot.profile.data_mb,
+                                           config_.page_mb));
+    const std::size_t serving = chain_.serving_rsu(slot.kinematics.position_m);
+    slot.twin->set_host_rsu(serving);
+    owner_[v] = rsu_shard_[serving];
+  }
+}
+
+std::size_t shard_coordinator::exchange() {
+  std::size_t delivered = 0;
+  for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+    delivered += mailbox_.deliver(dst, [&](const shard_message& message) {
+      shards_[dst]->deliver(message);
+      const std::size_t vehicle =
+          std::holds_alternative<boundary_handoff>(message)
+              ? std::get<boundary_handoff>(message).vehicle
+              : std::get<retarget_handoff>(message).request.vehicle;
+      owner_[vehicle] = static_cast<std::uint32_t>(dst);
+    });
+  }
+  return delivered;
+}
+
+fleet_result shard_coordinator::run() {
+  for (std::size_t v = 0; v < vehicles_.size(); ++v)
+    shards_[owner_[v]]->adopt(v);
+  exchange();  // vehicles spawned next to a shard boundary re-home at t = 0
+
+  // Window phases up to the admission horizon, then drain rounds until
+  // every queue is dry and no message is in flight: no new handovers are
+  // admitted past the horizon, so only completions and the re-clearings
+  // they trigger remain, and running to quiescence guarantees every started
+  // migration lands in the totals *and* the records.
+  bool draining = false;
+  double t_end = std::min(config_.duration_s, window_s_);
+  pool_.run_phased(
+      shards_.size(),
+      [&](std::size_t lane, std::size_t) {
+        if (draining)
+          shards_[lane]->drain_round();
+        else
+          shards_[lane]->run_window(t_end);
+      },
+      [&](std::size_t) {
+        const std::size_t delivered = exchange();
+        if (draining) return delivered > 0;
+        if (t_end >= config_.duration_s) {
+          draining = true;
+          return true;
+        }
+        t_end = std::min(config_.duration_s, t_end + window_s_);
+        return true;
+      });
+
+  // Anything still booked has no release left to wait for.
+  for (auto& shard : shards_) shard->abandon_remaining();
+  return merge();
+}
+
+fleet_result shard_coordinator::merge() {
+  fleet_result result;
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const auto& c = shard->stats();
+    result.handovers += c.handovers;
+    result.deferred += c.deferred;
+    result.priced_out += c.priced_out;
+    result.abandoned += c.abandoned;
+    result.clearings += c.clearings;
+    result.max_cohort = std::max(result.max_cohort, c.max_cohort);
+    result.cross_shard_transfers += c.cross_shard_transfers;
+    result.cross_shard_retargets += c.cross_shard_retargets;
+    result.late_handoffs += c.late_handoffs;
+    total += shard->ledger().size();
+  }
+
+  // Reduce the completion streams in global finish-time order (vehicle id
+  // breaks exact ties): one shard reproduces the serial engine's event-order
+  // summation bitwise, and multi-shard aggregates are independent of thread
+  // timing by construction.
+  double sum_aotm = 0.0;
+  double sum_amplification = 0.0;
+  double sum_price_bandwidth = 0.0;
+  double sum_bandwidth = 0.0;
+  std::vector<std::size_t> head(shards_.size(), 0);
+  if (config_.record_migrations) result.migrations.reserve(total);
+  for (std::size_t n = 0; n < total; ++n) {
+    std::size_t best = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (head[s] >= shards_[s]->ledger().size()) continue;
+      if (best == shards_.size()) {
+        best = s;
+        continue;
+      }
+      const auto& a = shards_[s]->ledger()[head[s]];
+      const auto& b = shards_[best]->ledger()[head[best]];
+      if (a.finish_s < b.finish_s ||
+          (a.finish_s == b.finish_s && a.vehicle < b.vehicle))
+        best = s;
+    }
+    const auto& entry = shards_[best]->ledger()[head[best]];
+    ++result.completed;
+    result.msp_total_utility += entry.msp_utility;
+    result.vmu_total_utility += entry.vmu_utility;
+    sum_aotm += entry.aotm;
+    sum_amplification += entry.amplification;
+    sum_price_bandwidth += entry.price_bandwidth;
+    sum_bandwidth += entry.bandwidth;
+    if (config_.record_migrations)
+      result.migrations.push_back(shards_[best]->records()[head[best]]);
+    ++head[best];
+  }
+
+  for (const auto& shard : shards_)
+    result.cohorts.insert(result.cohorts.end(), shard->cohorts().begin(),
+                          shard->cohorts().end());
+
+  result.vehicles.resize(vehicles_.size());
+  for (std::size_t v = 0; v < vehicles_.size(); ++v) {
+    auto& summary = result.vehicles[v];
+    summary.host_rsu = vehicles_[v].twin->host_rsu();
+    summary.migrations = vehicles_[v].twin->migration_count();
+    summary.position_m = vehicles_[v].kinematics.position_m;
+    summary.shard = owner_[v];
+  }
+
+  if (result.completed > 0) {
+    const double n = static_cast<double>(result.completed);
+    result.mean_aotm = sum_aotm / n;
+    result.mean_amplification = sum_amplification / n;
+    if (sum_bandwidth > 0.0)
+      result.mean_price = sum_price_bandwidth / sum_bandwidth;
+  }
+  return result;
+}
+
+}  // namespace vtm::core

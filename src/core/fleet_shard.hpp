@@ -1,0 +1,252 @@
+// Sharded fleet engine: per-RSU-range event shards with boundary handoff.
+//
+// A fleet run partitions the RSU chain into `shard_count` contiguous shards.
+// Each `shard_engine` owns its RSUs' OFDMA pools and `core::spot_market`
+// books, and advances its *own* `sim::event_queue`; the `shard_coordinator`
+// drives all shards in conservative time windows on `util::thread_pool`
+// (lookahead: the minimum boundary travel time at `max_speed_mps`). Anything
+// one shard does to another crosses a `sim::shard_mailbox` and is applied at
+// the next window barrier:
+//
+//   - `boundary_handoff` — a vehicle whose next coverage handover lands in a
+//     neighbouring shard's RSU; ownership of the vehicle slot moves with it.
+//   - `retarget_handoff` — a deferred request whose vehicle drifted past the
+//     shard's last RSU while waiting; the request (and the vehicle) re-home
+//     to the pool now serving the vehicle.
+//
+// Fidelity contract (DESIGN.md §10): with `shard_count = 1` the engine is
+// bitwise identical to the pre-shard serial engine. Multi-shard runs are
+// deterministic for a fixed (seed, shard_count) and preserve every market
+// invariant (exactly-once request resolution, no pool oversubscription,
+// totals == Σ records); they reproduce the serial run bitwise whenever no
+// delivery was clamped behind a barrier (`fleet_result::late_handoffs == 0`
+// and `cross_shard_retargets == 0`) and no two migrations finish at exactly
+// the same instant — the merge breaks exact finish-time ties by vehicle id,
+// not the serial engine's schedule order, so degenerate configs (equal
+// fixed speeds/footprints completing on the same epoch grid) can differ in
+// the low ulps of the summed aggregates. With continuous parameter draws,
+// cross-shard crossing times are kinematically known ahead of the lookahead
+// window and per-pool books see the exact serial submission order. Clamped
+// deliveries skew an event by at most one window and are counted, never
+// dropped.
+//
+// `shard_engine` is an engine-internal component driven by the coordinator;
+// it is exposed here (rather than hidden in a TU) so white-box tests and
+// benches can run windows, drains, and the abandon sweep directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "core/fleet_scenario.hpp"
+#include "core/spot_market.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/mobility.hpp"
+#include "sim/vt.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "wireless/ofdma.hpp"
+
+namespace vtm::core {
+
+/// Smallest clearing-grid time >= now (now itself when it sits on the grid
+/// or the epoch is zero), so same-epoch handovers aggregate into one market.
+/// The boundary snap uses a tolerance that is *relative* to now/epoch — an
+/// absolute epsilon falls below one ulp once now/epoch exceeds ~2^20, and a
+/// handover landing ulps past a boundary would silently defer a full epoch
+/// on long-horizon runs.
+[[nodiscard]] double epoch_grid_snap(double now_s, double epoch_s);
+
+/// Validate a fleet configuration (shared by `run_fleet_scenario` and
+/// `shard_coordinator`); throws util::contract_error on violations. Negative
+/// and zero speeds are rejected here by design: pools price their upstream
+/// RSU gap, so backward traffic would clear over the wrong link.
+void validate_fleet_config(const fleet_config& config);
+
+/// Mutable per-vehicle simulation state. Slots live in one coordinator-owned
+/// vector; exactly one shard owns (reads or writes) a slot at any time, and
+/// ownership only moves at window barriers.
+struct vehicle_slot {
+  sim::vehicle_state kinematics;
+  vmu_profile profile;
+  std::unique_ptr<sim::vehicular_twin> twin;
+  double position_at = 0.0;  ///< Simulation time of `kinematics.position_m`.
+};
+
+/// A vehicle whose next coverage handover lands in another shard: the
+/// destination schedules the handover at the kinematic crossing time (or the
+/// barrier, if the crossing already passed — counted as late).
+struct boundary_handoff {
+  std::size_t vehicle = 0;
+  std::size_t from_rsu = 0;
+  std::size_t to_rsu = 0;
+  double crossing_s = 0.0;  ///< Kinematic boundary-crossing time.
+};
+
+/// A deferred request re-homed to a pool in another shard (the vehicle
+/// drifted out of the sender's RSU range while waiting).
+struct retarget_handoff {
+  clearing_request request;  ///< from/to already recomputed by the sender.
+  double clearing_s = 0.0;   ///< Epoch-snapped clearing time at the sender.
+};
+
+using shard_message = std::variant<boundary_handoff, retarget_handoff>;
+
+/// One shard: the fleet engine scoped to a contiguous RSU range, advancing
+/// its own event queue under the coordinator's window protocol.
+class shard_engine {
+ public:
+  /// Side counters harvested by the coordinator's merge.
+  struct counters {
+    std::size_t handovers = 0;
+    std::size_t deferred = 0;
+    std::size_t priced_out = 0;
+    std::size_t abandoned = 0;
+    std::size_t clearings = 0;
+    std::size_t max_cohort = 0;
+    std::size_t cross_shard_transfers = 0;
+    std::size_t cross_shard_retargets = 0;
+    std::size_t late_handoffs = 0;
+  };
+
+  /// One completed migration's aggregate terms, tagged for the coordinator's
+  /// deterministic finish-time-ordered reduction (kept even when records are
+  /// off, so sharded aggregates stay bitwise reproducible).
+  struct completion_entry {
+    double finish_s = 0.0;
+    std::size_t vehicle = 0;
+    double msp_utility = 0.0;
+    double vmu_utility = 0.0;
+    double aotm = 0.0;
+    double amplification = 0.0;
+    double price_bandwidth = 0.0;
+    double bandwidth = 0.0;
+  };
+
+  /// `rsu_shard` maps every global RSU index to its owning shard and must
+  /// outlive the engine, as must `chain`, `vehicles`, and `mailbox`. The
+  /// engine owns pools and books for global RSUs [rsu_lo, rsu_lo + rsu_count).
+  shard_engine(const fleet_config& config, const sim::rsu_chain& chain,
+               std::size_t index, std::size_t rsu_lo, std::size_t rsu_count,
+               std::span<const std::uint32_t> rsu_shard,
+               std::vector<vehicle_slot>& vehicles,
+               sim::shard_mailbox<shard_message>& mailbox,
+               std::shared_ptr<pricing_policy> policy);
+
+  /// Take ownership of a spawned vehicle and schedule its next handover
+  /// (posts a boundary handoff instead when the crossing leaves the shard).
+  void adopt(std::size_t vehicle);
+
+  /// Apply one cross-shard message (barrier only). Deliveries behind the
+  /// shard clock are clamped to it and counted as late.
+  void deliver(const shard_message& message);
+
+  /// Run every event with time <= t_end and advance the clock to t_end.
+  void run_window(double t_end);
+
+  /// Drain-phase round: run until the queue empties (messages delivered at
+  /// the next barrier may refill it). Returns the number of events executed.
+  std::size_t drain_round();
+
+  /// Final sweep once every queue is dry and no messages remain: anything
+  /// still booked has no release left to wait for. Runs the same
+  /// `resolve_abandoned` bookkeeping as the in-run abandon path (twins are
+  /// re-homed to their request's destination RSU), but schedules nothing —
+  /// the horizon has passed.
+  void abandon_remaining();
+
+  [[nodiscard]] const sim::event_queue& queue() const noexcept {
+    return queue_;
+  }
+  /// Book of the pool serving global RSU `rsu` (white-box tests).
+  [[nodiscard]] spot_market& market_at(std::size_t rsu);
+
+  [[nodiscard]] const counters& stats() const noexcept { return counters_; }
+  [[nodiscard]] const std::vector<completion_entry>& ledger() const noexcept {
+    return ledger_;
+  }
+  [[nodiscard]] const std::vector<migration_record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const std::vector<cohort_snapshot>& cohorts() const noexcept {
+    return cohorts_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t pool_index(std::size_t rsu) const noexcept;
+  [[nodiscard]] double pool_link_distance_m(std::size_t rsu) const;
+  void sync_position(std::size_t vehicle);
+  void schedule_next_handover(std::size_t vehicle);
+  void on_handover(std::size_t vehicle, std::size_t from, std::size_t to);
+  void schedule_clearing(std::size_t pidx, double at);
+  void run_clearing(std::size_t pidx);
+  void start_migration(std::size_t pidx, const clearing_grant& grant);
+  void finish_migration(std::size_t pidx, wireless::grant_id grant_id,
+                        const migration_record& record);
+  /// Shared bookkeeping of both abandon paths (in-run and final sweep).
+  void resolve_abandoned(const clearing_request& request);
+
+  const fleet_config& config_;
+  const sim::rsu_chain& chain_;
+  std::size_t index_;
+  std::size_t rsu_lo_;
+  std::span<const std::uint32_t> rsu_shard_;
+  std::vector<vehicle_slot>& vehicles_;
+  sim::shard_mailbox<shard_message>& mailbox_;
+  sim::event_queue queue_;
+  double epoch_s_;
+  std::vector<wireless::link_params> pool_links_;   ///< Per-pool channel.
+  std::vector<wireless::link_budget> budgets_;      ///< Per-pool rates.
+  std::vector<wireless::ofdma_pool> pools_;
+  std::vector<spot_market> markets_;
+  std::vector<bool> clearing_scheduled_;
+  counters counters_;
+  std::vector<completion_entry> ledger_;
+  std::vector<migration_record> records_;
+  std::vector<cohort_snapshot> cohorts_;
+};
+
+/// Owns the chain, the vehicle slots, the shards, and the window protocol.
+/// Single-shot: construct one per run.
+class shard_coordinator {
+ public:
+  explicit shard_coordinator(const fleet_config& config);
+
+  /// Execute the run to full quiescence and merge shard results
+  /// deterministically (completion streams are reduced in global
+  /// finish-time order, so aggregates are independent of thread timing).
+  [[nodiscard]] fleet_result run();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  /// Resolved synchronization window (seconds).
+  [[nodiscard]] double window_s() const noexcept { return window_s_; }
+  [[nodiscard]] shard_engine& shard(std::size_t i) { return *shards_[i]; }
+
+ private:
+  void spawn_vehicles();
+  /// Deliver every buffered message in (destination, sender, send order)
+  /// sequence; returns the number delivered. Barrier only.
+  std::size_t exchange();
+  [[nodiscard]] fleet_result merge();
+
+  fleet_config config_;
+  sim::rsu_chain chain_;
+  util::rng gen_;
+  double window_s_ = 0.0;
+  std::vector<std::uint32_t> rsu_shard_;  ///< Global RSU index -> shard.
+  std::vector<vehicle_slot> vehicles_;
+  std::vector<std::uint32_t> owner_;      ///< Vehicle -> owning shard.
+  sim::shard_mailbox<shard_message> mailbox_;
+  std::shared_ptr<pricing_policy> policy_;
+  std::vector<std::unique_ptr<shard_engine>> shards_;
+  util::thread_pool pool_;
+};
+
+}  // namespace vtm::core

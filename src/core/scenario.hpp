@@ -63,6 +63,7 @@ struct scenario_config {
 struct migration_record {
   double start_s = 0.0;          ///< Clearing (market) time.
   double requested_s = 0.0;      ///< Handover time (<= start_s).
+  double finish_s = 0.0;         ///< Completion time (>= start_s).
   std::size_t vehicle = 0;
   std::size_t from_rsu = 0;
   std::size_t to_rsu = 0;

@@ -20,6 +20,11 @@ event_queue::handle event_queue::schedule_in(double delay,
   return schedule(now_ + delay, std::move(action));
 }
 
+std::optional<double> event_queue::next_event_time() const noexcept {
+  if (events_.empty()) return std::nullopt;
+  return events_.begin()->first.time;
+}
+
 bool event_queue::cancel(handle h) {
   const auto it = index_.find(h);
   if (it == index_.end()) return false;

@@ -3,11 +3,18 @@
 // A time-ordered queue of callbacks with a monotone simulation clock.
 // Events scheduled at equal times run in schedule order (stable FIFO via a
 // sequence number), which keeps scenarios deterministic.
+//
+// For sharded simulations each shard owns one queue and advances it in
+// conservative time windows: `run_until(t)` is the windowed-run primitive
+// (repeated calls with increasing `t` execute exactly the events a single
+// call would), and `next_event_time()` lets a coordinator detect quiescence
+// and compute safe window bounds across shards.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <utility>
 
 namespace vtm::sim {
@@ -23,6 +30,10 @@ class event_queue {
 
   /// Number of pending events.
   [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
+
+  /// Timestamp of the earliest pending event; nullopt when the queue is
+  /// empty. Never advances the clock.
+  [[nodiscard]] std::optional<double> next_event_time() const noexcept;
 
   /// Schedule `action` at absolute time `at` (>= now()).
   handle schedule(double at, std::function<void()> action);

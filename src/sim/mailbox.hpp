@@ -1,0 +1,75 @@
+// Deterministic cross-shard message transport for windowed simulations.
+//
+// A sharded discrete-event run advances N shard-local `sim::event_queue`s in
+// conservative time windows; anything one shard does to another — a vehicle
+// crossing a shard boundary, a request retargeted into a remote pool — is
+// posted here during the window and applied at the next barrier. Determinism
+// comes from the drain order: messages are delivered per destination in
+// (sender shard, send order) sequence, which is a pure function of the
+// shard-local executions and never of thread scheduling.
+//
+// Concurrency contract: during a window, shard `s` may post only with
+// `from == s` (each (from, to) cell is written by exactly one shard, so no
+// locking is needed); `deliver`/`pending` may only run at a barrier, when no
+// shard is executing.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace vtm::sim {
+
+/// Barrier-synchronized (from, to)-cell message buffers between `lanes`
+/// shards.
+template <typename Message>
+class shard_mailbox {
+ public:
+  explicit shard_mailbox(std::size_t lanes) : lanes_(lanes) {
+    VTM_EXPECTS(lanes >= 1);
+    cells_.resize(lanes * lanes);
+  }
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Post a message from shard `from` to shard `to` (delivered at the next
+  /// barrier). Only the owning shard may post on its own row.
+  void post(std::size_t from, std::size_t to, Message message) {
+    VTM_EXPECTS(from < lanes_ && to < lanes_);
+    cells_[from * lanes_ + to].push_back(std::move(message));
+  }
+
+  /// Messages currently buffered for `to`.
+  [[nodiscard]] std::size_t pending(std::size_t to) const {
+    VTM_EXPECTS(to < lanes_);
+    std::size_t n = 0;
+    for (std::size_t from = 0; from < lanes_; ++from)
+      n += cells_[from * lanes_ + to].size();
+    return n;
+  }
+
+  /// Deliver every message addressed to `to` in (sender, send order)
+  /// sequence, clearing the buffers. Returns the number delivered.
+  template <typename Fn>
+  std::size_t deliver(std::size_t to, Fn&& fn) {
+    VTM_EXPECTS(to < lanes_);
+    std::size_t delivered = 0;
+    for (std::size_t from = 0; from < lanes_; ++from) {
+      auto& cell = cells_[from * lanes_ + to];
+      for (auto& message : cell) {
+        fn(message);
+        ++delivered;
+      }
+      cell.clear();
+    }
+    return delivered;
+  }
+
+ private:
+  std::size_t lanes_;
+  std::vector<std::vector<Message>> cells_;  ///< [from * lanes_ + to].
+};
+
+}  // namespace vtm::sim

@@ -87,4 +87,15 @@ void thread_pool::parallel_for(std::size_t n,
   if (error) std::rethrow_exception(error);
 }
 
+void thread_pool::run_phased(
+    std::size_t lanes, const std::function<void(std::size_t, std::size_t)>& fn,
+    const std::function<bool(std::size_t)>& barrier) {
+  VTM_EXPECTS(fn != nullptr);
+  VTM_EXPECTS(barrier != nullptr);
+  for (std::size_t phase = 0;; ++phase) {
+    parallel_for(lanes, [&](std::size_t lane) { fn(lane, phase); });
+    if (!barrier(phase)) return;
+  }
+}
+
 }  // namespace vtm::util

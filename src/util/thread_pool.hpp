@@ -40,6 +40,19 @@ class thread_pool {
   /// exception is rethrown here after the loop drains. Not reentrant.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Barrier/phase execution for windowed simulations: run one *phase* —
+  /// fn(lane, phase) for every lane in [0, lanes), in parallel — then run
+  /// `barrier(phase)` serially on the calling thread once every lane has
+  /// finished; repeat with phase + 1 while the barrier returns true. No lane
+  /// ever runs phase k + 1 before every lane has completed phase k, and the
+  /// barrier callback runs with all workers idle, so it may freely touch
+  /// state the lanes share (exchange mailboxes, pick the next time window).
+  /// Exceptions from any lane abort the loop and rethrow after the phase
+  /// drains. Not reentrant.
+  void run_phased(std::size_t lanes,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  const std::function<bool(std::size_t)>& barrier);
+
  private:
   void worker_loop();
   void run_indices();

@@ -166,3 +166,55 @@ TEST(fig_golden, fleet_sequential_aggregates) {
   EXPECT_DOUBLE_EQ(r.vmu_total_utility, 78339.051308750684);
   EXPECT_DOUBLE_EQ(r.mean_price, 33.461380743249386);
 }
+
+// PR 4's shard refactor must leave the serial engine bitwise untouched:
+// three regimes (default, non-uniform chain, congested) captured from the
+// pre-shard engine at the commit that introduced the shard_coordinator.
+// shard_count = 1 (the default here) routes through the coordinator, so any
+// drift means the refactor — not just a backend — changed oracle fleets.
+TEST(fig_golden, fleet_shard1_matches_pre_shard_engine) {
+  {
+    core::fleet_config config;  // defaults: 8 RSUs, 100 vehicles, 120 s
+    const auto r = core::run_fleet_scenario(config);
+    EXPECT_EQ(r.handovers, 276u);
+    EXPECT_EQ(r.completed, 276u);
+    EXPECT_DOUBLE_EQ(r.msp_total_utility, 233535.43160029824);
+    EXPECT_DOUBLE_EQ(r.vmu_total_utility, 340469.03208935249);
+    EXPECT_DOUBLE_EQ(r.mean_aotm, 0.21747167989343172);
+    EXPECT_DOUBLE_EQ(r.mean_amplification, 1.0532634933993577);
+    EXPECT_DOUBLE_EQ(r.mean_price, 34.533974881762937);
+  }
+  {
+    core::fleet_config config;
+    config.rsu_positions_m = {800.0, 2000.0, 2900.0, 4400.0, 5200.0, 6800.0};
+    config.coverage_radius_m = 900.0;
+    config.vehicle_count = 80;
+    config.duration_s = 90.0;
+    config.seed = 99;
+    const auto r = core::run_fleet_scenario(config);
+    EXPECT_EQ(r.handovers, 146u);
+    EXPECT_EQ(r.completed, 146u);
+    EXPECT_DOUBLE_EQ(r.msp_total_utility, 125013.6466208004);
+    EXPECT_DOUBLE_EQ(r.vmu_total_utility, 180827.28091577278);
+    EXPECT_DOUBLE_EQ(r.mean_aotm, 0.22553041131717425);
+    EXPECT_DOUBLE_EQ(r.mean_price, 34.492381899275408);
+  }
+  {
+    core::fleet_config config;
+    config.vehicle_count = 60;
+    config.bandwidth_per_pool_mhz = 6.0;
+    config.min_alpha = 4000.0;
+    config.max_alpha = 5000.0;
+    config.min_data_mb = 250.0;
+    config.duration_s = 90.0;
+    config.seed = 7;
+    const auto r = core::run_fleet_scenario(config);
+    EXPECT_EQ(r.handovers, 134u);
+    EXPECT_EQ(r.deferred, 50u);
+    EXPECT_EQ(r.completed, 134u);
+    EXPECT_DOUBLE_EQ(r.msp_total_utility, 28495.218509347436);
+    EXPECT_DOUBLE_EQ(r.vmu_total_utility, 256604.17321267969);
+    EXPECT_DOUBLE_EQ(r.mean_aotm, 4.7672394372724414);
+    EXPECT_DOUBLE_EQ(r.mean_price, 50.000000000000007);
+  }
+}

@@ -94,6 +94,49 @@ TEST(event_queue, run_all_respects_event_budget) {
   EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(event_queue, next_event_time_peeks_without_advancing) {
+  s::event_queue q;
+  EXPECT_FALSE(q.next_event_time().has_value());
+  q.schedule(3.0, [] {});
+  q.schedule(1.5, [] {});
+  ASSERT_TRUE(q.next_event_time().has_value());
+  EXPECT_DOUBLE_EQ(*q.next_event_time(), 1.5);
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);  // peeking never advances the clock
+  q.run_until(2.0);
+  ASSERT_TRUE(q.next_event_time().has_value());
+  EXPECT_DOUBLE_EQ(*q.next_event_time(), 3.0);
+}
+
+// Windowed runs are the sharded engine's primitive: repeated run_until calls
+// with increasing horizons execute exactly the events one call would, and
+// events landing on a window boundary can still be scheduled at the barrier
+// (at == now) and run in the next window at their exact time.
+TEST(event_queue, windowed_run_until_matches_single_run) {
+  std::vector<std::pair<int, double>> single, windowed;
+  const auto drive = [](s::event_queue& q, auto record) {
+    for (int i = 0; i < 8; ++i)
+      q.schedule(0.7 * i, [record, &q, i] { record(i, q.now()); });
+  };
+  {
+    s::event_queue q;
+    drive(q, [&](int i, double t) { single.emplace_back(i, t); });
+    q.run_until(10.0);
+  }
+  {
+    s::event_queue q;
+    drive(q, [&](int i, double t) { windowed.emplace_back(i, t); });
+    for (double t = 2.0; t <= 10.0; t += 2.0) q.run_until(t);
+  }
+  EXPECT_EQ(single, windowed);
+
+  s::event_queue q;
+  int ran_at_boundary = 0;
+  q.run_until(5.0);
+  q.schedule(5.0, [&] { ++ran_at_boundary; });  // at == now: still legal
+  q.run_until(6.0);
+  EXPECT_EQ(ran_at_boundary, 1);
+}
+
 // ---- vehicular twin ------------------------------------------------------------
 
 TEST(vt, totals_add_up) {

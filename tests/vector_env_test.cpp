@@ -271,3 +271,50 @@ TEST(thread_pool, propagates_exceptions) {
   pool.parallel_for(4, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 4);
 }
+
+TEST(thread_pool, run_phased_barriers_between_phases) {
+  vtm::util::thread_pool pool(3);
+  constexpr std::size_t lanes = 4;
+  constexpr std::size_t phases = 5;
+  std::vector<std::atomic<int>> lane_phase(lanes);
+  std::atomic<int> out_of_phase{0};
+  std::size_t barriers = 0;
+  pool.run_phased(
+      lanes,
+      [&](std::size_t lane, std::size_t phase) {
+        // Every lane must observe the same phase index: a lane racing ahead
+        // of the barrier would see a stale counter here.
+        if (lane_phase[lane].load() != static_cast<int>(phase))
+          ++out_of_phase;
+        ++lane_phase[lane];
+      },
+      [&](std::size_t phase) {
+        // The barrier runs serially with all lanes done with `phase`.
+        for (const auto& p : lane_phase)
+          if (p.load() != static_cast<int>(phase) + 1) ++out_of_phase;
+        ++barriers;
+        return phase + 1 < phases;
+      });
+  EXPECT_EQ(out_of_phase.load(), 0);
+  EXPECT_EQ(barriers, phases);
+  for (const auto& p : lane_phase) EXPECT_EQ(p.load(), phases);
+
+  // Serial pool: same protocol, plain loops.
+  vtm::util::thread_pool serial(0);
+  int ticks = 0;
+  serial.run_phased(
+      2, [&](std::size_t, std::size_t) { ++ticks; },
+      [&](std::size_t phase) { return phase == 0; });
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(thread_pool, run_phased_propagates_lane_exceptions) {
+  vtm::util::thread_pool pool(2);
+  EXPECT_THROW(pool.run_phased(
+                   3,
+                   [](std::size_t lane, std::size_t) {
+                     if (lane == 2) throw std::runtime_error("lane");
+                   },
+                   [](std::size_t) { return true; }),
+               std::runtime_error);
+}
