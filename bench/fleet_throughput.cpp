@@ -6,7 +6,8 @@
 // and the demand-weighted clearing price. A second section times a seed
 // sweep serially versus through util::thread_pool.
 //
-//   $ ./fleet_throughput [--smoke] [--compare] [--shards N] [--json PATH]
+//   $ ./fleet_throughput [--smoke] [--compare] [--shards N] [--msps M]
+//                        [--json PATH]
 //
 // --smoke trims the counts and horizon for CI; the full run covers vehicle
 // counts {10, 100, 1000, 5000}. --compare additionally trains the
@@ -17,11 +18,18 @@
 // the single-run speedup over the serial engine plus the boundary-traffic
 // counters; the conservation invariants gate the exit code, the speedup is
 // reported only (shared/single-core runners make a wall-clock ratio an
-// unreliable hard check). Every run writes a machine-readable
-// BENCH_fleet.json (vehicles/sec, per-regime MSP utility, the shard sweep,
-// and the comparison when enabled) so the perf trajectory is trackable
-// across PRs; --json overrides the path.
+// unreliable hard check). --msps M re-runs the largest regime under
+// market_mode::oligopoly with 1..M symmetric competing MSPs and reports
+// vehicles/sec, the demand-weighted clearing price, and the per-MSP utility
+// split; conservation (exactly-once resolution, per-seller profit
+// decomposition) gates the exit code, and the M = 1 row must reproduce the
+// monopoly joint run bitwise. Every run writes a machine-readable
+// BENCH_fleet.json (vehicles/sec, per-regime MSP utility, the shard and
+// MSP sweeps, and the comparison when enabled) so the perf trajectory is
+// trackable across PRs; --json overrides the path.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -68,9 +76,38 @@ struct shard_report {
   bool conserved = false;
 };
 
+/// One MSP-count measurement of the largest regime (oligopoly clearing).
+struct msp_report {
+  std::size_t msps = 1;
+  double wall_s = 0.0;
+  vtm::core::fleet_result result;
+  bool conserved = false;
+};
+
+/// Exactly-once resolution + per-seller profit decomposition for one
+/// oligopoly run.
+bool oligopoly_conserved(const vtm::core::fleet_config& config,
+                         const vtm::core::fleet_result& r,
+                         std::size_t msps) {
+  std::size_t twin_migrations = 0;
+  for (const auto& v : r.vehicles) twin_migrations += v.migrations;
+  double split = 0.0;
+  for (const double u : r.msp_utilities) split += u;
+  const double tolerance =
+      1e-9 * (std::abs(r.msp_total_utility) > 1.0
+                  ? std::abs(r.msp_total_utility)
+                  : 1.0);
+  return r.handovers == r.completed + r.priced_out + r.abandoned &&
+         r.vehicles.size() == config.vehicle_count &&
+         twin_migrations == r.completed &&
+         r.msp_utilities.size() == msps &&
+         std::abs(split - r.msp_total_utility) <= tolerance;
+}
+
 void write_json(const std::string& path, bool smoke, double duration_s,
                 const std::vector<regime_report>& regimes,
                 const std::vector<shard_report>& shard_sweep,
+                const std::vector<msp_report>& msp_sweep,
                 double train_wall_s, std::size_t train_cohorts,
                 double eval_mean_ratio, double sweep_serial_s,
                 double sweep_parallel_s, std::size_t sweep_threads) {
@@ -151,6 +188,40 @@ void write_json(const std::string& path, bool smoke, double duration_s,
     }
     std::fprintf(out, "  ],\n");
   }
+  if (!msp_sweep.empty()) {
+    std::fprintf(out, "  \"msp_sweep\": [\n");
+    for (std::size_t i = 0; i < msp_sweep.size(); ++i) {
+      const auto& report = msp_sweep[i];
+      const double wall = report.wall_s > 1e-9 ? report.wall_s : 1e-9;
+      std::fprintf(out, "    {\n");
+      std::fprintf(out, "      \"msps\": %zu,\n", report.msps);
+      std::fprintf(out, "      \"wall_s\": %.6f,\n", report.wall_s);
+      std::fprintf(out, "      \"vehicles_per_sec\": %.1f,\n",
+                   static_cast<double>(report.result.vehicles.size()) / wall);
+      std::fprintf(out, "      \"handovers\": %zu,\n",
+                   report.result.handovers);
+      std::fprintf(out, "      \"completed\": %zu,\n",
+                   report.result.completed);
+      std::fprintf(out, "      \"mean_price\": %.6f,\n",
+                   report.result.mean_price);
+      std::fprintf(out, "      \"unconverged_clearings\": %zu,\n",
+                   report.result.unconverged_clearings);
+      std::fprintf(out, "      \"msp_utilities\": [");
+      for (std::size_t m = 0; m < report.result.msp_utilities.size(); ++m)
+        std::fprintf(out, "%s%.6f",
+                     m > 0 ? ", " : "", report.result.msp_utilities[m]);
+      std::fprintf(out, "],\n");
+      std::fprintf(out, "      \"msp_sold_mhz\": [");
+      for (std::size_t m = 0; m < report.result.msp_sold_mhz.size(); ++m)
+        std::fprintf(out, "%s%.3f",
+                     m > 0 ? ", " : "", report.result.msp_sold_mhz[m]);
+      std::fprintf(out, "],\n");
+      std::fprintf(out, "      \"invariants\": \"%s\"\n",
+                   report.conserved ? "ok" : "FAILED");
+      std::fprintf(out, "    }%s\n", i + 1 < msp_sweep.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+  }
   if (train_cohorts > 0) {
     std::fprintf(out, "  \"pricer_training\": {\n");
     std::fprintf(out, "    \"wall_s\": %.6f,\n", train_wall_s);
@@ -173,6 +244,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool compare = false;
   std::size_t max_shards = 0;  // 0: default per mode (8 full, 4 smoke)
+  std::size_t max_msps = 0;    // 0: skip the oligopoly sweep
   std::string json_path = "BENCH_fleet.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -180,6 +252,10 @@ int main(int argc, char** argv) {
     else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       const long parsed = std::atol(argv[++i]);
       max_shards = parsed > 0 ? static_cast<std::size_t>(parsed) : 1;
+    }
+    else if (std::strcmp(argv[i], "--msps") == 0 && i + 1 < argc) {
+      const long parsed = std::atol(argv[++i]);
+      max_msps = parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
     }
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
@@ -338,6 +414,68 @@ int main(int argc, char** argv) {
                 shards_conserved ? "OK" : "FAILED");
   }
 
+  // Oligopoly sweep on the largest regime: the same fleet re-cleared under
+  // market_mode::oligopoly with 1..M symmetric competing MSPs (each the
+  // monopoly economics). M = 1 must reproduce the monopoly joint run
+  // bitwise (the delegation contract); M >= 2 shows the competition: more
+  // capacity, lower clearing prices, and a per-MSP utility split whose sum
+  // decomposes the total.
+  std::vector<msp_report> msp_sweep;
+  bool msps_conserved = true;
+  if (max_msps > 0) {
+    auto msp_config = base_config(duration_s);
+    msp_config.vehicle_count = counts.back();
+    std::printf("MSP sweep (%zu vehicles, %zu RSUs, oligopoly clearing):\n",
+                msp_config.vehicle_count, msp_config.rsu_count);
+    vtm::util::ascii_table msp_table(
+        {"msps", "wall (s)", "handovers", "migrations", "mean price",
+         "U_s total", "U_s split min/max", "unconverged"});
+    for (std::size_t msps = 1; msps <= max_msps; ++msps) {
+      auto config = msp_config;
+      config.mode = vtm::core::market_mode::oligopoly;
+      for (std::size_t m = 0; m < msps; ++m)
+        config.msps.push_back({0.0, config.unit_cost, config.price_cap,
+                               config.bandwidth_per_pool_mhz});
+      msp_report report;
+      report.msps = msps;
+      const auto start = clock_type::now();
+      report.result = vtm::core::run_fleet_scenario(config);
+      report.wall_s = seconds_since(start);
+      report.conserved = oligopoly_conserved(config, report.result, msps);
+      if (msps == 1 && !regimes.empty()) {
+        // Delegation contract: the M = 1 oligopoly is the monopoly engine.
+        const auto& mono = regimes.back().oracle;
+        report.conserved =
+            report.conserved &&
+            report.result.msp_total_utility == mono.msp_total_utility &&
+            report.result.mean_price == mono.mean_price &&
+            report.result.completed == mono.completed;
+      }
+      msps_conserved = msps_conserved && report.conserved;
+      const auto& r = report.result;
+      double split_min = 0.0;
+      double split_max = 0.0;
+      if (!r.msp_utilities.empty()) {
+        split_min = r.msp_utilities.front();
+        split_max = r.msp_utilities.front();
+        for (const double u : r.msp_utilities) {
+          split_min = std::min(split_min, u);
+          split_max = std::max(split_max, u);
+        }
+      }
+      msp_table.add_row(std::vector<double>{
+          static_cast<double>(msps), report.wall_s,
+          static_cast<double>(r.handovers),
+          static_cast<double>(r.completed), r.mean_price,
+          r.msp_total_utility, split_max > 0.0 ? split_min / split_max : 1.0,
+          static_cast<double>(r.unconverged_clearings)});
+      msp_sweep.push_back(std::move(report));
+    }
+    std::printf("%s", msp_table.render().c_str());
+    std::printf("oligopoly invariants (conservation + M=1 delegation): %s\n\n",
+                msps_conserved ? "OK" : "FAILED");
+  }
+
   // Seed-sweep scaling: independent seeds sharded across the thread pool.
   const std::size_t sweep_vehicles = smoke ? 100 : 1000;
   const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
@@ -379,8 +517,14 @@ int main(int argc, char** argv) {
                 "congested): %s\n",
                 thresholds_ok ? "OK" : "FAILED");
 
-  write_json(json_path, smoke, duration_s, regimes, shard_sweep,
+  if (max_msps > 0)
+    std::printf("oligopoly sweep invariants: %s\n",
+                msps_conserved ? "OK" : "FAILED");
+
+  write_json(json_path, smoke, duration_s, regimes, shard_sweep, msp_sweep,
              train_wall_s, train_cohorts, eval_mean_ratio, serial_wall,
              parallel_wall, threads);
-  return reproduced && thresholds_ok && shards_conserved ? 0 : 1;
+  return reproduced && thresholds_ok && shards_conserved && msps_conserved
+             ? 0
+             : 1;
 }

@@ -1,0 +1,277 @@
+#include "core/competitive_market.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace vtm::core {
+
+namespace {
+
+/// Map the single-MSP roster onto the monopoly clearing engine (the M = 1
+/// delegation must be bitwise the joint path, so it *is* the joint path).
+spot_market_config monopoly_config(const competitive_market_config& config) {
+  spot_market_config mono;
+  mono.discipline = clearing_discipline::joint;
+  mono.link = config.link;
+  mono.unit_cost = config.msps.front().unit_cost;
+  mono.price_cap = config.msps.front().price_cap;
+  mono.min_clearable_mhz = config.min_clearable_mhz;
+  mono.policy = config.policy;
+  mono.pool_capacity_mhz = config.msps.front().bandwidth_per_pool_mhz;
+  return mono;
+}
+
+}  // namespace
+
+competitive_market::competitive_market(competitive_market_config config)
+    : config_(std::move(config)) {
+  VTM_EXPECTS(!config_.msps.empty());
+  VTM_EXPECTS(config_.share_sharpness > 0.0);
+  VTM_EXPECTS(config_.min_clearable_mhz > 0.0);
+  VTM_EXPECTS(config_.fixed_point_tol > 0.0);
+  for (const auto& msp : config_.msps) {
+    VTM_EXPECTS(std::isfinite(msp.chain_offset_m));
+    VTM_EXPECTS(msp.unit_cost > 0.0);
+    VTM_EXPECTS(msp.price_cap >= msp.unit_cost);
+    VTM_EXPECTS(msp.bandwidth_per_pool_mhz > 0.0);
+  }
+  if (config_.learned_msp != no_learned_msp) {
+    VTM_EXPECTS(config_.learned_msp < config_.msps.size());
+    VTM_EXPECTS(config_.pricer != nullptr);
+    VTM_EXPECTS(config_.pricer->config().competitor_aware);
+  }
+  if (config_.msps.size() == 1) monopoly_.emplace(monopoly_config(config_));
+}
+
+void competitive_market::submit(clearing_request request) {
+  if (monopoly_) {
+    monopoly_->submit(std::move(request));
+    return;
+  }
+  VTM_EXPECTS(request.profile.alpha > 0.0);
+  VTM_EXPECTS(request.profile.data_mb > 0.0);
+  pending_.push_back(std::move(request));
+}
+
+std::size_t competitive_market::pending() const noexcept {
+  return monopoly_ ? monopoly_->pending() : pending_.size();
+}
+
+std::vector<clearing_request>&
+competitive_market::pending_requests() noexcept {
+  return monopoly_ ? monopoly_->pending_requests() : pending_;
+}
+
+std::vector<clearing_request> competitive_market::abandon_pending() {
+  if (monopoly_) return monopoly_->abandon_pending();
+  std::vector<clearing_request> dropped = std::move(pending_);
+  pending_.clear();
+  return dropped;
+}
+
+competitive_outcome competitive_market::clear(
+    std::span<const double> available_mhz) {
+  VTM_EXPECTS(available_mhz.size() == config_.msps.size());
+  for (const double mhz : available_mhz) VTM_EXPECTS(mhz >= 0.0);
+
+  if (monopoly_) {
+    clearing_outcome mono = monopoly_->clear(available_mhz.front());
+    competitive_outcome outcome;
+    outcome.deferred = mono.deferred;
+    outcome.markets_cleared = mono.markets_cleared;
+    if (mono.markets_cleared > 0) outcome.prices = {mono.price};
+    outcome.priced_out = std::move(mono.priced_out);
+    outcome.grants.reserve(mono.grants.size());
+    for (auto& grant : mono.grants) {
+      competitive_grant converted;
+      converted.bandwidth_mhz = grant.bandwidth_mhz;
+      converted.price = grant.price;
+      converted.vmu_utility = grant.vmu_utility;
+      converted.msp_utility = grant.msp_utility;
+      converted.cohort = grant.cohort;
+      converted.slices = {{0, grant.bandwidth_mhz, grant.price}};
+      converted.request = std::move(grant.request);
+      outcome.grants.push_back(std::move(converted));
+    }
+    return outcome;
+  }
+  return clear_oligopoly(available_mhz);
+}
+
+competitive_outcome competitive_market::clear_oligopoly(
+    std::span<const double> available_mhz) {
+  competitive_outcome outcome;
+  if (pending_.empty()) return outcome;
+
+  // Sellers with less than the clearable minimum left sit this clearing out
+  // (the monopoly engine's defer-below-minimum rule, applied per MSP).
+  std::vector<std::size_t> active;  // participating -> roster index
+  for (std::size_t m = 0; m < config_.msps.size(); ++m)
+    if (available_mhz[m] >= config_.min_clearable_mhz) active.push_back(m);
+  if (active.empty()) {
+    outcome.deferred = pending_.size();
+    return outcome;
+  }
+
+  // The cohort as one oligopoly market over each seller's remainder.
+  multi_msp_params params;
+  params.msps.reserve(active.size());
+  for (const std::size_t m : active)
+    params.msps.push_back({config_.msps[m].unit_cost, available_mhz[m],
+                           config_.msps[m].price_cap});
+  params.vmus.reserve(pending_.size());
+  for (const auto& request : pending_) params.vmus.push_back(request.profile);
+  params.link = config_.link;
+  params.share_sharpness = config_.share_sharpness;
+  const multi_msp_market market(std::move(params));
+
+  // Price vector: all-scripted best-response fixed point, or the learned
+  // seat's posted price with the scripted rivals best-responding to it. The
+  // scripted equilibrium doubles as the rival-price summary the learned
+  // observation reads — the seat sees where competition *would* settle.
+  std::vector<double> prices;
+  const auto learned_it = config_.learned_msp == no_learned_msp
+                              ? active.end()
+                              : std::find(active.begin(), active.end(),
+                                          config_.learned_msp);
+  if (learned_it != active.end()) {
+    const std::size_t seat = static_cast<std::size_t>(
+        learned_it - active.begin());
+    const auto scripted = solve_price_competition(
+        market, config_.fixed_point_tol, config_.max_sweeps);
+    outcome.converged = scripted.converged;
+
+    const auto& own = config_.msps[config_.learned_msp];
+    market_params own_view;
+    own_view.vmus = market.params().vmus;
+    own_view.link = config_.link;
+    own_view.bandwidth_cap_mhz = available_mhz[config_.learned_msp];
+    own_view.unit_cost = own.unit_cost;
+    own_view.price_cap = own.price_cap;
+    const migration_market own_market(std::move(own_view));
+    cohort_observation obs = make_cohort_observation(
+        own_market, available_mhz[config_.learned_msp],
+        own.bandwidth_per_pool_mhz);
+    obs.competitors = active.size() - 1;
+    if (obs.competitors > 0) {
+      double min_price = std::numeric_limits<double>::infinity();
+      double sum_price = 0.0;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (i == seat) continue;
+        min_price = std::min(min_price, scripted.prices[i]);
+        sum_price += scripted.prices[i];
+      }
+      obs.competitor_min_price = min_price;
+      obs.competitor_mean_price =
+          sum_price / static_cast<double>(obs.competitors);
+    }
+
+    prices = scripted.prices;
+    prices[seat] = std::clamp(config_.pricer->price(obs), own.unit_cost,
+                              own.price_cap);
+    if (active.size() > 1) {
+      // Rivals best-respond to the posted price (Gauss–Seidel with the
+      // learned coordinate held fixed).
+      bool converged = false;
+      for (std::size_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
+        double max_change = 0.0;
+        for (std::size_t m = 0; m < active.size(); ++m) {
+          if (m == seat) continue;
+          const double updated = market.best_response_price(m, prices);
+          max_change = std::max(max_change, std::abs(updated - prices[m]));
+          prices[m] = updated;
+        }
+        if (max_change <= config_.fixed_point_tol) {
+          converged = true;
+          break;
+        }
+      }
+      outcome.converged = outcome.converged && converged;
+    }
+  } else {
+    const auto equilibrium = solve_price_competition(
+        market, config_.fixed_point_tol, config_.max_sweeps);
+    prices = equilibrium.prices;
+    outcome.converged = equilibrium.converged;
+  }
+  outcome.markets_cleared = 1;
+  outcome.prices.assign(config_.msps.size(), 0.0);
+  for (std::size_t i = 0; i < active.size(); ++i)
+    outcome.prices[active[i]] = prices[i];
+
+  // Seller split at the posted prices: softmin shares set each VMU's split,
+  // and each seller's sales are rationed *proportionally* to its own
+  // remainder (every buyer keeps the same fraction of its slice — the
+  // monopoly market's rationing rule, per seller).
+  const auto shares = market.shares(prices);
+  std::vector<double> demand(active.size(), 0.0);
+  std::vector<double> interior(pending_.size(), 0.0);
+  for (std::size_t n = 0; n < pending_.size(); ++n) {
+    interior[n] = market.vmu_demand(n, prices);
+    for (std::size_t m = 0; m < active.size(); ++m)
+      demand[m] += interior[n] * shares[m];
+  }
+  std::vector<double> scale(active.size(), 1.0);
+  std::vector<double> remaining(active.size(), 0.0);
+  for (std::size_t m = 0; m < active.size(); ++m) {
+    if (demand[m] > available_mhz[active[m]])
+      scale[m] = available_mhz[active[m]] / demand[m];
+    remaining[m] = available_mhz[active[m]];
+  }
+
+  const double rate = market.spectral_efficiency();
+  const std::size_t cohort = pending_.size();
+  std::vector<clearing_request> still_pending;
+  for (std::size_t n = 0; n < cohort; ++n) {
+    if (interior[n] <= 0.0) {
+      outcome.priced_out.push_back(pending_[n]);
+      continue;
+    }
+    // FIFO clamp against each seller's running remainder keeps the slice
+    // sums <= availability exactly, whatever rounding the proportional
+    // scale leaves behind. Remainders are debited only once the grant is
+    // known to survive, so a fully-rationed request defers without eating
+    // capacity.
+    competitive_grant grant;
+    grant.slices.reserve(active.size());
+    std::vector<std::size_t> slice_seats;  // participating index per slice
+    double payment = 0.0;
+    for (std::size_t m = 0; m < active.size(); ++m) {
+      const double slice =
+          std::min(interior[n] * shares[m] * scale[m], remaining[m]);
+      if (slice <= 0.0) continue;
+      grant.bandwidth_mhz += slice;
+      payment += prices[m] * slice;
+      grant.msp_utility += (prices[m] - config_.msps[active[m]].unit_cost) *
+                           slice;
+      grant.slices.push_back({active[m], slice, prices[m]});
+      slice_seats.push_back(m);
+    }
+    if (grant.bandwidth_mhz <= 1e-9) {
+      // Rationing ate the whole purchase: defer, don't price out — capacity
+      // in flight will re-clear this request.
+      still_pending.push_back(pending_[n]);
+      ++outcome.deferred;
+      continue;
+    }
+    for (std::size_t s = 0; s < grant.slices.size(); ++s)
+      remaining[slice_seats[s]] -= grant.slices[s].bandwidth_mhz;
+    grant.request = pending_[n];
+    grant.price = payment / grant.bandwidth_mhz;
+    const auto& profile = pending_[n].profile;
+    grant.vmu_utility =
+        profile.alpha *
+            std::log(1.0 + grant.bandwidth_mhz * rate / profile.data_mb) -
+        payment;
+    grant.cohort = cohort;
+    outcome.grants.push_back(std::move(grant));
+  }
+  pending_ = std::move(still_pending);
+  return outcome;
+}
+
+}  // namespace vtm::core

@@ -1,0 +1,147 @@
+// Competitive spot market: M MSPs clearing one epoch cohort (§VI future work).
+//
+// The monopoly engine prices every clearing through one seller
+// (`core::spot_market`). This module is the oligopoly counterpart behind
+// `market_mode::oligopoly`: the same pending book of handover requests, but
+// each clearing runs the cohort through `core::multi_msp_market` price
+// competition — every MSP posts a price (Gauss–Seidel best-response fixed
+// point of the softmin-Bertrand game), VMUs split their purchase across
+// sellers with the softmin share rule, and each MSP's sales are rationed to
+// its *own* remaining pool capacity. A VMU whose rationed total rounds to
+// zero defers back into the book (capacity in flight re-clears it), exactly
+// like the monopoly deferral discipline, so the two engines share accounting
+// semantics.
+//
+// One seller seat can be learned (`competitive_market_config::learned_msp`):
+// that MSP posts a competitor-aware `learned_pricer` price — the observation
+// extends the monopoly cohort summary with rival count and rival-price
+// features (`competitive_features`) — and the scripted rivals best-respond
+// to it. With M = 1 the class delegates verbatim to `core::spot_market`, so
+// a single-MSP oligopoly run is bitwise identical to `market_mode::joint`.
+//
+// DESIGN.md §11 documents the clearing discipline, the seller-split
+// semantics, and the shard interaction.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/multi_msp.hpp"
+#include "core/spot_market.hpp"
+
+namespace vtm::core {
+
+/// "No learned seller seat" sentinel for `learned_msp`.
+inline constexpr std::size_t no_learned_msp = static_cast<std::size_t>(-1);
+
+/// One competing MSP of a fleet-scale oligopoly: its economics plus the
+/// placement of its RSU chain relative to the primary (geometry-defining)
+/// chain. Offsets model independently-deployed infrastructure along the same
+/// highway: a shifted chain resolves its own serving RSU per location, so
+/// neighbouring clearing books can contend for one of this MSP's pools.
+struct fleet_msp {
+  double chain_offset_m = 0.0;           ///< Shift of this MSP's RSU centres.
+  double unit_cost = 5.0;                ///< C_m.
+  double price_cap = 50.0;               ///< p_max,m.
+  double bandwidth_per_pool_mhz = 50.0;  ///< Capacity of each of its pools.
+};
+
+/// One seller's share of a competitive grant.
+struct seller_slice {
+  std::size_t msp = 0;         ///< Seller index into the MSP roster.
+  double bandwidth_mhz = 0.0;  ///< Bandwidth bought from this seller.
+  double price = 0.0;          ///< That seller's posted unit price.
+};
+
+/// One granted migration out of an oligopoly clearing. The grant totals are
+/// what the migration machinery consumes (bandwidth, effective price, both
+/// sides' utilities); `slices` is the per-seller split the pools and the
+/// per-MSP accounting need.
+struct competitive_grant {
+  clearing_request request;
+  double bandwidth_mhz = 0.0;  ///< Σ over slices.
+  double price = 0.0;          ///< Effective unit price (payment / bandwidth).
+  double vmu_utility = 0.0;    ///< α ln(1 + bR/D) − payment.
+  double msp_utility = 0.0;    ///< Σ_m (p_m − C_m)·slice_m.
+  std::size_t cohort = 1;      ///< Requests priced together in this clearing.
+  std::vector<seller_slice> slices;  ///< Per-seller split (M = 1: one slice).
+};
+
+/// Outcome of one oligopoly clearing event. Mirrors `clearing_outcome`:
+/// granted and priced-out requests leave the book, deferred ones stay.
+struct competitive_outcome {
+  std::vector<competitive_grant> grants;
+  std::vector<clearing_request> priced_out;  ///< b* = 0 at the eff. price.
+  std::size_t deferred = 0;
+  std::size_t markets_cleared = 0;  ///< 0 or 1 (the cohort is one market).
+  std::vector<double> prices;       ///< Posted price per participating MSP
+                                    ///< (roster-indexed; 0 = sat out).
+  bool converged = true;            ///< Best-response fixed point converged.
+};
+
+/// Economics shared by every clearing of one destination cell's book.
+struct competitive_market_config {
+  std::vector<fleet_msp> msps;     ///< The roster (M >= 1).
+  double share_sharpness = 0.25;   ///< λ of the softmin share rule.
+  wireless::link_params link{};    ///< Demand-side migration channel.
+  double min_clearable_mhz = 0.5;  ///< An MSP below this remainder sits out.
+  /// Monopoly-path backend for the M = 1 delegation (null = oracle); unused
+  /// for M >= 2, where the price vector comes from the best-response solve.
+  /// The delegation's observation normalization anchors on the roster MSP's
+  /// own `bandwidth_per_pool_mhz`.
+  std::shared_ptr<pricing_policy> policy;
+  /// Learned seller seat: MSP `learned_msp` posts `pricer`'s price from the
+  /// competitor-aware observation instead of best-responding; the scripted
+  /// rivals best-respond to it. Requires a competitor_aware pricer.
+  std::shared_ptr<const learned_pricer> pricer;
+  std::size_t learned_msp = no_learned_msp;
+  /// Best-response iteration budget (passed to solve_price_competition).
+  double fixed_point_tol = 1e-7;
+  std::size_t max_sweeps = 200;
+};
+
+/// Pending-request book + oligopoly clearing logic for one destination cell.
+class competitive_market {
+ public:
+  explicit competitive_market(competitive_market_config config);
+
+  [[nodiscard]] const competitive_market_config& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t msp_count() const noexcept {
+    return config_.msps.size();
+  }
+
+  /// Add a request to the book (FIFO order is the tie-break everywhere).
+  void submit(clearing_request request);
+
+  [[nodiscard]] std::size_t pending() const noexcept;
+
+  /// Mutable view of the book so the owner can retarget deferred requests.
+  [[nodiscard]] std::vector<clearing_request>& pending_requests() noexcept;
+
+  /// Price the book against each MSP's remaining pool capacity
+  /// (`available_mhz[m]`, one entry per roster MSP). Granted and priced-out
+  /// requests are removed; deferred ones remain. Per-seller slice sums never
+  /// exceed that seller's availability.
+  [[nodiscard]] competitive_outcome clear(
+      std::span<const double> available_mhz);
+
+  /// Drop every pending request (end of run). Returns the dropped requests.
+  [[nodiscard]] std::vector<clearing_request> abandon_pending();
+
+ private:
+  [[nodiscard]] competitive_outcome clear_oligopoly(
+      std::span<const double> available_mhz);
+
+  competitive_market_config config_;
+  /// M = 1 delegation: the monopoly book and clearing engine verbatim, so a
+  /// single-MSP oligopoly is bitwise the joint path.
+  std::optional<spot_market> monopoly_;
+  std::vector<clearing_request> pending_;  ///< Book for M >= 2.
+};
+
+}  // namespace vtm::core

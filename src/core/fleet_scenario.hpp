@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "core/competitive_market.hpp"
 #include "core/pricing_policy.hpp"
 #include "core/scenario.hpp"
 
@@ -66,11 +67,29 @@ struct fleet_config {
   double unit_cost = 5.0;
   double price_cap = 50.0;
   wireless::link_params link{};  ///< d is overridden by the RSU spacing.
+  /// Per-RSU channel overrides: when non-empty, entry r replaces
+  /// `link.noise_power_dbm` / `link.tx_power_dbm` for RSU r's pool (and for
+  /// drifted-grant link rebuilds landing at r). Size must equal the RSU
+  /// count; empty keeps the chain-wide values (bitwise-unchanged default).
+  std::vector<double> rsu_noise_dbm;
+  std::vector<double> rsu_tx_power_dbm;
 
   // Spot-market clearing.
   market_mode mode = market_mode::joint;
   double clearing_epoch_s = 0.5;   ///< 0 clears at each handover instant.
   double min_clearable_mhz = 0.5;  ///< Defer below this pool remainder.
+
+  // Oligopoly competition (market_mode::oligopoly; DESIGN.md §11).
+  /// The competing sellers. Empty means one MSP inheriting the monopoly
+  /// economics above (such a run is bitwise `market_mode::joint`). Each MSP
+  /// owns a chain of pools shifted `chain_offset_m` from the primary chain;
+  /// requires per-RSU pools (`shared_pool` unsupported).
+  std::vector<fleet_msp> msps;
+  double share_sharpness = 0.25;  ///< λ of the softmin seller-split rule.
+  /// Learned seller seat: this MSP posts `pricer`'s competitor-aware price
+  /// while the scripted rivals best-respond (`no_learned_msp` = all
+  /// scripted). Requires `pricer` with `competitor_aware` set.
+  std::size_t learned_msp = no_learned_msp;
 
   /// Pricing backend for every clearing. `oracle` is the analytic
   /// `solve_equilibrium` (bitwise-identical to the pre-backend engine);
@@ -144,6 +163,14 @@ struct fleet_result {
   double mean_aotm = 0.0;
   double mean_amplification = 0.0;
   double mean_price = 0.0;         ///< Demand-weighted across completions.
+  /// Oligopoly only (sized to the MSP roster; empty otherwise): each
+  /// seller's realized profit and sold bandwidth over completed migrations.
+  /// Σ msp_utilities == msp_total_utility up to summation order.
+  std::vector<double> msp_utilities;
+  std::vector<double> msp_sold_mhz;
+  /// Oligopoly clearings whose best-response fixed point hit the sweep
+  /// budget without converging (prices still valid, just not certified).
+  std::size_t unconverged_clearings = 0;
 };
 
 /// Run one fleet scenario to completion (deterministic given the seed).

@@ -60,6 +60,17 @@ double epoch_grid_snap(double now_s, double epoch_s) {
   return std::max(now_s, epoch_s * std::ceil(r - tolerance));
 }
 
+std::vector<fleet_msp> resolved_fleet_msps(const fleet_config& config) {
+  if (config.mode != market_mode::oligopoly) return {};
+  if (!config.msps.empty()) return config.msps;
+  fleet_msp monopoly;
+  monopoly.chain_offset_m = 0.0;
+  monopoly.unit_cost = config.unit_cost;
+  monopoly.price_cap = config.price_cap;
+  monopoly.bandwidth_per_pool_mhz = config.bandwidth_per_pool_mhz;
+  return {monopoly};
+}
+
 void validate_fleet_config(const fleet_config& config) {
   VTM_EXPECTS(config.rsu_count >= 1 || !config.rsu_positions_m.empty());
   VTM_EXPECTS(config.pricing == pricing_backend::oracle ||
@@ -91,13 +102,54 @@ void validate_fleet_config(const fleet_config& config) {
   VTM_EXPECTS(config.shard_count <= rsu_count);
   // The legacy shared pool is one global book — there is nothing to shard.
   VTM_EXPECTS(!config.shared_pool || config.shard_count == 1);
+
+  // Per-cell channel overrides: one entry per RSU, finite, and per-RSU pools
+  // only (the shared pool has no per-cell channel to override).
+  for (const auto* overrides : {&config.rsu_noise_dbm,
+                                &config.rsu_tx_power_dbm}) {
+    if (overrides->empty()) continue;
+    VTM_EXPECTS(!config.shared_pool);
+    VTM_EXPECTS(overrides->size() == rsu_count);
+    for (const double dbm : *overrides) VTM_EXPECTS(std::isfinite(dbm));
+  }
+
+  // Oligopoly roster (market_mode::oligopoly only; a roster in any other
+  // mode is a misconfiguration, not something to silently ignore).
+  if (config.mode != market_mode::oligopoly) {
+    VTM_EXPECTS(config.msps.empty());
+    VTM_EXPECTS(config.learned_msp == no_learned_msp);
+    return;
+  }
+  VTM_EXPECTS(!config.shared_pool);
+  VTM_EXPECTS(config.share_sharpness > 0.0);
+  const auto msps = resolved_fleet_msps(config);
+  for (const auto& msp : msps) {
+    VTM_EXPECTS(std::isfinite(msp.chain_offset_m));
+    VTM_EXPECTS(msp.unit_cost > 0.0);
+    VTM_EXPECTS(msp.price_cap >= msp.unit_cost);
+    VTM_EXPECTS(msp.bandwidth_per_pool_mhz > 0.0);
+  }
+  if (config.learned_msp != no_learned_msp) {
+    // The learned seller seat needs rivals to price against and a pricer
+    // that reads the competitor-aware observation.
+    VTM_EXPECTS(config.learned_msp < msps.size());
+    VTM_EXPECTS(msps.size() >= 2);
+    VTM_EXPECTS(config.pricer != nullptr);
+    VTM_EXPECTS(config.pricer->config().competitor_aware);
+  }
+  // The monopoly pricing backend drives M = 1 delegation only; with real
+  // competition the price vector comes from the best-response solve (plus
+  // the learned seat), so a learned monopoly backend would be dead config.
+  if (msps.size() >= 2) VTM_EXPECTS(config.pricing == pricing_backend::oracle);
 }
 
 // ---- shard_engine -----------------------------------------------------------
 
 shard_engine::shard_engine(const fleet_config& config,
-                           const sim::rsu_chain& chain, std::size_t index,
-                           std::size_t rsu_lo, std::size_t rsu_count,
+                           const sim::rsu_chain& chain,
+                           std::span<const sim::rsu_chain> msp_chains,
+                           std::size_t index, std::size_t rsu_lo,
+                           std::size_t rsu_count,
                            std::span<const std::uint32_t> rsu_shard,
                            std::vector<vehicle_slot>& vehicles,
                            sim::shard_mailbox<shard_message>& mailbox,
@@ -109,11 +161,58 @@ shard_engine::shard_engine(const fleet_config& config,
       rsu_shard_(rsu_shard),
       vehicles_(vehicles),
       mailbox_(mailbox),
-      epoch_s_(config.mode == market_mode::joint ? config.clearing_epoch_s
-                                                 : 0.0) {
+      epoch_s_(config.mode == market_mode::single ? 0.0
+                                                  : config.clearing_epoch_s),
+      msps_(resolved_fleet_msps(config)),
+      msp_chains_(msp_chains) {
   VTM_EXPECTS(rsu_count >= 1);
   VTM_EXPECTS(rsu_lo + rsu_count <= chain.count());
+  VTM_EXPECTS(msp_chains_.size() == msps_.size());
   const std::size_t pool_count = config.shared_pool ? 1 : rsu_count;
+
+  if (oligopoly()) {
+    // One pool per (MSP, local RSU) plus one competitive book per cell; the
+    // candidate table maps each cell to the pool slot each MSP serves it
+    // from (its own chain's serving RSU — validated by the coordinator to
+    // stay inside this shard).
+    counters_.msp_utility.assign(msps_.size(), 0.0);
+    counters_.msp_sold_mhz.assign(msps_.size(), 0.0);
+    msp_pools_.resize(msps_.size());
+    for (std::size_t m = 0; m < msps_.size(); ++m) {
+      msp_pools_[m].reserve(pool_count);
+      for (std::size_t p = 0; p < pool_count; ++p)
+        msp_pools_[m].emplace_back(msps_[m].bandwidth_per_pool_mhz);
+    }
+    competitive_market_config book_config;
+    book_config.msps = msps_;
+    book_config.share_sharpness = config.share_sharpness;
+    book_config.min_clearable_mhz = config.min_clearable_mhz;
+    book_config.policy = std::move(policy);
+    book_config.pricer = config.pricer;
+    book_config.learned_msp = config.learned_msp;
+    comarkets_.reserve(pool_count);
+    candidates_.reserve(pool_count);
+    pool_links_.reserve(pool_count);
+    budgets_.reserve(pool_count);
+    for (std::size_t p = 0; p < pool_count; ++p) {
+      const std::size_t rsu = rsu_lo + p;
+      const wireless::link_params link =
+          link_for(rsu, pool_link_distance_m(rsu));
+      pool_links_.push_back(link);
+      budgets_.emplace_back(link);
+      book_config.link = link;
+      comarkets_.emplace_back(book_config);
+      std::vector<std::size_t> cell_candidates =
+          msp_chains_.candidates(chain_.center_m(rsu));
+      for (std::size_t& serving : cell_candidates) {
+        VTM_ASSERT(serving >= rsu_lo_ && serving < rsu_lo_ + rsu_count);
+        serving -= rsu_lo_;
+      }
+      candidates_.push_back(std::move(cell_candidates));
+    }
+    clearing_scheduled_.assign(pool_count, false);
+    return;
+  }
 
   spot_market_config market_config;
   market_config.discipline = config.mode == market_mode::joint
@@ -133,7 +232,11 @@ shard_engine::shard_engine(const fleet_config& config,
   budgets_.reserve(pool_count);
   for (std::size_t p = 0; p < pool_count; ++p) {
     wireless::link_params link = config.link;
-    link.distance_m = pool_link_distance_m(config.shared_pool ? 0 : rsu_lo + p);
+    if (config.shared_pool) {
+      link.distance_m = pool_link_distance_m(0);
+    } else {
+      link = link_for(rsu_lo + p, pool_link_distance_m(rsu_lo + p));
+    }
     pool_links_.push_back(link);
     budgets_.emplace_back(link);
     market_config.link = link;
@@ -151,6 +254,39 @@ spot_market& shard_engine::market_at(std::size_t rsu) {
   const std::size_t pidx = pool_index(rsu);
   VTM_EXPECTS(pidx < markets_.size());
   return markets_[pidx];
+}
+
+competitive_market& shard_engine::comarket_at(std::size_t rsu) {
+  const std::size_t pidx = pool_index(rsu);
+  VTM_EXPECTS(pidx < comarkets_.size());
+  return comarkets_[pidx];
+}
+
+std::vector<clearing_request>& shard_engine::book_of(std::size_t pidx) {
+  return oligopoly() ? comarkets_[pidx].pending_requests()
+                     : markets_[pidx].pending_requests();
+}
+
+void shard_engine::submit_request(std::size_t pidx,
+                                  clearing_request request) {
+  if (oligopoly()) {
+    VTM_ASSERT(pidx < comarkets_.size());
+    comarkets_[pidx].submit(std::move(request));
+  } else {
+    VTM_ASSERT(pidx < markets_.size());
+    markets_[pidx].submit(std::move(request));
+  }
+}
+
+wireless::link_params shard_engine::link_for(std::size_t rsu,
+                                             double distance_m) const {
+  wireless::link_params link = config_.link;
+  link.distance_m = distance_m;
+  if (!config_.rsu_noise_dbm.empty())
+    link.noise_power_dbm = config_.rsu_noise_dbm[rsu];
+  if (!config_.rsu_tx_power_dbm.empty())
+    link.tx_power_dbm = config_.rsu_tx_power_dbm[rsu];
+  return link;
 }
 
 /// Migration-link distance of the pool serving global RSU `rsu`: the actual
@@ -218,7 +354,7 @@ void shard_engine::on_handover(std::size_t vehicle, std::size_t from,
   request.to_rsu = to;
   request.submitted_s = queue_.now();
   const std::size_t pidx = pool_index(to);
-  markets_[pidx].submit(std::move(request));
+  submit_request(pidx, std::move(request));
   schedule_clearing(pidx, epoch_grid_snap(queue_.now(), epoch_s_));
 }
 
@@ -238,7 +374,7 @@ void shard_engine::run_clearing(std::size_t pidx) {
   // submitted at this very instant keep the handover's own from/to:
   // recomputing them would trust a position that can sit one ulp shy of the
   // cell midpoint and bounce the destination back into the source cell.
-  auto& book = markets_[pidx].pending_requests();
+  auto& book = book_of(pidx);
   std::size_t keep = 0;  // FIFO-preserving compaction of kept requests
   for (std::size_t i = 0; i < book.size(); ++i) {
     auto& request = book[i];
@@ -262,7 +398,7 @@ void shard_engine::run_clearing(std::size_t pidx) {
       } else {
         const std::size_t target = pool_index(request.to_rsu);
         if (target != pidx) {
-          markets_[target].submit(std::move(request));
+          submit_request(target, std::move(request));
           schedule_clearing(target, epoch_grid_snap(queue_.now(), epoch_s_));
           stays = false;
         }
@@ -274,6 +410,11 @@ void shard_engine::run_clearing(std::size_t pidx) {
     }
   }
   book.resize(keep);
+
+  if (oligopoly()) {
+    run_clearing_oligopoly(pidx);
+    return;
+  }
 
   // The pool tolerates epsilon overshoot at the capacity boundary, so the
   // remainder can read a hair below zero.
@@ -334,11 +475,76 @@ void shard_engine::resolve_abandoned(const clearing_request& request) {
   vehicles_[request.vehicle].twin->set_host_rsu(request.to_rsu);
 }
 
+void shard_engine::run_clearing_oligopoly(std::size_t pidx) {
+  // Each MSP's offer is the remainder of the pool *its* chain serves this
+  // cell from; pools tolerate epsilon overshoot at the capacity boundary,
+  // so a remainder can read a hair below zero.
+  std::vector<double> available(msps_.size());
+  for (std::size_t m = 0; m < msps_.size(); ++m)
+    available[m] =
+        std::max(0.0, msp_pools_[m][candidates_[pidx][m]].available_mhz());
+
+  auto outcome = comarkets_[pidx].clear(available);
+  counters_.deferred += outcome.deferred;
+  if (outcome.markets_cleared > 0) ++counters_.clearings;
+  if (!outcome.converged) ++counters_.unconverged_clearings;
+
+  for (const auto& request : outcome.priced_out) {
+    ++counters_.priced_out;
+    vehicles_[request.vehicle].twin->set_host_rsu(request.to_rsu);
+    schedule_next_handover(request.vehicle);
+  }
+  for (const auto& grant : outcome.grants) start_migration(pidx, grant);
+
+  if (outcome.deferred > 0) {
+    // Deferred requests wait for capacity on any of this cell's candidate
+    // pools; if none has a grant in flight, nothing will ever release.
+    bool in_flight = false;
+    for (std::size_t m = 0; m < msps_.size() && !in_flight; ++m)
+      in_flight = msp_pools_[m][candidates_[pidx][m]].active_grants() > 0;
+    if (in_flight) return;
+    for (const auto& request : comarkets_[pidx].abandon_pending()) {
+      resolve_abandoned(request);
+      schedule_next_handover(request.vehicle);
+    }
+  }
+}
+
 void shard_engine::start_migration(std::size_t pidx,
                                    const clearing_grant& grant) {
-  auto& slot = vehicles_[grant.request.vehicle];
   const auto handle = pools_[pidx].allocate(grant.bandwidth_mhz);
   VTM_ASSERT(handle.has_value());
+  launch_migration(pidx, grant.request, grant.price, grant.bandwidth_mhz,
+                   grant.vmu_utility, grant.msp_utility, grant.cohort, {},
+                   {*handle});
+}
+
+void shard_engine::start_migration(std::size_t pidx,
+                                   const competitive_grant& grant) {
+  // One physical grant per seller slice: the sellers' subchannels are
+  // orthogonal within each pool, and every slice must release back to the
+  // pool it came from.
+  std::vector<wireless::grant_id> grant_ids;
+  grant_ids.reserve(grant.slices.size());
+  for (const auto& slice : grant.slices) {
+    const auto handle = msp_pools_[slice.msp][candidates_[pidx][slice.msp]]
+                            .allocate(slice.bandwidth_mhz);
+    VTM_ASSERT(handle.has_value());
+    grant_ids.push_back(*handle);
+  }
+  launch_migration(pidx, grant.request, grant.price, grant.bandwidth_mhz,
+                   grant.vmu_utility, grant.msp_utility, grant.cohort,
+                   grant.slices, std::move(grant_ids));
+}
+
+void shard_engine::launch_migration(std::size_t pidx,
+                                    const clearing_request& request,
+                                    double price, double bandwidth_mhz,
+                                    double vmu_utility, double msp_utility,
+                                    std::size_t cohort,
+                                    std::vector<seller_slice> slices,
+                                    std::vector<wireless::grant_id> grant_ids) {
+  auto& slot = vehicles_[request.vehicle];
 
   // Pre-copy migration over the granted bandwidth (normalized MB/s rate:
   // MHz × spectral efficiency, matching the paper's unit convention).
@@ -350,52 +556,67 @@ void shard_engine::start_migration(std::size_t pidx,
   // forward handover actually migrates over. A request that drifted while
   // deferred can arrive from further back (from + 1 != to): its twin moves
   // over the true (from, to) distance, so the transfer rate and closed-form
-  // AoTM are rebuilt over that gap. The *price* stays the pool's posted
-  // cohort price — the N-follower market clears one link per pool. The
-  // legacy shared pool keeps its chain-constant link by construction.
+  // AoTM are rebuilt over that gap (with the destination cell's channel
+  // overrides). The *price* stays the posted cohort price — the market
+  // clears one link per cell. The legacy shared pool keeps its
+  // chain-constant link by construction.
   const wireless::link_budget* budget = &budgets_[pidx];
   std::optional<wireless::link_budget> actual;
-  if (!config_.shared_pool &&
-      grant.request.to_rsu != grant.request.from_rsu + 1) {
-    wireless::link_params link = config_.link;
-    link.distance_m =
-        chain_.link_distance_m(grant.request.from_rsu, grant.request.to_rsu);
-    actual.emplace(link);
+  if (!config_.shared_pool && request.to_rsu != request.from_rsu + 1) {
+    actual.emplace(link_for(
+        request.to_rsu,
+        chain_.link_distance_m(request.from_rsu, request.to_rsu)));
     budget = &*actual;
   }
-  const double rate_mb_s =
-      grant.bandwidth_mhz * budget->spectral_efficiency();
+  const double rate_mb_s = bandwidth_mhz * budget->spectral_efficiency();
   const auto report = sim::run_precopy(*slot.twin, rate_mb_s, precopy);
 
   migration_record record;
   record.start_s = queue_.now();
-  record.requested_s = grant.request.submitted_s;
-  record.vehicle = grant.request.vehicle;
-  record.from_rsu = grant.request.from_rsu;
-  record.to_rsu = grant.request.to_rsu;
-  record.price = grant.price;
-  record.bandwidth_mhz = grant.bandwidth_mhz;
-  record.cohort = grant.cohort;
+  record.requested_s = request.submitted_s;
+  record.vehicle = request.vehicle;
+  record.from_rsu = request.from_rsu;
+  record.to_rsu = request.to_rsu;
+  record.price = price;
+  record.bandwidth_mhz = bandwidth_mhz;
+  record.cohort = cohort;
+  record.sellers = slices.empty() ? 1 : slices.size();
   record.aotm_closed_form =
-      aotm_closed_form(slot.twin->total_mb(), grant.bandwidth_mhz, *budget);
+      aotm_closed_form(slot.twin->total_mb(), bandwidth_mhz, *budget);
   record.aotm_simulated = aotm_from_migration(report);
   record.downtime_s = report.downtime_s;
   record.data_sent_mb = report.total_sent_mb;
-  record.vmu_utility = grant.vmu_utility;
-  record.msp_utility = grant.msp_utility;
+  record.vmu_utility = vmu_utility;
+  record.msp_utility = msp_utility;
   record.precopy_converged = report.converged;
-  counters_.max_cohort = std::max(counters_.max_cohort, grant.cohort);
+  counters_.max_cohort = std::max(counters_.max_cohort, cohort);
 
   queue_.schedule_in(report.total_time_s,
-                     [this, pidx, grant_id = *handle, record] {
-                       finish_migration(pidx, grant_id, record);
+                     [this, pidx, slices = std::move(slices),
+                      grant_ids = std::move(grant_ids), record] {
+                       finish_migration(pidx, slices, grant_ids, record);
                      });
 }
 
 void shard_engine::finish_migration(std::size_t pidx,
-                                    wireless::grant_id grant_id,
+                                    const std::vector<seller_slice>& slices,
+                                    const std::vector<wireless::grant_id>&
+                                        grant_ids,
                                     const migration_record& record) {
-  pools_[pidx].release(grant_id);
+  if (slices.empty()) {
+    pools_[pidx].release(grant_ids.front());
+  } else {
+    for (std::size_t s = 0; s < slices.size(); ++s) {
+      msp_pools_[slices[s].msp][candidates_[pidx][slices[s].msp]].release(
+          grant_ids[s]);
+      // Per-seller realized accounting, accrued at completion like the
+      // scalar totals.
+      counters_.msp_utility[slices[s].msp] +=
+          (slices[s].price - msps_[slices[s].msp].unit_cost) *
+          slices[s].bandwidth_mhz;
+      counters_.msp_sold_mhz[slices[s].msp] += slices[s].bandwidth_mhz;
+    }
+  }
   auto& slot = vehicles_[record.vehicle];
   slot.twin->set_host_rsu(record.to_rsu);
   slot.twin->record_migration();
@@ -423,8 +644,25 @@ void shard_engine::finish_migration(std::size_t pidx,
 
   schedule_next_handover(record.vehicle);
   // A release frees capacity: re-clear any deferred requests immediately.
-  if (markets_[pidx].pending() > 0)
-    schedule_clearing(pidx, queue_.now());
+  if (slices.empty()) {
+    if (markets_[pidx].pending() > 0) schedule_clearing(pidx, queue_.now());
+    return;
+  }
+  // Offset chains let neighbouring cells draw on the same MSP pool, so a
+  // release can unblock any book sharing one of the released candidate
+  // pools (book q shares seller m's pool with this cell iff both resolve m
+  // to the same slot). Scanned in cell order — deterministic.
+  for (std::size_t q = 0; q < comarkets_.size(); ++q) {
+    if (comarkets_[q].pending() == 0) continue;
+    bool shares = false;
+    for (const auto& slice : slices) {
+      if (candidates_[q][slice.msp] == candidates_[pidx][slice.msp]) {
+        shares = true;
+        break;
+      }
+    }
+    if (shares) schedule_clearing(q, queue_.now());
+  }
 }
 
 void shard_engine::deliver(const shard_message& message) {
@@ -451,8 +689,7 @@ void shard_engine::deliver(const shard_message& message) {
     at = queue_.now();
   }
   const std::size_t pidx = pool_index(retarget.request.to_rsu);
-  VTM_ASSERT(pidx < markets_.size());
-  markets_[pidx].submit(retarget.request);
+  submit_request(pidx, retarget.request);
   schedule_clearing(pidx, at);
 }
 
@@ -464,6 +701,9 @@ std::size_t shard_engine::drain_round() {
 
 void shard_engine::abandon_remaining() {
   for (auto& market : markets_)
+    for (const auto& request : market.abandon_pending())
+      resolve_abandoned(request);
+  for (auto& market : comarkets_)
     for (const auto& request : market.abandon_pending())
       resolve_abandoned(request);
 }
@@ -479,9 +719,9 @@ shard_coordinator::shard_coordinator(const fleet_config& config)
   window_s_ = config_.window_s > 0.0
                   ? config_.window_s
                   : auto_window_s(config_, chain_,
-                                  config_.mode == market_mode::joint
-                                      ? config_.clearing_epoch_s
-                                      : 0.0);
+                                  config_.mode == market_mode::single
+                                      ? 0.0
+                                      : config_.clearing_epoch_s);
 
   // Contiguous balanced partition of the chain into shards.
   const std::size_t shard_count = config_.shard_count;
@@ -492,15 +732,34 @@ shard_coordinator::shard_coordinator(const fleet_config& config)
   if (config_.pricing == pricing_backend::learned)
     policy_ = std::make_shared<learned_policy>(config_.pricer);
 
-  shards_.reserve(shard_count);
   std::size_t lo = 0;
   for (std::size_t s = 0; s < shard_count; ++s) {
     const std::size_t count = base + (s < extra ? 1 : 0);
     for (std::size_t r = lo; r < lo + count; ++r)
       rsu_shard_[r] = static_cast<std::uint32_t>(s);
+    lo += count;
+  }
+
+  // Oligopoly: one (possibly offset) chain per roster MSP, and every cell's
+  // per-MSP candidate pool must live in the cell's own shard — an offset
+  // pushing a candidate across a shard boundary would let two shards race
+  // on one pool, so it is rejected up front (reduce the offset or the shard
+  // count).
+  for (const auto& msp : resolved_fleet_msps(config_))
+    msp_chains_.push_back(chain_.shifted(msp.chain_offset_m));
+  const sim::chain_set candidate_chains(msp_chains_);
+  for (std::size_t r = 0; r < chain_.count(); ++r)
+    for (const std::size_t candidate :
+         candidate_chains.candidates(chain_.center_m(r)))
+      VTM_EXPECTS(rsu_shard_[candidate] == rsu_shard_[r]);
+
+  shards_.reserve(shard_count);
+  lo = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t count = base + (s < extra ? 1 : 0);
     shards_.push_back(std::make_unique<shard_engine>(
-        config_, chain_, s, lo, count, rsu_shard_, vehicles_, mailbox_,
-        policy_));
+        config_, chain_, msp_chains_, s, lo, count, rsu_shard_, vehicles_,
+        mailbox_, policy_));
     lo += count;
   }
 
@@ -607,6 +866,10 @@ fleet_result shard_coordinator::run() {
 fleet_result shard_coordinator::merge() {
   fleet_result result;
   std::size_t total = 0;
+  if (!msp_chains_.empty()) {
+    result.msp_utilities.assign(msp_chains_.size(), 0.0);
+    result.msp_sold_mhz.assign(msp_chains_.size(), 0.0);
+  }
   for (const auto& shard : shards_) {
     const auto& c = shard->stats();
     result.handovers += c.handovers;
@@ -618,6 +881,11 @@ fleet_result shard_coordinator::merge() {
     result.cross_shard_transfers += c.cross_shard_transfers;
     result.cross_shard_retargets += c.cross_shard_retargets;
     result.late_handoffs += c.late_handoffs;
+    result.unconverged_clearings += c.unconverged_clearings;
+    for (std::size_t m = 0; m < c.msp_utility.size(); ++m) {
+      result.msp_utilities[m] += c.msp_utility[m];
+      result.msp_sold_mhz[m] += c.msp_sold_mhz[m];
+    }
     total += shard->ledger().size();
   }
 

@@ -42,6 +42,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/competitive_market.hpp"
 #include "core/fleet_scenario.hpp"
 #include "core/spot_market.hpp"
 #include "sim/event_queue.hpp"
@@ -67,6 +68,13 @@ namespace vtm::core {
 /// and zero speeds are rejected here by design: pools price their upstream
 /// RSU gap, so backward traffic would clear over the wrong link.
 void validate_fleet_config(const fleet_config& config);
+
+/// The oligopoly seller roster a fleet run competes with: `config.msps`
+/// verbatim, or — when that is empty — one MSP inheriting the monopoly
+/// economics (zero offset), so `market_mode::oligopoly` without a roster is
+/// bitwise the joint path. Empty for non-oligopoly modes.
+[[nodiscard]] std::vector<fleet_msp> resolved_fleet_msps(
+    const fleet_config& config);
 
 /// Mutable per-vehicle simulation state. Slots live in one coordinator-owned
 /// vector; exactly one shard owns (reads or writes) a slot at any time, and
@@ -112,6 +120,12 @@ class shard_engine {
     std::size_t cross_shard_transfers = 0;
     std::size_t cross_shard_retargets = 0;
     std::size_t late_handoffs = 0;
+    std::size_t unconverged_clearings = 0;  ///< Oligopoly fixed-point misses.
+    /// Per-MSP completion accounting (oligopoly mode; sized to the roster).
+    /// Accrued in shard-local completion order — nondecreasing finish time —
+    /// so one shard reproduces the global finish-time reduction bitwise.
+    std::vector<double> msp_utility;
+    std::vector<double> msp_sold_mhz;
   };
 
   /// One completed migration's aggregate terms, tagged for the coordinator's
@@ -129,10 +143,13 @@ class shard_engine {
   };
 
   /// `rsu_shard` maps every global RSU index to its owning shard and must
-  /// outlive the engine, as must `chain`, `vehicles`, and `mailbox`. The
-  /// engine owns pools and books for global RSUs [rsu_lo, rsu_lo + rsu_count).
+  /// outlive the engine, as must `chain`, `msp_chains`, `vehicles`, and
+  /// `mailbox`. The engine owns pools and books for global RSUs
+  /// [rsu_lo, rsu_lo + rsu_count); in oligopoly mode `msp_chains` holds one
+  /// (possibly offset) chain per roster MSP (empty otherwise).
   shard_engine(const fleet_config& config, const sim::rsu_chain& chain,
-               std::size_t index, std::size_t rsu_lo, std::size_t rsu_count,
+               std::span<const sim::rsu_chain> msp_chains, std::size_t index,
+               std::size_t rsu_lo, std::size_t rsu_count,
                std::span<const std::uint32_t> rsu_shard,
                std::vector<vehicle_slot>& vehicles,
                sim::shard_mailbox<shard_message>& mailbox,
@@ -163,8 +180,11 @@ class shard_engine {
   [[nodiscard]] const sim::event_queue& queue() const noexcept {
     return queue_;
   }
-  /// Book of the pool serving global RSU `rsu` (white-box tests).
+  /// Book of the pool serving global RSU `rsu` (white-box tests; monopoly
+  /// modes only — oligopoly books live in `comarket_at`).
   [[nodiscard]] spot_market& market_at(std::size_t rsu);
+  /// Oligopoly book of the cell at global RSU `rsu` (white-box tests).
+  [[nodiscard]] competitive_market& comarket_at(std::size_t rsu);
 
   [[nodiscard]] const counters& stats() const noexcept { return counters_; }
   [[nodiscard]] const std::vector<completion_entry>& ledger() const noexcept {
@@ -180,13 +200,36 @@ class shard_engine {
  private:
   [[nodiscard]] std::size_t pool_index(std::size_t rsu) const noexcept;
   [[nodiscard]] double pool_link_distance_m(std::size_t rsu) const;
+  /// Channel of the cell at global RSU `rsu` over `distance_m`: the chain
+  /// link with the per-cell noise/power overrides applied.
+  [[nodiscard]] wireless::link_params link_for(std::size_t rsu,
+                                               double distance_m) const;
+  [[nodiscard]] bool oligopoly() const noexcept { return !msps_.empty(); }
+  /// Pending book of pool `pidx`, whichever engine owns it.
+  [[nodiscard]] std::vector<clearing_request>& book_of(std::size_t pidx);
+  /// Submit into pool `pidx`'s book, whichever engine owns it.
+  void submit_request(std::size_t pidx, clearing_request request);
   void sync_position(std::size_t vehicle);
   void schedule_next_handover(std::size_t vehicle);
   void on_handover(std::size_t vehicle, std::size_t from, std::size_t to);
   void schedule_clearing(std::size_t pidx, double at);
   void run_clearing(std::size_t pidx);
+  /// Oligopoly tail of `run_clearing`: price the compacted book through the
+  /// competitive market over every MSP's remaining candidate-pool capacity.
+  void run_clearing_oligopoly(std::size_t pidx);
   void start_migration(std::size_t pidx, const clearing_grant& grant);
-  void finish_migration(std::size_t pidx, wireless::grant_id grant_id,
+  void start_migration(std::size_t pidx, const competitive_grant& grant);
+  /// Shared tail of both start paths: pre-copy over `rate_mb_s`, record
+  /// bookkeeping, and the completion schedule (release + accounting via
+  /// `release`).
+  void launch_migration(std::size_t pidx, const clearing_request& request,
+                        double price, double bandwidth_mhz,
+                        double vmu_utility, double msp_utility,
+                        std::size_t cohort, std::vector<seller_slice> slices,
+                        std::vector<wireless::grant_id> grant_ids);
+  void finish_migration(std::size_t pidx,
+                        const std::vector<seller_slice>& slices,
+                        const std::vector<wireless::grant_id>& grant_ids,
                         const migration_record& record);
   /// Shared bookkeeping of both abandon paths (in-run and final sweep).
   void resolve_abandoned(const clearing_request& request);
@@ -204,6 +247,14 @@ class shard_engine {
   std::vector<wireless::link_budget> budgets_;      ///< Per-pool rates.
   std::vector<wireless::ofdma_pool> pools_;
   std::vector<spot_market> markets_;
+  // Oligopoly state (empty in monopoly modes): the resolved roster, each
+  // MSP's pools over this shard's RSU range, the per-cell books, and the
+  // per-(cell, MSP) candidate pool slots resolved from the offset chains.
+  std::vector<fleet_msp> msps_;
+  sim::chain_set msp_chains_;
+  std::vector<std::vector<wireless::ofdma_pool>> msp_pools_;
+  std::vector<competitive_market> comarkets_;
+  std::vector<std::vector<std::size_t>> candidates_;
   std::vector<bool> clearing_scheduled_;
   counters counters_;
   std::vector<completion_entry> ledger_;
@@ -238,6 +289,11 @@ class shard_coordinator {
 
   fleet_config config_;
   sim::rsu_chain chain_;
+  /// Oligopoly rosters' (possibly offset) chains, one per MSP; empty in
+  /// monopoly modes. Candidate resolution (`chain_set` semantics) must keep
+  /// every cell's per-MSP pool inside the cell's own shard — validated at
+  /// construction.
+  std::vector<sim::rsu_chain> msp_chains_;
   util::rng gen_;
   double window_s_ = 0.0;
   std::vector<std::uint32_t> rsu_shard_;  ///< Global RSU index -> shard.

@@ -24,6 +24,9 @@ namespace vtm::core {
 enum class market_mode {
   joint,   ///< Epoch-aggregated N-follower Stackelberg markets (eq. 8–13).
   single,  ///< Legacy: each handover clears its own one-follower market.
+  oligopoly,  ///< M competing MSPs per clearing: softmin-Bertrand price
+              ///< competition with per-VMU seller splits (fleet engine only;
+              ///< core/competitive_market.hpp, DESIGN.md §11).
 };
 
 /// Scenario shape and economics.
@@ -67,9 +70,12 @@ struct migration_record {
   std::size_t vehicle = 0;
   std::size_t from_rsu = 0;
   std::size_t to_rsu = 0;
-  double price = 0.0;            ///< Equilibrium unit price charged.
+  double price = 0.0;            ///< Equilibrium unit price charged (the
+                                 ///< effective share-weighted price under
+                                 ///< market_mode::oligopoly).
   double bandwidth_mhz = 0.0;    ///< Purchased (granted) bandwidth.
   std::size_t cohort = 1;        ///< Followers in the market that priced it.
+  std::size_t sellers = 1;       ///< MSPs the bandwidth was split across.
   double aotm_closed_form = 0.0; ///< D/(b·R), eq. 1.
   double aotm_simulated = 0.0;   ///< Pre-copy first-to-last-block time.
   double downtime_s = 0.0;       ///< Stop-and-copy pause.

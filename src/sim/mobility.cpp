@@ -102,4 +102,33 @@ double rsu_chain::link_distance_m(std::size_t i, std::size_t j) const {
   return std::abs(centers_[i] - centers_[j]);
 }
 
+rsu_chain rsu_chain::shifted(double offset_m) const {
+  VTM_EXPECTS(std::isfinite(offset_m));
+  std::vector<double> centers = centers_;
+  for (double& c : centers) c += offset_m;
+  return rsu_chain(std::move(centers), radius_);
+}
+
+chain_set::chain_set(std::span<const rsu_chain> chains) : chains_(chains) {
+  for (const auto& chain : chains_)
+    VTM_EXPECTS(chain.count() == chains_.front().count());
+}
+
+const rsu_chain& chain_set::chain(std::size_t m) const {
+  VTM_EXPECTS(m < chains_.size());
+  return chains_[m];
+}
+
+std::size_t chain_set::candidate(std::size_t m, double position_m) const {
+  VTM_EXPECTS(m < chains_.size());
+  return chains_[m].serving_rsu(position_m);
+}
+
+std::vector<std::size_t> chain_set::candidates(double position_m) const {
+  std::vector<std::size_t> result(chains_.size());
+  for (std::size_t m = 0; m < chains_.size(); ++m)
+    result[m] = chains_[m].serving_rsu(position_m);
+  return result;
+}
+
 }  // namespace vtm::sim

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace vtm::sim {
@@ -64,11 +65,41 @@ class rsu_chain {
   /// the channel model when migrating i -> j). Requires valid indices.
   [[nodiscard]] double link_distance_m(std::size_t i, std::size_t j) const;
 
+  /// A copy of this chain with every centre shifted by `offset_m` (gaps and
+  /// coverage contiguity are preserved, so any finite offset is valid).
+  /// Models a second operator's RSU deployment along the same highway.
+  [[nodiscard]] rsu_chain shifted(double offset_m) const;
+
  private:
   std::vector<double> centers_;
   double spacing_;
   double radius_;
   bool uniform_;  ///< Uniform ctor: keep the exact arithmetic nearest-centre.
+};
+
+/// Several operators' chains over the same highway (overlapping coverage) —
+/// a non-owning view (the chains must outlive it). `serving_rsu` generalizes
+/// to a per-chain *candidate set*: for one highway position, each operator
+/// resolves its own serving RSU, and a buyer at that position can purchase
+/// from any of them. An empty set models "no competing operators".
+class chain_set {
+ public:
+  chain_set() = default;
+  /// All chains must have the same RSU count so per-operator candidate
+  /// indices share one index space.
+  explicit chain_set(std::span<const rsu_chain> chains);
+
+  [[nodiscard]] std::size_t size() const noexcept { return chains_.size(); }
+  [[nodiscard]] const rsu_chain& chain(std::size_t m) const;
+
+  /// Operator m's serving RSU for a highway position.
+  [[nodiscard]] std::size_t candidate(std::size_t m, double position_m) const;
+
+  /// All operators' serving RSUs for one position (index m -> candidate).
+  [[nodiscard]] std::vector<std::size_t> candidates(double position_m) const;
+
+ private:
+  std::span<const rsu_chain> chains_;
 };
 
 }  // namespace vtm::sim

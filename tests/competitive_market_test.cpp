@@ -1,0 +1,549 @@
+// Competitive multi-MSP fleet market (market_mode::oligopoly, DESIGN.md
+// §11): the static clearing engine's invariants, the M = 1 bitwise
+// delegation onto the monopoly path, and the fleet-level economics —
+// equilibrium prices below the monopoly price, falling toward cost as the
+// share sharpness λ grows, deterministic and conservation-checked at every
+// shard count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/competitive_market.hpp"
+#include "core/fleet_scenario.hpp"
+#include "core/fleet_shard.hpp"
+#include "core/spot_market.hpp"
+#include "rl/policy.hpp"
+#include "sim/mobility.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace core = vtm::core;
+namespace rl = vtm::rl;
+
+namespace {
+
+core::clearing_request draw_request(vtm::util::rng& gen, std::size_t vehicle) {
+  core::clearing_request request;
+  request.vehicle = vehicle;
+  request.profile.alpha = gen.uniform(1.0, 3000.0);
+  request.profile.data_mb = gen.uniform(50.0, 400.0);
+  request.to_rsu = 1;
+  return request;
+}
+
+/// An *untrained* competitor-aware pricing network: the invariants must not
+/// depend on the policy being any good.
+std::shared_ptr<const core::learned_pricer> random_competitor_pricer(
+    std::uint64_t seed, double unit_cost, double price_cap) {
+  rl::actor_critic_config net;
+  net.obs_dim = core::competitive_feature_dim;
+  net.act_dim = 1;
+  net.hidden = {16, 16};
+  vtm::util::rng gen(seed);
+  core::learned_pricer_config config;
+  config.hidden = net.hidden;
+  config.unit_cost = unit_cost;
+  config.price_cap = price_cap;
+  config.competitor_aware = true;
+  return std::make_shared<const core::learned_pricer>(
+      config, rl::actor_critic(net, gen));
+}
+
+void check_outcome_invariants(const core::competitive_market_config& config,
+                              std::size_t submitted,
+                              std::span<const double> available,
+                              const core::competitive_outcome& outcome,
+                              std::size_t pending_after) {
+  // Exactly-once resolution.
+  EXPECT_EQ(outcome.grants.size() + outcome.priced_out.size() +
+                outcome.deferred,
+            submitted);
+  EXPECT_EQ(pending_after, outcome.deferred);
+
+  // Per-seller conservation and price boxes; per-grant accounting.
+  std::vector<double> sold(config.msps.size(), 0.0);
+  for (const auto& grant : outcome.grants) {
+    EXPECT_GT(grant.bandwidth_mhz, 0.0);
+    double slice_total = 0.0;
+    double payment = 0.0;
+    for (const auto& slice : grant.slices) {
+      ASSERT_LT(slice.msp, config.msps.size());
+      EXPECT_GT(slice.bandwidth_mhz, 0.0);
+      EXPECT_GE(slice.price, config.msps[slice.msp].unit_cost);
+      EXPECT_LE(slice.price,
+                config.msps[slice.msp].price_cap * (1.0 + 1e-12));
+      sold[slice.msp] += slice.bandwidth_mhz;
+      slice_total += slice.bandwidth_mhz;
+      payment += slice.price * slice.bandwidth_mhz;
+    }
+    EXPECT_DOUBLE_EQ(grant.bandwidth_mhz, slice_total);
+    // Effective price is the payment-weighted mean of the posted prices.
+    EXPECT_NEAR(grant.price * grant.bandwidth_mhz, payment,
+                1e-9 * std::max(1.0, payment));
+  }
+  for (std::size_t m = 0; m < config.msps.size(); ++m)
+    EXPECT_LE(sold[m], available[m] * (1.0 + 1e-12) + 1e-12);
+}
+
+core::fleet_config duopoly_fleet(double sharpness = 0.25) {
+  core::fleet_config config;  // defaults: 8 RSUs, 100 vehicles, 120 s
+  config.mode = core::market_mode::oligopoly;
+  config.msps = {{0.0, 5.0, 50.0, 50.0}, {0.0, 5.0, 50.0, 50.0}};
+  config.share_sharpness = sharpness;
+  return config;
+}
+
+void expect_fleet_identical(const core::fleet_result& a,
+                            const core::fleet_result& b) {
+  EXPECT_EQ(a.handovers, b.handovers);
+  EXPECT_EQ(a.deferred, b.deferred);
+  EXPECT_EQ(a.priced_out, b.priced_out);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.clearings, b.clearings);
+  EXPECT_EQ(a.max_cohort, b.max_cohort);
+  EXPECT_EQ(a.msp_total_utility, b.msp_total_utility);
+  EXPECT_EQ(a.vmu_total_utility, b.vmu_total_utility);
+  EXPECT_EQ(a.mean_aotm, b.mean_aotm);
+  EXPECT_EQ(a.mean_amplification, b.mean_amplification);
+  EXPECT_EQ(a.mean_price, b.mean_price);
+  ASSERT_EQ(a.migrations.size(), b.migrations.size());
+  for (std::size_t i = 0; i < a.migrations.size(); ++i) {
+    EXPECT_EQ(a.migrations[i].vehicle, b.migrations[i].vehicle);
+    EXPECT_EQ(a.migrations[i].price, b.migrations[i].price);
+    EXPECT_EQ(a.migrations[i].bandwidth_mhz, b.migrations[i].bandwidth_mhz);
+    EXPECT_EQ(a.migrations[i].finish_s, b.migrations[i].finish_s);
+  }
+}
+
+void expect_fleet_conserved(const core::fleet_config& config,
+                            const core::fleet_result& r) {
+  EXPECT_EQ(r.handovers, r.completed + r.priced_out + r.abandoned);
+  ASSERT_EQ(r.vehicles.size(), config.vehicle_count);
+  std::size_t twin_migrations = 0;
+  for (const auto& v : r.vehicles) twin_migrations += v.migrations;
+  EXPECT_EQ(twin_migrations, r.completed);
+  const auto msps = core::resolved_fleet_msps(config);
+  ASSERT_EQ(r.msp_utilities.size(), msps.size());
+  ASSERT_EQ(r.msp_sold_mhz.size(), msps.size());
+  // Per-seller realized profit decomposes the total (summation order may
+  // differ across shards, hence near, not bitwise).
+  const double split = std::accumulate(r.msp_utilities.begin(),
+                                       r.msp_utilities.end(), 0.0);
+  EXPECT_NEAR(split, r.msp_total_utility,
+              1e-9 * std::max(1.0, std::abs(r.msp_total_utility)));
+}
+
+}  // namespace
+
+// ---- static clearing engine -------------------------------------------------
+
+// A single-MSP oligopoly book clears through the monopoly engine verbatim:
+// every grant, price, and utility is bitwise the spot_market joint clearing.
+TEST(competitive_market, m1_delegates_bitwise_to_spot_market) {
+  vtm::util::rng gen(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    core::competitive_market_config config;
+    config.msps = {{0.0, 5.0, 50.0, 50.0}};
+    core::competitive_market oligo(config);
+
+    core::spot_market_config mono_config;
+    mono_config.discipline = core::clearing_discipline::joint;
+    mono_config.link = config.link;
+    core::spot_market mono(mono_config);
+
+    const auto cohort = static_cast<std::size_t>(gen.uniform_int(1, 10));
+    for (std::size_t v = 0; v < cohort; ++v) {
+      const auto request = draw_request(gen, v);
+      oligo.submit(request);
+      mono.submit(request);
+    }
+    const double available = gen.uniform(0.05, 80.0);
+    const std::vector<double> offers{available};
+    const auto competitive = oligo.clear(offers);
+    const auto monopoly = mono.clear(available);
+
+    EXPECT_EQ(competitive.deferred, monopoly.deferred);
+    EXPECT_EQ(competitive.priced_out.size(), monopoly.priced_out.size());
+    ASSERT_EQ(competitive.grants.size(), monopoly.grants.size());
+    for (std::size_t g = 0; g < monopoly.grants.size(); ++g) {
+      EXPECT_EQ(competitive.grants[g].price, monopoly.grants[g].price);
+      EXPECT_EQ(competitive.grants[g].bandwidth_mhz,
+                monopoly.grants[g].bandwidth_mhz);
+      EXPECT_EQ(competitive.grants[g].vmu_utility,
+                monopoly.grants[g].vmu_utility);
+      EXPECT_EQ(competitive.grants[g].msp_utility,
+                monopoly.grants[g].msp_utility);
+      ASSERT_EQ(competitive.grants[g].slices.size(), 1u);
+      EXPECT_EQ(competitive.grants[g].slices[0].msp, 0u);
+    }
+  }
+}
+
+// Randomized rosters x cohorts x availabilities: whatever the price vector,
+// the clearing preserves exactly-once resolution, per-seller conservation,
+// and per-MSP price boxes.
+TEST(competitive_market, oligopoly_clearing_invariants_randomized) {
+  vtm::util::rng gen(20260730);
+  for (int trial = 0; trial < 150; ++trial) {
+    core::competitive_market_config config;
+    const auto msps = static_cast<std::size_t>(gen.uniform_int(2, 4));
+    for (std::size_t m = 0; m < msps; ++m) {
+      core::fleet_msp msp;
+      msp.unit_cost = gen.uniform(2.0, 8.0);
+      msp.price_cap = msp.unit_cost + gen.uniform(10.0, 50.0);
+      msp.bandwidth_per_pool_mhz = gen.uniform(1.0, 60.0);
+      config.msps.push_back(msp);
+    }
+    config.share_sharpness = gen.uniform(0.05, 2.0);
+    core::competitive_market market(config);
+
+    const auto cohort = static_cast<std::size_t>(gen.uniform_int(1, 12));
+    for (std::size_t v = 0; v < cohort; ++v)
+      market.submit(draw_request(gen, v));
+    std::vector<double> available(msps);
+    for (double& mhz : available) mhz = gen.uniform(0.0, 60.0);
+
+    const auto outcome = market.clear(available);
+    check_outcome_invariants(config, cohort, available, outcome,
+                             market.pending());
+  }
+}
+
+// Starved sellers sit a clearing out; when every seller is starved the whole
+// cohort defers (and stays in the book for the next clearing).
+TEST(competitive_market, starved_sellers_defer_the_cohort) {
+  core::competitive_market_config config;
+  config.msps = {{0.0, 5.0, 50.0, 50.0}, {0.0, 5.0, 50.0, 50.0}};
+  core::competitive_market market(config);
+  vtm::util::rng gen(3);
+  for (std::size_t v = 0; v < 4; ++v) market.submit(draw_request(gen, v));
+
+  const std::vector<double> starved{0.1, 0.2};  // both below min_clearable
+  const auto outcome = market.clear(starved);
+  EXPECT_TRUE(outcome.grants.empty());
+  EXPECT_TRUE(outcome.priced_out.empty());
+  EXPECT_EQ(outcome.deferred, 4u);
+  EXPECT_EQ(outcome.markets_cleared, 0u);
+  EXPECT_EQ(market.pending(), 4u);
+
+  // One seller recovers: the cohort clears through it alone, and the
+  // starved seller posts no price (sat out).
+  const std::vector<double> partial{0.1, 50.0};
+  const auto cleared = market.clear(partial);
+  EXPECT_EQ(cleared.markets_cleared, 1u);
+  EXPECT_EQ(cleared.prices[0], 0.0);
+  EXPECT_GT(cleared.prices[1], 0.0);
+  for (const auto& grant : cleared.grants)
+    for (const auto& slice : grant.slices) EXPECT_EQ(slice.msp, 1u);
+}
+
+// Symmetric duopoly on one cohort: competition prices strictly below the
+// monopoly equilibrium, and sharper λ pushes prices toward cost.
+TEST(competitive_market, duopoly_undercuts_monopoly_on_one_cohort) {
+  vtm::util::rng gen(11);
+  std::vector<core::clearing_request> cohort;
+  for (std::size_t v = 0; v < 6; ++v) cohort.push_back(draw_request(gen, v));
+
+  core::spot_market_config mono_config;
+  core::spot_market mono(mono_config);
+  for (const auto& request : cohort) mono.submit(request);
+  const auto monopoly = mono.clear(50.0);
+  ASSERT_FALSE(monopoly.grants.empty());
+
+  double soft_price = 0.0;
+  double sharp_price = 0.0;
+  for (const double lambda : {0.25, 4.0}) {
+    core::competitive_market_config config;
+    config.msps = {{0.0, 5.0, 50.0, 50.0}, {0.0, 5.0, 50.0, 50.0}};
+    config.share_sharpness = lambda;
+    core::competitive_market market(config);
+    for (const auto& request : cohort) market.submit(request);
+    const std::vector<double> offers{50.0, 50.0};
+    const auto outcome = market.clear(offers);
+    ASSERT_FALSE(outcome.grants.empty());
+    (lambda < 1.0 ? soft_price : sharp_price) = outcome.grants[0].price;
+  }
+  EXPECT_LT(soft_price, monopoly.price);
+  EXPECT_LT(sharp_price, soft_price);
+  EXPECT_GT(sharp_price, 5.0);  // never below cost
+}
+
+// The learned seller seat: an untrained competitor-aware pricer posts a
+// price inside its own box, rivals best-respond, and every clearing
+// invariant still holds (the mechanism enforces them, not the policy).
+TEST(competitive_market, learned_seat_respects_invariants) {
+  vtm::util::rng gen(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    core::competitive_market_config config;
+    config.msps = {{0.0, 5.0, 50.0, 50.0},
+                   {0.0, 4.0, 40.0, 30.0},
+                   {0.0, 6.0, 60.0, 40.0}};
+    config.learned_msp = 1;
+    config.pricer = random_competitor_pricer(
+        700 + static_cast<std::uint64_t>(trial), config.msps[1].unit_cost,
+        config.msps[1].price_cap);
+    core::competitive_market market(config);
+
+    const auto cohort = static_cast<std::size_t>(gen.uniform_int(1, 8));
+    for (std::size_t v = 0; v < cohort; ++v)
+      market.submit(draw_request(gen, v));
+    std::vector<double> available{gen.uniform(1.0, 50.0),
+                                  gen.uniform(1.0, 30.0),
+                                  gen.uniform(1.0, 40.0)};
+    const auto outcome = market.clear(available);
+    check_outcome_invariants(config, cohort, available, outcome,
+                             market.pending());
+    if (outcome.markets_cleared > 0) {
+      EXPECT_GE(outcome.prices[1], config.msps[1].unit_cost);
+      EXPECT_LE(outcome.prices[1], config.msps[1].price_cap);
+    }
+  }
+}
+
+TEST(competitive_market, validates_config) {
+  core::competitive_market_config no_msps;
+  no_msps.msps.clear();
+  EXPECT_THROW((void)core::competitive_market{no_msps},
+               vtm::util::contract_error);
+
+  core::competitive_market_config bad_cost;
+  bad_cost.msps = {{0.0, -1.0, 50.0, 50.0}};
+  EXPECT_THROW((void)core::competitive_market{bad_cost},
+               vtm::util::contract_error);
+
+  core::competitive_market_config seat_without_pricer;
+  seat_without_pricer.msps = {{0.0, 5.0, 50.0, 50.0},
+                              {0.0, 5.0, 50.0, 50.0}};
+  seat_without_pricer.learned_msp = 0;
+  EXPECT_THROW((void)core::competitive_market{seat_without_pricer},
+               vtm::util::contract_error);
+
+  // A monopoly-dim pricer cannot fill a competitor-aware seat.
+  core::competitive_market_config wrong_dim = seat_without_pricer;
+  rl::actor_critic_config net;
+  net.obs_dim = core::cohort_feature_dim;
+  net.act_dim = 1;
+  net.hidden = {8};
+  vtm::util::rng gen(1);
+  core::learned_pricer_config pricer_config;
+  pricer_config.hidden = net.hidden;
+  wrong_dim.pricer = std::make_shared<const core::learned_pricer>(
+      pricer_config, rl::actor_critic(net, gen));
+  EXPECT_THROW((void)core::competitive_market{wrong_dim},
+               vtm::util::contract_error);
+}
+
+// ---- per-MSP candidate sets -------------------------------------------------
+
+// Overlapping deployments: each operator's chain resolves its own serving
+// RSU per position; a downstream offset flips the candidate around the
+// shifted cell midpoints.
+TEST(competitive_market, chain_set_resolves_per_operator_candidates) {
+  const vtm::sim::rsu_chain primary(4, 1000.0, 600.0);  // centres 1000..4000
+  const std::vector<vtm::sim::rsu_chain> chains{primary.shifted(0.0),
+                                                primary.shifted(300.0)};
+  const vtm::sim::chain_set set(chains);
+  ASSERT_EQ(set.size(), 2u);
+  // 1600 m sits past the primary 0 -> 1 midpoint (1500) but short of the
+  // shifted chain's (centres 1300, 2300 — midpoint 1800): the operators
+  // serve the same position from different RSUs.
+  EXPECT_EQ(set.candidate(0, 1600.0), 1u);
+  EXPECT_EQ(set.candidate(1, 1600.0), 0u);
+  const auto both = set.candidates(2700.0);
+  EXPECT_EQ(both[0], 2u);  // primary: past 2500
+  EXPECT_EQ(both[1], 1u);  // shifted: 2800 not yet crossed
+}
+
+// ---- fleet engine integration ----------------------------------------------
+
+// market_mode::oligopoly with one MSP (empty roster) is bitwise
+// market_mode::joint: same clearings, same prices, same aggregates.
+TEST(competitive_market, fleet_m1_is_bitwise_joint) {
+  {
+    core::fleet_config joint;  // defaults
+    const auto a = core::run_fleet_scenario(joint);
+    auto oligo = joint;
+    oligo.mode = core::market_mode::oligopoly;
+    const auto b = core::run_fleet_scenario(oligo);
+    expect_fleet_identical(a, b);
+    ASSERT_EQ(b.msp_utilities.size(), 1u);
+    // One shard accrues per-MSP utility in completion order — the same
+    // order the merge reduces the scalar total in, so even the sum is
+    // bitwise.
+    EXPECT_EQ(b.msp_utilities[0], b.msp_total_utility);
+  }
+  {
+    core::fleet_config joint;
+    joint.rsu_positions_m = {800.0, 2000.0, 2900.0, 4400.0, 5200.0, 6800.0};
+    joint.coverage_radius_m = 900.0;
+    joint.vehicle_count = 80;
+    joint.duration_s = 90.0;
+    joint.seed = 99;
+    const auto a = core::run_fleet_scenario(joint);
+    auto oligo = joint;
+    oligo.mode = core::market_mode::oligopoly;
+    const auto b = core::run_fleet_scenario(oligo);
+    expect_fleet_identical(a, b);
+  }
+}
+
+// End-to-end economics: duopoly clearing prices sit below the monopoly
+// price, fall as λ grows, and stay above cost.
+TEST(competitive_market, fleet_duopoly_prices_below_monopoly) {
+  core::fleet_config mono;  // defaults (joint monopoly)
+  const auto monopoly = core::run_fleet_scenario(mono);
+
+  const auto soft = core::run_fleet_scenario(duopoly_fleet(0.25));
+  const auto sharp = core::run_fleet_scenario(duopoly_fleet(4.0));
+
+  EXPECT_EQ(soft.handovers, monopoly.handovers);
+  EXPECT_LT(soft.mean_price, monopoly.mean_price);
+  EXPECT_LT(sharp.mean_price, soft.mean_price);
+  EXPECT_GT(sharp.mean_price, mono.unit_cost);
+  // Lower prices leave the buyers better off in aggregate.
+  EXPECT_GT(soft.vmu_total_utility, monopoly.vmu_total_utility);
+}
+
+TEST(competitive_market, fleet_duopoly_deterministic_and_conserved) {
+  const auto config = duopoly_fleet();
+  const auto a = core::run_fleet_scenario(config);
+  const auto b = core::run_fleet_scenario(config);
+  expect_fleet_identical(a, b);
+  ASSERT_EQ(a.msp_utilities.size(), 2u);
+  EXPECT_EQ(a.msp_utilities[0], b.msp_utilities[0]);
+  EXPECT_EQ(a.msp_utilities[1], b.msp_utilities[1]);
+  expect_fleet_conserved(config, a);
+
+  auto other = config;
+  other.seed = config.seed + 1;
+  const auto c = core::run_fleet_scenario(other);
+  EXPECT_NE(a.msp_total_utility, c.msp_total_utility);
+}
+
+// An asymmetric duopoly: the cheaper seller wins share and profit.
+TEST(competitive_market, fleet_cheaper_msp_wins_share) {
+  auto config = duopoly_fleet(1.0);
+  config.msps[1].unit_cost = 3.5;  // undercuts MSP 0's cost of 5
+  const auto r = core::run_fleet_scenario(config);
+  expect_fleet_conserved(config, r);
+  EXPECT_GT(r.msp_sold_mhz[1], r.msp_sold_mhz[0]);
+  EXPECT_GT(r.msp_utilities[1], r.msp_utilities[0]);
+}
+
+// Offset chains: MSP 1's RSUs sit 120 m downstream of the primary chain.
+// Candidate resolution stays shard-local, per-shard oligopoly books survive
+// cross-shard handoff, and a multi-shard run with timely deliveries
+// reproduces the serial oligopoly run bitwise.
+TEST(competitive_market, fleet_offset_duopoly_shards_match_serial) {
+  auto config = duopoly_fleet();
+  config.msps[1].chain_offset_m = 120.0;
+  config.msps[1].unit_cost = 4.0;
+  const auto serial = core::run_fleet_scenario(config);
+  expect_fleet_conserved(config, serial);
+
+  for (const std::size_t shards : {2u, 4u}) {
+    auto sharded_config = config;
+    sharded_config.shard_count = shards;
+    const auto sharded = core::run_fleet_scenario(sharded_config);
+    EXPECT_GT(sharded.cross_shard_transfers, 0u) << shards;
+    EXPECT_EQ(sharded.late_handoffs, 0u) << shards;
+    EXPECT_EQ(sharded.cross_shard_retargets, 0u) << shards;
+    expect_fleet_identical(serial, sharded);
+    expect_fleet_conserved(sharded_config, sharded);
+    // Per-MSP splits agree with the serial run up to summation order.
+    for (std::size_t m = 0; m < 2; ++m)
+      EXPECT_NEAR(sharded.msp_utilities[m], serial.msp_utilities[m],
+                  1e-9 * std::max(1.0, serial.msp_utilities[m]));
+  }
+}
+
+// A deferred request whose vehicle drifts across shard boundaries re-homes
+// through retarget handoffs into the destination shard's *oligopoly* book
+// (the delivery path must route into comarkets, not the empty monopoly
+// books), and the migration still lands exactly once.
+TEST(competitive_market, fleet_cross_shard_retargets_reach_oligopoly_books) {
+  core::fleet_config config;
+  config.rsu_positions_m = {1000.0, 2000.0, 4000.0};
+  config.coverage_radius_m = 1100.0;
+  config.vehicle_count = 2;
+  config.min_speed_mps = 30.0;
+  config.max_speed_mps = 30.0;
+  config.min_alpha = 5000.0;
+  config.max_alpha = 5000.0;
+  config.min_data_mb = 280.0;
+  config.spawn_min_m = 1100.0;
+  config.spawn_max_m = 1400.0;
+  config.bandwidth_per_pool_mhz = 0.1;  // one grant saturates a pool
+  config.min_clearable_mhz = 0.1;
+  config.duration_s = 20.0;
+  config.shard_count = 3;
+  config.mode = core::market_mode::oligopoly;
+  config.msps = {{0.0, 5.0, 50.0, 0.1}, {0.0, 5.0, 50.0, 0.1}};
+  const auto r = core::run_fleet_scenario(config);
+
+  EXPECT_GT(r.cross_shard_retargets, 0u);
+  expect_fleet_conserved(config, r);
+  const bool drifted_granted = std::any_of(
+      r.migrations.begin(), r.migrations.end(),
+      [](const core::migration_record& m) {
+        return m.from_rsu == 0 && m.to_rsu == 2;
+      });
+  EXPECT_TRUE(drifted_granted);
+}
+
+// The learned seller seat inside a fleet run: deterministic, conserved, and
+// the seat's clearing prices stay inside its box.
+TEST(competitive_market, fleet_learned_seat_runs_conserved) {
+  auto config = duopoly_fleet(1.0);
+  config.learned_msp = 0;
+  config.pricer = random_competitor_pricer(9, config.msps[0].unit_cost,
+                                           config.msps[0].price_cap);
+  const auto a = core::run_fleet_scenario(config);
+  const auto b = core::run_fleet_scenario(config);
+  expect_fleet_identical(a, b);
+  expect_fleet_conserved(config, a);
+  EXPECT_GT(a.completed, 0u);
+  for (const auto& record : a.migrations) {
+    EXPECT_GE(record.price, 4.0 - 1e-12);  // min over both sellers' costs
+    EXPECT_LE(record.price, 50.0 + 1e-12);
+  }
+}
+
+TEST(competitive_market, fleet_rejects_invalid_oligopoly_configs) {
+  // A roster outside oligopoly mode is a misconfiguration, not ignorable.
+  core::fleet_config roster_in_joint;
+  roster_in_joint.msps = {{0.0, 5.0, 50.0, 50.0}};
+  EXPECT_THROW((void)core::run_fleet_scenario(roster_in_joint),
+               vtm::util::contract_error);
+
+  core::fleet_config shared;
+  shared.mode = core::market_mode::oligopoly;
+  shared.shared_pool = true;
+  EXPECT_THROW((void)core::run_fleet_scenario(shared),
+               vtm::util::contract_error);
+
+  core::fleet_config seat_without_pricer = duopoly_fleet();
+  seat_without_pricer.learned_msp = 0;
+  EXPECT_THROW((void)core::run_fleet_scenario(seat_without_pricer),
+               vtm::util::contract_error);
+
+  // A learned monopoly *backend* is dead config under real competition.
+  core::fleet_config learned_backend = duopoly_fleet();
+  learned_backend.pricing = core::pricing_backend::learned;
+  learned_backend.pricer = random_competitor_pricer(1, 5.0, 50.0);
+  EXPECT_THROW((void)core::run_fleet_scenario(learned_backend),
+               vtm::util::contract_error);
+
+  // An offset pushing a candidate pool across a shard boundary would let
+  // two shards race on it: rejected up front.
+  auto offset_too_far = duopoly_fleet();
+  offset_too_far.msps[1].chain_offset_m = -600.0;  // past the cell midpoint
+  offset_too_far.shard_count = 8;                  // one RSU per shard
+  EXPECT_THROW((void)core::run_fleet_scenario(offset_too_far),
+               vtm::util::contract_error);
+}

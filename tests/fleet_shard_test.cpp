@@ -274,7 +274,7 @@ TEST(fleet_shard, drain_sweep_rehomes_abandoned_twins) {
   vehicles[0].twin->set_host_rsu(1);
 
   sim::shard_mailbox<core::shard_message> mailbox(1);
-  core::shard_engine engine(config, chain, 0, 0, 4, rsu_shard, vehicles,
+  core::shard_engine engine(config, chain, {}, 0, 0, 4, rsu_shard, vehicles,
                             mailbox, nullptr);
 
   core::clearing_request request;
@@ -379,6 +379,146 @@ TEST(fleet_shard, backward_traffic_is_rejected_by_design) {
   config.max_speed_mps = -10.0;
   EXPECT_THROW((void)core::run_fleet_scenario(config),
                vtm::util::contract_error);
+}
+
+// ---- satellite: per-cell noise/power overrides -----------------------------
+
+// Overrides that merely restate the chain-wide channel are bitwise inert:
+// the per-cell vectors change *which* numbers each pool link carries, never
+// the arithmetic downstream of them.
+TEST(fleet_shard, identity_channel_overrides_are_bitwise_inert) {
+  core::fleet_config config;
+  config.vehicle_count = 60;
+  config.duration_s = 60.0;
+  const auto baseline = core::run_fleet_scenario(config);
+
+  auto overridden = config;
+  overridden.rsu_noise_dbm.assign(config.rsu_count,
+                                  config.link.noise_power_dbm);
+  overridden.rsu_tx_power_dbm.assign(config.rsu_count,
+                                     config.link.tx_power_dbm);
+  const auto r = core::run_fleet_scenario(overridden);
+  expect_identical(baseline, r);
+}
+
+// A noisier destination cell slows its migrations: with one vehicle and one
+// boundary, the interior equilibrium's closed-form AoTM D/(b*R) strictly
+// grows as the cell's R drops (b* = sqrt(ακ/C) − κ, κ = D/R), and only the
+// overridden cell is affected.
+TEST(fleet_shard, noisier_cell_slows_its_own_migrations) {
+  core::fleet_config config;
+  config.rsu_count = 4;
+  config.vehicle_count = 1;
+  config.spawn_min_m = 1200.0;  // one boundary (1500 m) within the horizon
+  config.spawn_max_m = 1400.0;
+  config.duration_s = 30.0;
+  const auto baseline = core::run_fleet_scenario(config);
+  ASSERT_EQ(baseline.completed, 1u);
+  EXPECT_EQ(baseline.migrations[0].to_rsu, 1u);
+
+  auto noisy = config;
+  noisy.rsu_noise_dbm.assign(config.rsu_count, config.link.noise_power_dbm);
+  noisy.rsu_noise_dbm[1] = config.link.noise_power_dbm + 12.0;
+  const auto r = core::run_fleet_scenario(noisy);
+  ASSERT_EQ(r.completed, 1u);
+  EXPECT_GT(r.migrations[0].aotm_closed_form,
+            baseline.migrations[0].aotm_closed_form);
+  EXPECT_GT(r.migrations[0].aotm_simulated,
+            baseline.migrations[0].aotm_simulated);
+
+  // A hotter transmitter pushes the other way.
+  auto boosted = config;
+  boosted.rsu_tx_power_dbm.assign(config.rsu_count, config.link.tx_power_dbm);
+  boosted.rsu_tx_power_dbm[1] = config.link.tx_power_dbm + 6.0;
+  const auto b = core::run_fleet_scenario(boosted);
+  ASSERT_EQ(b.completed, 1u);
+  EXPECT_LT(b.migrations[0].aotm_closed_form,
+            baseline.migrations[0].aotm_closed_form);
+}
+
+TEST(fleet_shard, rejects_malformed_channel_overrides) {
+  core::fleet_config wrong_size;
+  wrong_size.rsu_noise_dbm = {-150.0, -150.0};  // 8-RSU chain
+  EXPECT_THROW((void)core::run_fleet_scenario(wrong_size),
+               vtm::util::contract_error);
+
+  core::fleet_config not_finite;
+  not_finite.rsu_tx_power_dbm.assign(not_finite.rsu_count, 40.0);
+  not_finite.rsu_tx_power_dbm[3] =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)core::run_fleet_scenario(not_finite),
+               vtm::util::contract_error);
+
+  core::fleet_config shared;
+  shared.shared_pool = true;
+  shared.rsu_noise_dbm.assign(shared.rsu_count, -150.0);
+  EXPECT_THROW((void)core::run_fleet_scenario(shared),
+               vtm::util::contract_error);
+}
+
+// ---- satellite: same-instant cross-shard retargets serialize --------------
+
+// PR 4's documented open follow-up: retargets landing at the same grid
+// instant serialize through the next barrier in (destination, sender, send
+// order) mailbox sequence — the senders' book-FIFO order — rather than
+// reproducing the serial engine's schedule-order tie-break. Today those two
+// orders *coincide* on this scenario (v1 before v2, both retargeting at
+// t = 164 s into the same destination pool), and the whole schedule is
+// deterministic. This pin makes any future tie-break change deliberate: if
+// the mailbox discipline or the book compaction reorders same-instant
+// retargets, these exact sequences must be re-derived, not accidentally
+// drifted.
+TEST(fleet_shard, same_instant_cross_shard_retargets_serialize_in_fifo_order) {
+  core::fleet_config config;
+  config.rsu_positions_m = {1000.0, 2000.0, 4000.0};
+  config.coverage_radius_m = 1100.0;
+  config.vehicle_count = 3;
+  config.min_speed_mps = 30.0;
+  config.max_speed_mps = 30.0;
+  config.min_alpha = 5000.0;
+  config.max_alpha = 5000.0;
+  config.min_data_mb = 280.0;
+  config.spawn_min_m = 1100.0;
+  config.spawn_max_m = 1400.0;
+  config.bandwidth_per_pool_mhz = 0.1;  // one grant saturates a pool
+  config.min_clearable_mhz = 0.1;
+  config.duration_s = 20.0;
+
+  const auto serial = core::run_fleet_scenario(config);
+
+  auto sharded_config = config;
+  sharded_config.shard_count = 3;  // one RSU per shard
+  const auto sharded = core::run_fleet_scenario(sharded_config);
+
+  // Two deferred requests retarget out of shard 1 at the same clearing
+  // instant; both serialize through the next barrier.
+  EXPECT_EQ(sharded.cross_shard_retargets, 2u);
+  expect_conserved(sharded_config, sharded);
+
+  // The pinned deterministic order: v0's granted migration first, then the
+  // same-instant retargets v1, v2 — submitted in book-FIFO order at the
+  // sender, delivered in send order at the destination.
+  ASSERT_EQ(sharded.migrations.size(), 3u);
+  const std::size_t vehicles[] = {0, 1, 2};
+  const std::size_t to_rsu[] = {1, 2, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sharded.migrations[i].vehicle, vehicles[i]) << i;
+    EXPECT_EQ(sharded.migrations[i].to_rsu, to_rsu[i]) << i;
+  }
+  EXPECT_EQ(sharded.migrations[1].start_s, sharded.migrations[2].start_s);
+
+  // Today the barrier serialization happens to reproduce the serial
+  // engine's schedule-order tie-break on this scenario — pin that too, so a
+  // divergence (either engine changing its order) is surfaced.
+  ASSERT_EQ(serial.migrations.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(serial.migrations[i].vehicle, sharded.migrations[i].vehicle);
+    EXPECT_EQ(serial.migrations[i].start_s, sharded.migrations[i].start_s);
+  }
+
+  // And the serialization is stable run to run.
+  const auto again = core::run_fleet_scenario(sharded_config);
+  expect_identical(sharded, again);
 }
 
 // ---- cross-shard retarget path --------------------------------------------

@@ -1,0 +1,147 @@
+// Property suite for `core::multi_msp_market` under capacity rationing —
+// the static oligopoly the fleet's competitive clearing engine drives
+// (DESIGN.md §11). Randomized across rosters, price vectors, and cohort
+// draws:
+//   1. softmin shares always sum to 1 and are strictly positive;
+//   2. rationed sales never exceed any MSP's bandwidth_cap_mhz;
+//   3. per-MSP utilities are exactly (p_m − C_m)·sales_m;
+//   4. with M = 1, shares/effective price/demands are *bitwise* the monopoly
+//      `core::market` path (same formulas, same arithmetic), so plugging
+//      the oligopoly evaluator into a single-seller market changes nothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/market.hpp"
+#include "core/multi_msp.hpp"
+#include "util/rng.hpp"
+
+namespace core = vtm::core;
+
+namespace {
+
+core::multi_msp_params draw_params(vtm::util::rng& gen, std::size_t msps) {
+  core::multi_msp_params params;
+  for (std::size_t m = 0; m < msps; ++m) {
+    core::msp_profile msp;
+    msp.unit_cost = gen.uniform(1.0, 10.0);
+    msp.price_cap = msp.unit_cost + gen.uniform(5.0, 60.0);
+    msp.bandwidth_cap_mhz = gen.uniform(0.5, 60.0);
+    params.msps.push_back(msp);
+  }
+  const auto vmus = static_cast<std::size_t>(gen.uniform_int(1, 10));
+  for (std::size_t n = 0; n < vmus; ++n)
+    params.vmus.push_back({gen.uniform(50.0, 3000.0),
+                           gen.uniform(50.0, 400.0)});
+  params.share_sharpness = gen.uniform(0.05, 4.0);
+  return params;
+}
+
+std::vector<double> draw_prices(vtm::util::rng& gen,
+                                const core::multi_msp_params& params) {
+  std::vector<double> prices;
+  for (const auto& msp : params.msps)
+    prices.push_back(gen.uniform(msp.unit_cost, msp.price_cap));
+  return prices;
+}
+
+}  // namespace
+
+TEST(multi_msp_property, shares_sum_to_one_and_stay_positive) {
+  vtm::util::rng gen(20260729);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto msps = static_cast<std::size_t>(gen.uniform_int(1, 6));
+    auto params = draw_params(gen, msps);
+    const core::multi_msp_market market(params);
+    const auto prices = draw_prices(gen, params);
+    const auto shares = market.shares(prices);
+    ASSERT_EQ(shares.size(), msps);
+    double total = 0.0;
+    for (const double w : shares) {
+      EXPECT_GT(w, 0.0);  // softmin never fully starves a seller
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(multi_msp_property, rationed_sales_never_exceed_any_cap) {
+  vtm::util::rng gen(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto msps = static_cast<std::size_t>(gen.uniform_int(1, 6));
+    auto params = draw_params(gen, msps);
+    const core::multi_msp_market market(params);
+    const auto prices = draw_prices(gen, params);
+    const auto sales = market.msp_sales(prices);
+    ASSERT_EQ(sales.size(), msps);
+    for (std::size_t m = 0; m < msps; ++m) {
+      EXPECT_GE(sales[m], 0.0);
+      EXPECT_LE(sales[m], params.msps[m].bandwidth_cap_mhz);
+    }
+    // Equilibrium prices keep the invariant too (they are just another
+    // price vector as far as rationing is concerned).
+    const auto eq = core::solve_price_competition(market);
+    for (std::size_t m = 0; m < msps; ++m)
+      EXPECT_LE(eq.sales[m], params.msps[m].bandwidth_cap_mhz);
+  }
+}
+
+TEST(multi_msp_property, utilities_are_margin_times_sales) {
+  vtm::util::rng gen(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto msps = static_cast<std::size_t>(gen.uniform_int(2, 5));
+    auto params = draw_params(gen, msps);
+    const core::multi_msp_market market(params);
+    const auto prices = draw_prices(gen, params);
+    const auto sales = market.msp_sales(prices);
+    const auto utilities = market.msp_utilities(prices);
+    for (std::size_t m = 0; m < msps; ++m)
+      EXPECT_EQ(utilities[m],
+                (prices[m] - params.msps[m].unit_cost) * sales[m]);
+  }
+}
+
+// A tiny cap must bind exactly: the rationed seller sells its whole pool.
+TEST(multi_msp_property, binding_cap_sells_exactly_the_pool) {
+  core::multi_msp_params params;
+  params.msps = {{5.0, 0.25, 50.0}, {5.0, 50.0, 50.0}};
+  params.vmus = {{2000.0, 100.0}, {2000.0, 150.0}, {1500.0, 120.0}};
+  const core::multi_msp_market market(params);
+  const std::vector<double> prices{6.0, 6.0};
+  const auto sales = market.msp_sales(prices);
+  EXPECT_EQ(sales[0], 0.25);  // cap binds bit-exactly (min against the cap)
+  EXPECT_LE(sales[1], 50.0);
+}
+
+// ---- M = 1 is bitwise the monopoly market ----------------------------------
+
+TEST(multi_msp_property, single_msp_is_bitwise_the_monopoly_path) {
+  vtm::util::rng gen(1234);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto params = draw_params(gen, 1);
+    const core::multi_msp_market oligo(params);
+
+    core::market_params mono;
+    mono.vmus = params.vmus;
+    mono.link = params.link;
+    mono.bandwidth_cap_mhz = params.msps[0].bandwidth_cap_mhz;
+    mono.unit_cost = params.msps[0].unit_cost;
+    mono.price_cap = params.msps[0].price_cap;
+    const core::migration_market market(mono);
+
+    const double price =
+        gen.uniform(params.msps[0].unit_cost, params.msps[0].price_cap);
+    const std::vector<double> prices{price};
+
+    // Degenerate softmin: exp(0)/exp(0) — exactly one, no rounding.
+    const auto shares = oligo.shares(prices);
+    EXPECT_EQ(shares, std::vector<double>{1.0});
+    EXPECT_EQ(oligo.effective_price(prices), price);
+
+    // Per-VMU demand is the identical expression (α/p − κ clamped at 0), so
+    // the doubles match bit for bit.
+    for (std::size_t n = 0; n < params.vmus.size(); ++n)
+      EXPECT_EQ(oligo.vmu_demand(n, prices), market.best_response(n, price));
+  }
+}
