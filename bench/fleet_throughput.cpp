@@ -20,10 +20,12 @@
 // reported only (shared/single-core runners make a wall-clock ratio an
 // unreliable hard check). --msps M re-runs the largest regime under
 // market_mode::oligopoly with 1..M symmetric competing MSPs and reports
-// vehicles/sec, the demand-weighted clearing price, and the per-MSP utility
-// split; conservation (exactly-once resolution, per-seller profit
-// decomposition) gates the exit code, and the M = 1 row must reproduce the
-// monopoly joint run bitwise. Every run writes a machine-readable
+// vehicles/sec, the demand-weighted clearing price, the per-MSP utility
+// split, and the clearing-cost breakdown (solver sweeps, objective evals,
+// warm-start hit rate, wall-clock over the M = 1 row); conservation
+// (exactly-once resolution, per-seller profit decomposition) plus a clean
+// certificate sweep (unconverged_clearings == 0 at every M) gate the exit
+// code, and the M = 1 row must reproduce the monopoly joint run bitwise. Every run writes a machine-readable
 // BENCH_fleet.json (vehicles/sec, per-regime MSP utility, the shard and
 // MSP sweeps, and the comparison when enabled) so the perf trajectory is
 // trackable across PRs; --json overrides the path.
@@ -85,7 +87,10 @@ struct msp_report {
 };
 
 /// Exactly-once resolution + per-seller profit decomposition for one
-/// oligopoly run.
+/// oligopoly run. Every clearing must also carry a convergence certificate
+/// (unconverged_clearings == 0) — the dampened solver is expected to close
+/// every cohort within its sweep budget, so a single unconverged clearing
+/// fails the sweep's exit code.
 bool oligopoly_conserved(const vtm::core::fleet_config& config,
                          const vtm::core::fleet_result& r,
                          std::size_t msps) {
@@ -101,7 +106,16 @@ bool oligopoly_conserved(const vtm::core::fleet_config& config,
          r.vehicles.size() == config.vehicle_count &&
          twin_migrations == r.completed &&
          r.msp_utilities.size() == msps &&
-         std::abs(split - r.msp_total_utility) <= tolerance;
+         std::abs(split - r.msp_total_utility) <= tolerance &&
+         r.unconverged_clearings == 0;
+}
+
+/// Warm-start hit rate of one oligopoly run: the fraction of clearings that
+/// initialized the price solver from the book's previous equilibrium.
+double warm_hit_rate(const vtm::core::fleet_result& r) {
+  return r.clearings > 0 ? static_cast<double>(r.warm_started_clearings) /
+                               static_cast<double>(r.clearings)
+                         : 0.0;
 }
 
 void write_json(const std::string& path, bool smoke, double duration_s,
@@ -206,6 +220,18 @@ void write_json(const std::string& path, bool smoke, double duration_s,
                    report.result.mean_price);
       std::fprintf(out, "      \"unconverged_clearings\": %zu,\n",
                    report.result.unconverged_clearings);
+      std::fprintf(out, "      \"solver_sweeps\": %zu,\n",
+                   report.result.solver_sweeps);
+      std::fprintf(out, "      \"objective_evals\": %zu,\n",
+                   report.result.objective_evals);
+      std::fprintf(out, "      \"warm_started_clearings\": %zu,\n",
+                   report.result.warm_started_clearings);
+      std::fprintf(out, "      \"warm_hit_rate\": %.4f,\n",
+                   warm_hit_rate(report.result));
+      // Clearing-cost ratio against the M = 1 (monopoly-delegating) row.
+      const double mono_wall =
+          msp_sweep.front().wall_s > 1e-9 ? msp_sweep.front().wall_s : 1e-9;
+      std::fprintf(out, "      \"wall_over_m1\": %.3f,\n", wall / mono_wall);
       std::fprintf(out, "      \"msp_utilities\": [");
       for (std::size_t m = 0; m < report.result.msp_utilities.size(); ++m)
         std::fprintf(out, "%s%.6f",
@@ -428,8 +454,9 @@ int main(int argc, char** argv) {
     std::printf("MSP sweep (%zu vehicles, %zu RSUs, oligopoly clearing):\n",
                 msp_config.vehicle_count, msp_config.rsu_count);
     vtm::util::ascii_table msp_table(
-        {"msps", "wall (s)", "handovers", "migrations", "mean price",
-         "U_s total", "U_s split min/max", "unconverged"});
+        {"msps", "wall (s)", "x mono", "handovers", "migrations",
+         "mean price", "U_s total", "U_s split min/max", "sweeps", "evals",
+         "warm %", "unconverged"});
     for (std::size_t msps = 1; msps <= max_msps; ++msps) {
       auto config = msp_config;
       config.mode = vtm::core::market_mode::oligopoly;
@@ -463,16 +490,23 @@ int main(int argc, char** argv) {
           split_max = std::max(split_max, u);
         }
       }
+      const double mono_wall =
+          msp_sweep.empty() ? report.wall_s : msp_sweep.front().wall_s;
       msp_table.add_row(std::vector<double>{
           static_cast<double>(msps), report.wall_s,
+          report.wall_s / (mono_wall > 1e-9 ? mono_wall : 1e-9),
           static_cast<double>(r.handovers),
           static_cast<double>(r.completed), r.mean_price,
           r.msp_total_utility, split_max > 0.0 ? split_min / split_max : 1.0,
+          static_cast<double>(r.solver_sweeps),
+          static_cast<double>(r.objective_evals),
+          100.0 * warm_hit_rate(r),
           static_cast<double>(r.unconverged_clearings)});
       msp_sweep.push_back(std::move(report));
     }
     std::printf("%s", msp_table.render().c_str());
-    std::printf("oligopoly invariants (conservation + M=1 delegation): %s\n\n",
+    std::printf("oligopoly invariants (conservation + M=1 delegation + "
+                "certified clearings): %s\n\n",
                 msps_conserved ? "OK" : "FAILED");
   }
 

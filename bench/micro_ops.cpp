@@ -6,6 +6,7 @@
 #include "core/env.hpp"
 #include "core/equilibrium.hpp"
 #include "core/mechanism.hpp"
+#include "core/multi_msp.hpp"
 #include "rl/buffer.hpp"
 #include "rl/policy.hpp"
 #include "rl/ppo.hpp"
@@ -47,6 +48,35 @@ void bm_market_demands(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_market_demands)->Arg(2)->Arg(32)->Arg(256);
+
+vtm::core::multi_msp_params oligopoly_of(std::size_t n_msps,
+                                         std::size_t n_vmus) {
+  vtm::core::multi_msp_params params;
+  params.share_sharpness = 0.25;
+  for (std::size_t m = 0; m < n_msps; ++m)
+    params.msps.push_back({5.0 + 0.5 * static_cast<double>(m), 50.0, 50.0});
+  vtm::util::rng gen(11);
+  for (std::size_t n = 0; n < n_vmus; ++n)
+    params.vmus.push_back(
+        {300.0 + 400.0 * gen.uniform(), 60.0 + 80.0 * gen.uniform()});
+  return params;
+}
+
+void bm_solve_price_competition(benchmark::State& state) {
+  const vtm::core::multi_msp_market market(
+      oligopoly_of(static_cast<std::size_t>(state.range(0)),
+                   static_cast<std::size_t>(state.range(1))));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(vtm::core::solve_price_competition(market));
+}
+BENCHMARK(bm_solve_price_competition)
+    ->Args({2, 64})
+    ->Args({2, 1024})
+    ->Args({4, 64})
+    ->Args({4, 1024})
+    ->Args({8, 64})
+    ->Args({8, 1024})
+    ->Unit(benchmark::kMicrosecond);
 
 void bm_env_step(benchmark::State& state) {
   vtm::core::pricing_env env(

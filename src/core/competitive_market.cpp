@@ -45,6 +45,8 @@ competitive_market::competitive_market(competitive_market_config config)
     VTM_EXPECTS(config_.pricer->config().competitor_aware);
   }
   if (config_.msps.size() == 1) monopoly_.emplace(monopoly_config(config_));
+  warm_prices_.assign(config_.msps.size(), 0.0);
+  warm_valid_.assign(config_.msps.size(), false);
 }
 
 void competitive_market::submit(clearing_request request) {
@@ -129,6 +131,29 @@ competitive_outcome competitive_market::clear_oligopoly(
   params.share_sharpness = config_.share_sharpness;
   const multi_msp_market market(std::move(params));
 
+  // Warm start: seed the solve from the prices this book's sellers posted
+  // in their most recent clearing (cohorts drift slowly between clearings,
+  // so the previous fixed point is a few sweeps from the new one). Sellers
+  // with no memory yet get their cap midpoint; when *no* active seller has
+  // memory — the first clearing of a run — the solve cold-starts and is
+  // bitwise-identical to the memoryless solver.
+  std::vector<double> warm(active.size(), 0.0);
+  bool any_warm = false;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const std::size_t m = active[i];
+    if (warm_valid_[m]) {
+      warm[i] = warm_prices_[m];
+      any_warm = true;
+    } else {
+      warm[i] = 0.5 * (config_.msps[m].unit_cost + config_.msps[m].price_cap);
+    }
+  }
+  price_competition_options solve_options;
+  solve_options.tol = config_.fixed_point_tol;
+  solve_options.max_sweeps = config_.max_sweeps;
+  if (any_warm) solve_options.warm_start = warm;
+  outcome.warm_started = any_warm;
+
   // Price vector: all-scripted best-response fixed point, or the learned
   // seat's posted price with the scripted rivals best-responding to it. The
   // scripted equilibrium doubles as the rival-price summary the learned
@@ -141,9 +166,11 @@ competitive_outcome competitive_market::clear_oligopoly(
   if (learned_it != active.end()) {
     const std::size_t seat = static_cast<std::size_t>(
         learned_it - active.begin());
-    const auto scripted = solve_price_competition(
-        market, config_.fixed_point_tol, config_.max_sweeps);
+    const auto scripted = solve_price_competition(market, solve_options);
     outcome.converged = scripted.converged;
+    outcome.certified = scripted.certified;
+    outcome.solver_sweeps += scripted.iterations;
+    outcome.objective_evals += scripted.objective_evals;
 
     const auto& own = config_.msps[config_.learned_msp];
     market_params own_view;
@@ -174,44 +201,46 @@ competitive_outcome competitive_market::clear_oligopoly(
     prices[seat] = std::clamp(config_.pricer->price(obs), own.unit_cost,
                               own.price_cap);
     if (active.size() > 1) {
-      // Rivals best-respond to the posted price (Gauss–Seidel with the
-      // learned coordinate held fixed).
-      bool converged = false;
-      for (std::size_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
-        double max_change = 0.0;
-        for (std::size_t m = 0; m < active.size(); ++m) {
-          if (m == seat) continue;
-          const double updated = market.best_response_price(m, prices);
-          max_change = std::max(max_change, std::abs(updated - prices[m]));
-          prices[m] = updated;
-        }
-        if (max_change <= config_.fixed_point_tol) {
-          converged = true;
-          break;
-        }
-      }
-      outcome.converged = outcome.converged && converged;
+      // Rivals best-respond to the posted price: the same dampened solver
+      // with the learned coordinate pinned, warm-started from the scripted
+      // equilibrium (already a few sweeps from the rivals' fixed point).
+      price_competition_options rival_options = solve_options;
+      rival_options.warm_start = prices;
+      rival_options.pinned = seat;
+      const auto rivals = solve_price_competition(market, rival_options);
+      prices = rivals.prices;
+      outcome.converged = outcome.converged && rivals.converged;
+      outcome.certified = outcome.certified && rivals.certified;
+      outcome.solver_sweeps += rivals.iterations;
+      outcome.objective_evals += rivals.objective_evals;
     }
   } else {
-    const auto equilibrium = solve_price_competition(
-        market, config_.fixed_point_tol, config_.max_sweeps);
+    const auto equilibrium = solve_price_competition(market, solve_options);
     prices = equilibrium.prices;
     outcome.converged = equilibrium.converged;
+    outcome.certified = equilibrium.certified;
+    outcome.solver_sweeps += equilibrium.iterations;
+    outcome.objective_evals += equilibrium.objective_evals;
   }
   outcome.markets_cleared = 1;
   outcome.prices.assign(config_.msps.size(), 0.0);
-  for (std::size_t i = 0; i < active.size(); ++i)
+  for (std::size_t i = 0; i < active.size(); ++i) {
     outcome.prices[active[i]] = prices[i];
+    warm_prices_[active[i]] = prices[i];
+    warm_valid_[active[i]] = true;
+  }
 
   // Seller split at the posted prices: softmin shares set each VMU's split,
   // and each seller's sales are rationed *proportionally* to its own
   // remainder (every buyer keeps the same fraction of its slice — the
-  // monopoly market's rationing rule, per seller).
+  // monopoly market's rationing rule, per seller). The effective price is
+  // computed once; `vmu_demand_at` is bitwise the per-VMU `vmu_demand`.
   const auto shares = market.shares(prices);
+  const double p_eff = market.effective_price(prices);
   std::vector<double> demand(active.size(), 0.0);
   std::vector<double> interior(pending_.size(), 0.0);
   for (std::size_t n = 0; n < pending_.size(); ++n) {
-    interior[n] = market.vmu_demand(n, prices);
+    interior[n] = market.vmu_demand_at(n, p_eff);
     for (std::size_t m = 0; m < active.size(); ++m)
       demand[m] += interior[n] * shares[m];
   }

@@ -4,8 +4,9 @@
 // (`core::spot_market`). This module is the oligopoly counterpart behind
 // `market_mode::oligopoly`: the same pending book of handover requests, but
 // each clearing runs the cohort through `core::multi_msp_market` price
-// competition — every MSP posts a price (Gauss–Seidel best-response fixed
-// point of the softmin-Bertrand game), VMUs split their purchase across
+// competition — every MSP posts a price (dampened simultaneous best-response
+// fixed point of the softmin-Bertrand game, warm-started from this book's
+// previous clearing), VMUs split their purchase across
 // sellers with the softmin share rule, and each MSP's sales are rationed to
 // its *own* remaining pool capacity. A VMU whose rationed total rounds to
 // zero defers back into the book (capacity in flight re-clears it), exactly
@@ -80,6 +81,10 @@ struct competitive_outcome {
   std::vector<double> prices;       ///< Posted price per participating MSP
                                     ///< (roster-indexed; 0 = sat out).
   bool converged = true;            ///< Best-response fixed point converged.
+  bool certified = true;     ///< Convergence certificate valid (q < 1).
+  bool warm_started = false; ///< Solve started from the previous clearing.
+  std::size_t solver_sweeps = 0;    ///< Best-response sweeps spent.
+  std::size_t objective_evals = 0;  ///< Objective calls across the solve(s).
 };
 
 /// Economics shared by every clearing of one destination cell's book.
@@ -142,6 +147,14 @@ class competitive_market {
   /// single-MSP oligopoly is bitwise the joint path.
   std::optional<spot_market> monopoly_;
   std::vector<clearing_request> pending_;  ///< Book for M >= 2.
+  /// Warm-start memory, keyed per roster MSP for this book: the price each
+  /// seller posted in its most recent clearing here. A seller that sat a
+  /// clearing out keeps its old memory; a seller with no memory yet is
+  /// seeded from its cap midpoint. The very first clearing of a run has no
+  /// memory at all and cold-starts bitwise-identically to the pre-warm-start
+  /// solver.
+  std::vector<double> warm_prices_;
+  std::vector<bool> warm_valid_;
 };
 
 }  // namespace vtm::core

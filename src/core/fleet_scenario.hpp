@@ -171,6 +171,12 @@ struct fleet_result {
   /// Oligopoly clearings whose best-response fixed point hit the sweep
   /// budget without converging (prices still valid, just not certified).
   std::size_t unconverged_clearings = 0;
+  /// Oligopoly solver cost breakdown (all zero outside oligopoly mode):
+  /// best-response sweeps and objective evaluations summed over clearings,
+  /// and how many clearings warm-started from their book's previous prices.
+  std::size_t solver_sweeps = 0;
+  std::size_t objective_evals = 0;
+  std::size_t warm_started_clearings = 0;
 };
 
 /// Run one fleet scenario to completion (deterministic given the seed).

@@ -488,6 +488,9 @@ void shard_engine::run_clearing_oligopoly(std::size_t pidx) {
   counters_.deferred += outcome.deferred;
   if (outcome.markets_cleared > 0) ++counters_.clearings;
   if (!outcome.converged) ++counters_.unconverged_clearings;
+  counters_.solver_sweeps += outcome.solver_sweeps;
+  counters_.objective_evals += outcome.objective_evals;
+  if (outcome.warm_started) ++counters_.warm_started_clearings;
 
   for (const auto& request : outcome.priced_out) {
     ++counters_.priced_out;
@@ -882,6 +885,9 @@ fleet_result shard_coordinator::merge() {
     result.cross_shard_retargets += c.cross_shard_retargets;
     result.late_handoffs += c.late_handoffs;
     result.unconverged_clearings += c.unconverged_clearings;
+    result.solver_sweeps += c.solver_sweeps;
+    result.objective_evals += c.objective_evals;
+    result.warm_started_clearings += c.warm_started_clearings;
     for (std::size_t m = 0; m < c.msp_utility.size(); ++m) {
       result.msp_utilities[m] += c.msp_utility[m];
       result.msp_sold_mhz[m] += c.msp_sold_mhz[m];

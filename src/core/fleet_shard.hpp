@@ -121,6 +121,9 @@ class shard_engine {
     std::size_t cross_shard_retargets = 0;
     std::size_t late_handoffs = 0;
     std::size_t unconverged_clearings = 0;  ///< Oligopoly fixed-point misses.
+    std::size_t solver_sweeps = 0;          ///< Oligopoly BR sweeps spent.
+    std::size_t objective_evals = 0;        ///< Oligopoly objective calls.
+    std::size_t warm_started_clearings = 0; ///< Clearings warm-started.
     /// Per-MSP completion accounting (oligopoly mode; sized to the roster).
     /// Accrued in shard-local completion order — nondecreasing finish time —
     /// so one shard reproduces the global finish-time reduction bitwise.

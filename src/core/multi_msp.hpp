@@ -14,6 +14,14 @@
 // price-competition equilibrium is the fixed point of best responses.
 // Economics recovered in the tests: one MSP reduces to the monopoly model;
 // competition pushes prices below the monopoly level toward cost as λ grows.
+//
+// Fast path (DESIGN.md §12): aggregate demand depends on prices only through
+// the scalar effective price, so the market precomputes per-VMU activation
+// thresholds t_n = α_n/κ_n and suffix sums of (α, κ) over the
+// threshold-sorted order; `total_demand(p_eff)` is then an O(log N) lookup
+// and the best-response objective costs one `exp` per candidate price. The
+// equilibrium solver is a dampened simultaneous best-response iteration with
+// an Aitken-style contraction-ratio certificate and warm-start support.
 #pragma once
 
 #include <cstddef>
@@ -43,7 +51,7 @@ struct multi_msp_params {
 class multi_msp_market {
  public:
   /// Validates: at least one MSP and VMU, positive α/D/caps, λ > 0,
-  /// 0 < C_m <= p_max,m.
+  /// 0 < C_m <= p_max,m. Precomputes the sorted demand curve.
   explicit multi_msp_market(multi_msp_params params);
 
   [[nodiscard]] const multi_msp_params& params() const noexcept {
@@ -70,6 +78,19 @@ class multi_msp_market {
   [[nodiscard]] double vmu_demand(std::size_t n,
                                   std::span<const double> prices) const;
 
+  /// Same per-VMU demand expression, with the effective price computed once
+  /// by the caller — bitwise-identical to `vmu_demand` at the same p_eff.
+  [[nodiscard]] double vmu_demand_at(std::size_t n, double p_eff) const;
+
+  /// Aggregate demand curve at an effective price: O(log N) lookup into the
+  /// threshold-sorted suffix sums, max(0, Σ_active α / p_eff − Σ_active κ).
+  [[nodiscard]] double total_demand(double p_eff) const;
+
+  /// O(N) reference for `total_demand`: walks the sorted VMUs from the
+  /// highest activation threshold down, accumulating the identical FP
+  /// additions, so the result is bitwise-equal to the suffix-sum lookup.
+  [[nodiscard]] double total_demand_reference(double p_eff) const;
+
   /// Bandwidth sold by each MSP (after per-MSP capacity rationing).
   [[nodiscard]] std::vector<double> msp_sales(
       std::span<const double> prices) const;
@@ -78,14 +99,92 @@ class multi_msp_market {
   [[nodiscard]] std::vector<double> msp_utilities(
       std::span<const double> prices) const;
 
-  /// MSP m's best-response price to the others' prices (numeric 1-D solve
-  /// within [C_m, p_max,m]).
+  /// Best response of one seller with the search cost broken out.
+  struct best_response {
+    double price = 0.0;            ///< Argmax over [C_m, p_max,m].
+    double value = 0.0;            ///< Profit at the best response.
+    std::size_t evaluations = 0;   ///< Objective calls spent.
+  };
+
+  /// MSP m's best-response price to the others' prices. Fast path: rivals'
+  /// softmin weights are cached once, so each candidate price costs one
+  /// `exp` plus an O(log N) demand-curve lookup, with no allocation. `tol`
+  /// is the price accuracy of the inner search.
+  [[nodiscard]] best_response best_response_to(
+      std::size_t m, std::span<const double> prices,
+      double tol = 1e-9) const;
+
+  /// Bracket-local best response: searches only [center − halfwidth,
+  /// center + halfwidth] (clamped to [C_m, p_max,m]), expanding the bracket
+  /// ×4 whenever the profit derivative says the optimum lies beyond a
+  /// bracket edge that is not a domain boundary, so a stale bracket can
+  /// never pin the search to a wrong basin. Inside the bracket the search is
+  /// a safeguarded secant on the closed-form profit derivative (DESIGN.md
+  /// §12), with bisection fallback across rationing kinks. Used by the
+  /// solver after the first sweep, when the previous sweep's response
+  /// brackets the new one.
+  [[nodiscard]] best_response best_response_local(
+      std::size_t m, std::span<const double> prices, double center,
+      double halfwidth, double tol) const;
+
+  /// Convenience wrapper around `best_response_to` returning only the price.
   [[nodiscard]] double best_response_price(
       std::size_t m, std::span<const double> prices) const;
 
+  /// Slow-path oracle: the original O(N·M)-per-evaluation objective (full
+  /// softmin re-normalization, per-VMU demand loop in roster order) under
+  /// the original grid + golden-section search. Bitwise-identical to the
+  /// pre-fast-path `best_response_price`; property tests compare the fast
+  /// path against it.
+  [[nodiscard]] double best_response_price_reference(
+      std::size_t m, std::span<const double> prices) const;
+
  private:
+  /// Cached single-seller view of the softmin: rivals' total weight and
+  /// price-weighted mass anchored at the cheapest rival, so one candidate
+  /// price costs one `exp`. Anchoring at the rivals' minimum keeps the
+  /// softmin denominator >= 1 on both branches — a candidate above the
+  /// anchor underflows toward zero share, a candidate below it rescales the
+  /// rivals toward zero — so sharp λ never produces 0/0 or overflow.
+  struct rival_cache {
+    double ref = 0.0;       ///< min_{j≠m} p_j (softmin anchor).
+    double rival_w = 0.0;   ///< Σ_{j≠m} exp(−λ(p_j − ref)) — >= 1.
+    double rival_wp = 0.0;  ///< Σ_{j≠m} exp(−λ(p_j − ref))·p_j.
+    bool has_rivals = false;
+    double lo = 0.0;        ///< C_m.
+    double hi = 0.0;        ///< p_max,m.
+    double cap = 0.0;       ///< Bandwidth cap of seller m.
+    /// Share of seller m and the effective price at a candidate price.
+    struct point {
+      double share = 0.0;
+      double p_eff = 0.0;
+    };
+    [[nodiscard]] point at(double lambda, double price) const;
+  };
+  [[nodiscard]] rival_cache cache_rivals(std::size_t m,
+                                         std::span<const double> prices) const;
+
+  /// Demand curve value and slope at an effective price: D = A_i/p̄ − K_i
+  /// and D' = −A_i/p̄² over the active suffix i (one shared lookup). The
+  /// value is bitwise `total_demand`; the slope feeds the closed-form profit
+  /// derivative of the local best-response search.
+  struct demand_point {
+    double demand = 0.0;
+    double slope = 0.0;
+  };
+  [[nodiscard]] demand_point demand_at(double p_eff) const;
+
   multi_msp_params params_;
   wireless::link_budget link_;
+  // Demand curve: VMUs sorted ascending by activation threshold α_n/κ_n,
+  // with suffix sums (index i = Σ over sorted positions i..N−1) built by
+  // descending accumulation so the O(N) reference walk adds in the same
+  // order. Sizes: N for the sorted arrays, N+1 for the suffix sums.
+  std::vector<double> sorted_alpha_;
+  std::vector<double> sorted_kappa_;
+  std::vector<double> sorted_threshold_;
+  std::vector<double> suffix_alpha_;
+  std::vector<double> suffix_kappa_;
 };
 
 /// Outcome of price-competition best-response iteration.
@@ -98,10 +197,41 @@ struct multi_msp_equilibrium {
   double total_vmu_utility = 0.0;     ///< Σ_n U_n at the effective price.
   std::size_t iterations = 0;
   bool converged = false;
+  // Convergence certificate (DESIGN.md §12).
+  double residual = 0.0;           ///< Final max_m |BR_m(p) − p_m|.
+  double contraction_ratio = 0.0;  ///< Last observed q = r_k / r_{k−1}.
+  double error_bound = 0.0;        ///< q/(1−q)·residual; +inf if q >= 1.
+  double damping = 1.0;            ///< Final relaxation factor θ.
+  bool certified = false;          ///< converged && q < 1.
+  bool warm_started = false;       ///< Initialized from a warm-start vector.
+  std::size_t objective_evals = 0; ///< Total best-response objective calls.
 };
 
-/// Gauss–Seidel best-response iteration from the monopoly price; converges
-/// for the smoothed share rule. Requires tol > 0.
+/// Tuning knobs for `solve_price_competition`.
+struct price_competition_options {
+  static constexpr std::size_t no_pin = static_cast<std::size_t>(-1);
+
+  double tol = 1e-7;
+  std::size_t max_sweeps = 200;
+  /// Previous clearing's prices (size M) to start from; empty = cold start
+  /// at each MSP's cap midpoint (first clearing of a run stays bitwise).
+  std::span<const double> warm_start{};
+  /// Index of a seller whose price is held fixed at its initial value
+  /// (learned pricing seat); `no_pin` iterates every seller.
+  std::size_t pinned = no_pin;
+  /// Initial relaxation factor θ ∈ (0, 1]; halved (down to 1/64) whenever
+  /// the contraction ratio stalls near 1 (Edgeworth cycling).
+  double damping = 1.0;
+};
+
+/// Dampened simultaneous best-response iteration with a contraction-ratio
+/// certificate: p ← p + θ(BR(p) − p), θ bisected on stall. Converges
+/// deterministically for smoothed shares, including sharp-λ/binding-cap
+/// configs that cycle under pure Gauss–Seidel. Requires tol > 0.
+[[nodiscard]] multi_msp_equilibrium solve_price_competition(
+    const multi_msp_market& market, const price_competition_options& options);
+
+/// Legacy entry point: cold start, no pin, full step.
 [[nodiscard]] multi_msp_equilibrium solve_price_competition(
     const multi_msp_market& market, double tol = 1e-7,
     std::size_t max_sweeps = 200);

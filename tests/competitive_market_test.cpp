@@ -547,3 +547,45 @@ TEST(competitive_market, fleet_rejects_invalid_oligopoly_configs) {
   EXPECT_THROW((void)core::run_fleet_scenario(offset_too_far),
                vtm::util::contract_error);
 }
+
+// Consecutive clearings of one book warm-start the solver from the book's
+// previous posted prices (per-MSP memory); the first clearing is cold. A
+// fresh book clearing the same second cohort cold must land on the same
+// equilibrium within the fixed-point tolerance — warm starts change the
+// cost, not the answer.
+TEST(competitive_market, second_clearing_warm_starts_to_the_cold_answer) {
+  core::competitive_market_config config;
+  config.msps = {{0.0, 5.0, 50.0, 40.0}, {0.0, 6.0, 50.0, 40.0}};
+  config.share_sharpness = 0.5;
+  const std::vector<double> available{40.0, 40.0};
+
+  core::competitive_market market(config);
+  vtm::util::rng first_cohort(20260810);
+  for (std::size_t v = 0; v < 6; ++v)
+    market.submit(draw_request(first_cohort, v));
+  const auto first = market.clear(available);
+  EXPECT_FALSE(first.warm_started);
+  EXPECT_TRUE(first.converged);
+  EXPECT_TRUE(first.certified);
+  EXPECT_GT(first.solver_sweeps, 0u);
+  EXPECT_GT(first.objective_evals, 0u);
+
+  vtm::util::rng second_cohort(20260811);
+  for (std::size_t v = 6; v < 12; ++v)
+    market.submit(draw_request(second_cohort, v));
+  const auto warm = market.clear(available);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_TRUE(warm.certified);
+
+  // Same second cohort through a fresh (cold) book.
+  core::competitive_market fresh(config);
+  vtm::util::rng second_again(20260811);
+  for (std::size_t v = 6; v < 12; ++v)
+    fresh.submit(draw_request(second_again, v));
+  const auto cold = fresh.clear(available);
+  EXPECT_FALSE(cold.warm_started);
+  ASSERT_EQ(cold.prices.size(), warm.prices.size());
+  for (std::size_t m = 0; m < warm.prices.size(); ++m)
+    EXPECT_NEAR(warm.prices[m], cold.prices[m], 1e-5);
+}

@@ -10,7 +10,9 @@
 //      the oligopoly evaluator into a single-seller market changes nothing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/market.hpp"
@@ -144,4 +146,163 @@ TEST(multi_msp_property, single_msp_is_bitwise_the_monopoly_path) {
     for (std::size_t n = 0; n < params.vmus.size(); ++n)
       EXPECT_EQ(oligo.vmu_demand(n, prices), market.best_response(n, price));
   }
+}
+
+// ---- Fast path vs reference oracle (DESIGN.md §12) -------------------------
+
+// The O(log N) suffix-sum demand curve must be *bitwise* the O(N) descending
+// reference walk — including exactly at activation thresholds, where the
+// active set changes.
+TEST(multi_msp_property, fast_demand_curve_is_bitwise_the_reference) {
+  vtm::util::rng gen(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto params = draw_params(gen, 2);
+    const core::multi_msp_market market(params);
+    const double r = market.spectral_efficiency();
+    double t_min = std::numeric_limits<double>::infinity();
+    double t_max = 0.0;
+    for (const auto& vmu : params.vmus) {
+      const double threshold = vmu.alpha / (vmu.data_mb / r);
+      t_min = std::min(t_min, threshold);
+      t_max = std::max(t_max, threshold);
+      // Exactly at a threshold the VMU is inactive (strict >): both paths
+      // must agree on the boundary semantics too.
+      EXPECT_EQ(market.total_demand(threshold),
+                market.total_demand_reference(threshold));
+    }
+    for (int probe = 0; probe < 32; ++probe) {
+      const double p_eff = gen.uniform(0.5 * t_min, 1.5 * t_max);
+      EXPECT_EQ(market.total_demand(p_eff),
+                market.total_demand_reference(p_eff));
+    }
+  }
+}
+
+// The cached-rivals best response must find a price whose profit matches the
+// original full-renormalization grid + golden-section search.
+TEST(multi_msp_property, fast_best_response_matches_the_reference_oracle) {
+  vtm::util::rng gen(20260807);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto msps = static_cast<std::size_t>(gen.uniform_int(2, 5));
+    auto params = draw_params(gen, msps);
+    const core::multi_msp_market market(params);
+    const auto prices = draw_prices(gen, params);
+    for (std::size_t m = 0; m < msps; ++m) {
+      const auto fast = market.best_response_to(m, prices, 1e-9);
+      const double slow = market.best_response_price_reference(m, prices);
+      auto at_fast = std::vector<double>(prices);
+      at_fast[m] = fast.price;
+      auto at_slow = std::vector<double>(prices);
+      at_slow[m] = slow;
+      const double u_fast = market.msp_utilities(at_fast)[m];
+      const double u_slow = market.msp_utilities(at_slow)[m];
+      EXPECT_NEAR(u_fast, u_slow,
+                  1e-6 * std::max(1.0, std::abs(u_slow)))
+          << "m=" << m << " fast=" << fast.price << " slow=" << slow;
+    }
+  }
+}
+
+// A warm-started solve must land on the cold equilibrium (within tolerance),
+// and the cold path itself must be deterministic bit for bit.
+TEST(multi_msp_property, warm_start_reaches_the_cold_equilibrium) {
+  vtm::util::rng gen(20260808);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto msps = static_cast<std::size_t>(gen.uniform_int(2, 4));
+    auto params = draw_params(gen, msps);
+    params.share_sharpness = gen.uniform(0.05, 1.0);
+    const core::multi_msp_market market(params);
+
+    const auto cold = core::solve_price_competition(market, 1e-7, 200);
+    if (!cold.converged) continue;
+    EXPECT_FALSE(cold.warm_started);
+    const auto again = core::solve_price_competition(market, 1e-7, 200);
+    EXPECT_EQ(cold.prices, again.prices);  // no hidden state, bitwise rerun
+
+    std::vector<double> warm(cold.prices);
+    for (double& p : warm) p *= gen.uniform(0.95, 1.05);
+    core::price_competition_options options;
+    options.tol = 1e-7;
+    options.warm_start = warm;
+    const auto warmed = core::solve_price_competition(market, options);
+    EXPECT_TRUE(warmed.warm_started);
+    ASSERT_TRUE(warmed.converged);
+    for (std::size_t m = 0; m < msps; ++m)
+      EXPECT_NEAR(warmed.prices[m], cold.prices[m], 1e-5);
+  }
+}
+
+// Certificate soundness: converged means the measured defect is within tol,
+// certified means the contraction ratio is < 1 with a finite error bound —
+// and the claimed fixed point must sit on the *reference* best responses.
+TEST(multi_msp_property, convergence_certificate_is_sound) {
+  vtm::util::rng gen(20260809);
+  int certified_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto msps = static_cast<std::size_t>(gen.uniform_int(2, 4));
+    auto params = draw_params(gen, msps);
+    params.share_sharpness = gen.uniform(0.05, 1.0);
+    const core::multi_msp_market market(params);
+    const auto eq = core::solve_price_competition(market, 1e-7, 200);
+    if (!eq.converged) continue;
+    EXPECT_LE(eq.residual, 1e-7);
+    if (eq.certified) {
+      ++certified_seen;
+      EXPECT_LT(eq.contraction_ratio, 1.0);
+      EXPECT_TRUE(std::isfinite(eq.error_bound));
+      EXPECT_GE(eq.error_bound, 0.0);
+    }
+    for (std::size_t m = 0; m < msps; ++m) {
+      const double br = market.best_response_price_reference(m, eq.prices);
+      EXPECT_NEAR(br, eq.prices[m], 5e-6);
+    }
+  }
+  EXPECT_GT(certified_seen, 10);  // the certificate actually fires
+}
+
+// ---- Edgeworth-cycle regression (DESIGN.md §12) ----------------------------
+
+// Pinned sharp-λ + binding-cap duopoly where the pre-dampening pure
+// Gauss–Seidel iteration (replicated here through the reference oracle)
+// cycles forever. The dampened simultaneous solver must converge *and*
+// certify the fixed point — and it must have engaged the θ-bisection to do
+// so.
+TEST(multi_msp_property, edgeworth_cycle_converges_certified_under_dampening) {
+  core::multi_msp_params params;
+  params.msps = {{11.491534, 2.545243, 61.491534},
+                 {3.166662, 18.729938, 53.166662}};
+  params.vmus = {{2454.443776, 340.280578},
+                 {2502.560645, 305.724865},
+                 {2804.299698, 173.238309},
+                 {956.430486, 196.808302},
+                 {951.991555, 383.538504}};
+  params.share_sharpness = 41.3848;
+  const core::multi_msp_market market(params);
+
+  // Pre-PR solver: sequential undercutting with full steps. It chases the
+  // Edgeworth cycle and never settles.
+  std::vector<double> p;
+  for (const auto& msp : params.msps)
+    p.push_back(0.5 * (msp.unit_cost + msp.price_cap));
+  bool gauss_seidel_converged = false;
+  for (std::size_t sweep = 0; sweep < 150 && !gauss_seidel_converged;
+       ++sweep) {
+    double move = 0.0;
+    for (std::size_t m = 0; m < p.size(); ++m) {
+      const double br = market.best_response_price_reference(m, p);
+      move = std::max(move, std::abs(br - p[m]));
+      p[m] = br;
+    }
+    gauss_seidel_converged = move <= 1e-7;
+  }
+  EXPECT_FALSE(gauss_seidel_converged);
+
+  const auto eq = core::solve_price_competition(market, 1e-7, 200);
+  ASSERT_TRUE(eq.converged);
+  EXPECT_TRUE(eq.certified);
+  EXPECT_LT(eq.damping, 1.0);  // the θ-bisection engaged
+  EXPECT_LE(eq.residual, 1e-7);
+  for (std::size_t m = 0; m < eq.prices.size(); ++m)
+    EXPECT_NEAR(market.best_response_price_reference(m, eq.prices),
+                eq.prices[m], 5e-5);
 }
