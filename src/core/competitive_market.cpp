@@ -95,7 +95,8 @@ competitive_outcome competitive_market::clear(
       converted.vmu_utility = grant.vmu_utility;
       converted.msp_utility = grant.msp_utility;
       converted.cohort = grant.cohort;
-      converted.slices = {{0, grant.bandwidth_mhz, grant.price}};
+      converted.slices = {
+          {0, grant.bandwidth_mhz, grant.price, grant.msp_utility}};
       converted.request = std::move(grant.request);
       outcome.grants.push_back(std::move(converted));
     }
@@ -275,9 +276,13 @@ competitive_outcome competitive_market::clear_oligopoly(
       if (slice <= 0.0) continue;
       grant.bandwidth_mhz += slice;
       payment += prices[m] * slice;
-      grant.msp_utility += (prices[m] - config_.msps[active[m]].unit_cost) *
-                           slice;
-      grant.slices.push_back({active[m], slice, prices[m]});
+      // Round the per-seller profit exactly once and accumulate the rounded
+      // value: the completion-time per-MSP accounting replays these terms,
+      // so the decomposition Σ slice.utility == msp_utility holds bitwise.
+      const double utility =
+          (prices[m] - config_.msps[active[m]].unit_cost) * slice;
+      grant.msp_utility += utility;
+      grant.slices.push_back({active[m], slice, prices[m], utility});
       slice_seats.push_back(m);
     }
     if (grant.bandwidth_mhz <= 1e-9) {

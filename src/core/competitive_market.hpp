@@ -55,6 +55,12 @@ struct seller_slice {
   std::size_t msp = 0;         ///< Seller index into the MSP roster.
   double bandwidth_mhz = 0.0;  ///< Bandwidth bought from this seller.
   double price = 0.0;          ///< That seller's posted unit price.
+  /// Realized seller profit (price − C_m)·bandwidth, rounded exactly once at
+  /// clearing time. Per-seller accounting must accrue *this* value — not
+  /// recompute the product — so that Σ slice.utility reproduces the grant's
+  /// `msp_utility` bitwise under any FP-contraction flags (-march=native
+  /// fuses a recomputed multiply-add into an FMA, which rounds differently).
+  double utility = 0.0;
 };
 
 /// One granted migration out of an oligopoly clearing. The grant totals are

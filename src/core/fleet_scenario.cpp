@@ -15,6 +15,7 @@ namespace vtm::core {
 // sequence, so this entry point stayed bitwise stable across the refactor.
 
 fleet_result run_fleet_scenario(const fleet_config& config) {
+  validate_fleet_config(config);  // fail fast at the public entry point
   shard_coordinator coordinator(config);
   return coordinator.run();
 }
@@ -22,6 +23,9 @@ fleet_result run_fleet_scenario(const fleet_config& config) {
 std::vector<fleet_result> run_fleet_sweep(
     const fleet_config& base, std::span<const std::uint64_t> seeds,
     std::size_t threads) {
+  // Validate once before fanning out: a bad base config should throw here,
+  // not as an exception ferried back from a worker thread per seed.
+  validate_fleet_config(base);
   std::vector<fleet_result> results(seeds.size());
   util::thread_pool pool(threads);
   pool.parallel_for(seeds.size(), [&](std::size_t i) {

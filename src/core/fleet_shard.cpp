@@ -613,10 +613,10 @@ void shard_engine::finish_migration(std::size_t pidx,
       msp_pools_[slices[s].msp][candidates_[pidx][slices[s].msp]].release(
           grant_ids[s]);
       // Per-seller realized accounting, accrued at completion like the
-      // scalar totals.
-      counters_.msp_utility[slices[s].msp] +=
-          (slices[s].price - msps_[slices[s].msp].unit_cost) *
-          slices[s].bandwidth_mhz;
+      // scalar totals. Accrues the utility rounded at clearing time —
+      // recomputing (price − cost)·bandwidth here is an FMA under
+      // -march=native and drifts ulps from the ledger reduction.
+      counters_.msp_utility[slices[s].msp] += slices[s].utility;
       counters_.msp_sold_mhz[slices[s].msp] += slices[s].bandwidth_mhz;
     }
   }
@@ -668,7 +668,9 @@ void shard_engine::finish_migration(std::size_t pidx,
   }
 }
 
-void shard_engine::deliver(const shard_message& message) {
+void shard_engine::deliver(const shard_message& message,
+                           [[maybe_unused]] const util::barrier_phase&
+                               barrier) {
   if (const auto* handoff = std::get_if<boundary_handoff>(&message)) {
     double at = handoff->crossing_s;
     if (at < queue_.now()) {
@@ -818,14 +820,21 @@ void shard_coordinator::spawn_vehicles() {
 std::size_t shard_coordinator::exchange() {
   std::size_t delivered = 0;
   for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
-    delivered += mailbox_.deliver(dst, [&](const shard_message& message) {
-      shards_[dst]->deliver(message);
-      const std::size_t vehicle =
-          std::holds_alternative<boundary_handoff>(message)
-              ? std::get<boundary_handoff>(message).vehicle
-              : std::get<retarget_handoff>(message).request.vehicle;
-      owner_[vehicle] = static_cast<std::uint32_t>(dst);
-    });
+    delivered += mailbox_.deliver(
+        dst,
+        [&](const shard_message& message) {
+          // The callback runs synchronously inside `deliver`, which this
+          // function already holds the barrier for; the lambda is analyzed
+          // standalone, so restate the holding.
+          barrier_.assert_held();
+          shards_[dst]->deliver(message, barrier_);
+          const std::size_t vehicle =
+              std::holds_alternative<boundary_handoff>(message)
+                  ? std::get<boundary_handoff>(message).vehicle
+                  : std::get<retarget_handoff>(message).request.vehicle;
+          owner_[vehicle] = static_cast<std::uint32_t>(dst);
+        },
+        barrier_);
   }
   return delivered;
 }
@@ -833,7 +842,12 @@ std::size_t shard_coordinator::exchange() {
 fleet_result shard_coordinator::run() {
   for (std::size_t v = 0; v < vehicles_.size(); ++v)
     shards_[owner_[v]]->adopt(v);
-  exchange();  // vehicles spawned next to a shard boundary re-home at t = 0
+  {
+    // No lane has started yet, so the barrier capability holds trivially:
+    // vehicles spawned next to a shard boundary re-home at t = 0.
+    const util::barrier_scope at_barrier(barrier_);
+    exchange();
+  }
 
   // Window phases up to the admission horizon, then drain rounds until
   // every queue is dry and no message is in flight: no new handovers are
@@ -851,6 +865,9 @@ fleet_result shard_coordinator::run() {
           shards_[lane]->run_window(t_end);
       },
       [&](std::size_t) {
+        // `run_phased` runs the barrier callback with every worker idle —
+        // the one place the barrier capability is legitimately acquired.
+        const util::barrier_scope at_barrier(barrier_);
         const std::size_t delivered = exchange();
         if (draining) return delivered > 0;
         if (t_end >= config_.duration_s) {
@@ -861,7 +878,9 @@ fleet_result shard_coordinator::run() {
         return true;
       });
 
-  // Anything still booked has no release left to wait for.
+  // Anything still booked has no release left to wait for; the pool has
+  // quiesced, so the barrier capability holds for the final sweep + merge.
+  const util::barrier_scope at_barrier(barrier_);
   for (auto& shard : shards_) shard->abandon_remaining();
   return merge();
 }

@@ -50,6 +50,7 @@
 #include "sim/mobility.hpp"
 #include "sim/vt.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 #include "wireless/ofdma.hpp"
 
@@ -162,9 +163,11 @@ class shard_engine {
   /// (posts a boundary handoff instead when the crossing leaves the shard).
   void adopt(std::size_t vehicle);
 
-  /// Apply one cross-shard message (barrier only). Deliveries behind the
-  /// shard clock are clamped to it and counted as late.
-  void deliver(const shard_message& message);
+  /// Apply one cross-shard message. Barrier only — enforced by the analysis:
+  /// the caller must hold the run's barrier capability (every lane parked).
+  /// Deliveries behind the shard clock are clamped to it and counted as late.
+  void deliver(const shard_message& message,
+               const util::barrier_phase& barrier) VTM_REQUIRES(barrier);
 
   /// Run every event with time <= t_end and advance the clock to t_end.
   void run_window(double t_end);
@@ -286,9 +289,14 @@ class shard_coordinator {
  private:
   void spawn_vehicles();
   /// Deliver every buffered message in (destination, sender, send order)
-  /// sequence; returns the number delivered. Barrier only.
-  std::size_t exchange();
-  [[nodiscard]] fleet_result merge();
+  /// sequence; returns the number delivered. Barrier only — the analysis
+  /// requires the coordinator's barrier capability, acquired exclusively by
+  /// `run()`'s barrier callback (and around the serial pre-/post-phase
+  /// steps, where every lane is trivially idle).
+  std::size_t exchange() VTM_REQUIRES(barrier_);
+  /// Merge the shard completion streams. Reads every shard's state across
+  /// lanes, so it too may only run with all lanes parked.
+  [[nodiscard]] fleet_result merge() VTM_REQUIRES(barrier_);
 
   fleet_config config_;
   sim::rsu_chain chain_;
@@ -302,6 +310,10 @@ class shard_coordinator {
   std::vector<std::uint32_t> rsu_shard_;  ///< Global RSU index -> shard.
   std::vector<vehicle_slot> vehicles_;
   std::vector<std::uint32_t> owner_;      ///< Vehicle -> owning shard.
+  /// The run's barrier capability: "all shard lanes are parked". Stateless;
+  /// exists so the analysis can gate `exchange`/`merge`/mailbox delivery to
+  /// barrier scopes (DESIGN.md §13).
+  util::barrier_phase barrier_;
   sim::shard_mailbox<shard_message> mailbox_;
   std::shared_ptr<pricing_policy> policy_;
   std::vector<std::unique_ptr<shard_engine>> shards_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/fleet_scenario.hpp"
+#include "util/contracts.hpp"
 
 namespace vtm::core {
 
@@ -12,7 +13,9 @@ namespace vtm::core {
 // `market_mode::single` reproduces the original one-VMU-at-a-time market and
 // `market_mode::joint` prices same-epoch handovers as one N-follower game.
 scenario_result run_highway_scenario(const scenario_config& config) {
-  // Validation happens in run_fleet_scenario on the forwarded values.
+  // Check the fields this adapter itself computes with; the forwarded values
+  // are validated in full by run_fleet_scenario.
+  VTM_EXPECTS(config.rsu_spacing_m > 0.0);
   fleet_config fleet;
   fleet.rsu_count = config.rsu_count;
   fleet.rsu_spacing_m = config.rsu_spacing_m;

@@ -8,10 +8,15 @@
 // (sender shard, send order) sequence, which is a pure function of the
 // shard-local executions and never of thread scheduling.
 //
-// Concurrency contract: during a window, shard `s` may post only with
-// `from == s` (each (from, to) cell is written by exactly one shard, so no
-// locking is needed); `deliver`/`pending` may only run at a barrier, when no
-// shard is executing.
+// Concurrency contract — machine-checked, not a comment: during a window,
+// shard `s` may post only with `from == s` (each (from, to) cell is written
+// by exactly one shard, so no locking is needed); `deliver`/`pending` may
+// only run at a barrier, when no shard is executing. The barrier side is
+// enforced by Clang thread-safety analysis: both functions require a
+// `util::barrier_phase` capability that only the coordinator's barrier
+// callback acquires (via `util::barrier_scope`), so a mid-phase call fails
+// to compile under `-Wthread-safety -Werror=thread-safety` (see
+// tests/negative_compile/deliver_requires_barrier.cpp).
 #pragma once
 
 #include <cstddef>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/sync.hpp"
 
 namespace vtm::sim {
 
@@ -41,8 +47,11 @@ class shard_mailbox {
     cells_[from * lanes_ + to].push_back(std::move(message));
   }
 
-  /// Messages currently buffered for `to`.
-  [[nodiscard]] std::size_t pending(std::size_t to) const {
+  /// Messages currently buffered for `to`. Barrier only: the caller must
+  /// hold the run's barrier capability (every lane parked).
+  [[nodiscard]] std::size_t pending(
+      std::size_t to, [[maybe_unused]] const util::barrier_phase& barrier)
+      const VTM_REQUIRES(barrier) {
     VTM_EXPECTS(to < lanes_);
     std::size_t n = 0;
     for (std::size_t from = 0; from < lanes_; ++from)
@@ -51,9 +60,12 @@ class shard_mailbox {
   }
 
   /// Deliver every message addressed to `to` in (sender, send order)
-  /// sequence, clearing the buffers. Returns the number delivered.
+  /// sequence, clearing the buffers. Returns the number delivered. Barrier
+  /// only: the caller must hold the run's barrier capability.
   template <typename Fn>
-  std::size_t deliver(std::size_t to, Fn&& fn) {
+  std::size_t deliver(std::size_t to, Fn&& fn,
+                      [[maybe_unused]] const util::barrier_phase& barrier)
+      VTM_REQUIRES(barrier) {
     VTM_EXPECTS(to < lanes_);
     std::size_t delivered = 0;
     for (std::size_t from = 0; from < lanes_; ++from) {

@@ -33,7 +33,11 @@ class logger {
   logger(log_level threshold, sink_fn sink)
       : threshold_(threshold), sink_(std::move(sink)) {}
 
-  /// Logger writing to an ostream, tagged with a component name.
+  /// Logger writing to an ostream, tagged with a component name. The sink
+  /// serializes writes through an internal mutex (shared by every copy of
+  /// the returned logger), so shard lanes and pool workers can log
+  /// concurrently without interleaving lines; the stream itself must simply
+  /// outlive the logger.
   [[nodiscard]] static logger to_stream(std::ostream& out, std::string component,
                                         log_level threshold = log_level::info);
 

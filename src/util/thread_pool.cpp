@@ -12,23 +12,22 @@ thread_pool::thread_pool(std::size_t threads) {
 
 thread_pool::~thread_pool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const mutex_lock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
   for (auto& worker : workers_) worker.join();
 }
 
-void thread_pool::run_indices() {
-  const auto n = job_size_;
-  const auto& fn = *job_;
+void thread_pool::run_indices(const std::function<void(std::size_t)>& fn,
+                              std::size_t n) {
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
     try {
       fn(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const mutex_lock lock(mutex_);
       if (!error_) error_ = std::current_exception();
     }
   }
@@ -37,15 +36,19 @@ void thread_pool::run_indices() {
 void thread_pool::worker_loop() {
   std::size_t seen_generation = 0;
   for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      mutex_lock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation) wake_.wait(lock);
       if (stop_) return;
       seen_generation = generation_;
+      job = job_;
+      n = job_size_;
     }
-    run_indices();
+    run_indices(*job, n);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const mutex_lock lock(mutex_);
       --active_;
     }
     done_.notify_one();
@@ -62,7 +65,7 @@ void thread_pool::parallel_for(std::size_t n,
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const mutex_lock lock(mutex_);
     VTM_EXPECTS(job_ == nullptr);  // not reentrant
     job_ = &fn;
     job_size_ = n;
@@ -73,12 +76,12 @@ void thread_pool::parallel_for(std::size_t n,
   }
   wake_.notify_all();
 
-  run_indices();  // the caller helps drain the loop
+  run_indices(fn, n);  // the caller helps drain the loop
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return active_ == 0; });
+    mutex_lock lock(mutex_);
+    while (active_ != 0) done_.wait(lock);
     job_ = nullptr;
     job_size_ = 0;
     error = error_;

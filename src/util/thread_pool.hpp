@@ -10,13 +10,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace vtm::util {
 
@@ -54,21 +54,27 @@ class thread_pool {
                   const std::function<bool(std::size_t)>& barrier);
 
  private:
-  void worker_loop();
-  void run_indices();
+  void worker_loop() VTM_EXCLUDES(mutex_);
+  /// Drain indices of the current job. Takes the job by argument (snapshotted
+  /// under `mutex_` by the caller) so no guarded member is read mid-loop.
+  void run_indices(const std::function<void(std::size_t)>& fn, std::size_t n)
+      VTM_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_size_ = 0;
-  std::size_t generation_ = 0;    ///< Bumped per parallel_for call.
-  std::size_t active_ = 0;        ///< Workers still draining the current job.
+  mutex mutex_;
+  condition_variable wake_;
+  condition_variable done_;
+  const std::function<void(std::size_t)>* job_ VTM_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t job_size_ VTM_GUARDED_BY(mutex_) = 0;
+  /// Bumped per parallel_for call.
+  std::size_t generation_ VTM_GUARDED_BY(mutex_) = 0;
+  /// Workers still draining the current job.
+  std::size_t active_ VTM_GUARDED_BY(mutex_) = 0;
   std::atomic<std::size_t> next_{0};
-  std::exception_ptr error_;
-  bool stop_ = false;
+  std::exception_ptr error_ VTM_GUARDED_BY(mutex_);
+  bool stop_ VTM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace vtm::util

@@ -242,8 +242,11 @@ TEST(competitive_market, starved_sellers_defer_the_cohort) {
     for (const auto& slice : grant.slices) EXPECT_EQ(slice.msp, 1u);
 }
 
-// Symmetric duopoly on one cohort: competition prices strictly below the
-// monopoly equilibrium, and sharper λ pushes prices toward cost.
+// Symmetric duopoly on one cohort, ample capacity: competition prices
+// strictly below the monopoly equilibrium, and sharper λ pushes prices
+// toward cost. Capacity must not bind here — undercutting only pays while
+// a seller can actually serve the share it wins (see the scarce-capacity
+// companion test below for the rationing regime).
 TEST(competitive_market, duopoly_undercuts_monopoly_on_one_cohort) {
   vtm::util::rng gen(11);
   std::vector<core::clearing_request> cohort;
@@ -259,6 +262,36 @@ TEST(competitive_market, duopoly_undercuts_monopoly_on_one_cohort) {
   double sharp_price = 0.0;
   for (const double lambda : {0.25, 4.0}) {
     core::competitive_market_config config;
+    config.msps = {{0.0, 5.0, 50.0, 1000.0}, {0.0, 5.0, 50.0, 1000.0}};
+    config.share_sharpness = lambda;
+    core::competitive_market market(config);
+    for (const auto& request : cohort) market.submit(request);
+    const std::vector<double> offers{1000.0, 1000.0};
+    const auto outcome = market.clear(offers);
+    ASSERT_FALSE(outcome.grants.empty());
+    (lambda < 1.0 ? soft_price : sharp_price) = outcome.grants[0].price;
+  }
+  EXPECT_LT(soft_price, monopoly.price);
+  EXPECT_LT(sharp_price, soft_price);
+  EXPECT_GT(sharp_price, 5.0);  // never below cost
+}
+
+// Scarce capacity flips the duopoly into the Bertrand–Edgeworth rationing
+// regime: with both sellers capacity-bound, undercutting wins share that
+// cannot be served and raising price sheds share that was pure profit, so
+// the equilibrium pins to the market-clearing price where cohort demand
+// equals total capacity — *independent of λ* up to solver tolerance. (A
+// strict λ-ordering assertion here would compare pure fixed-point noise;
+// it flipped sign with -ffp-contract and hid this regime for a while.)
+TEST(competitive_market, scarce_duopoly_clears_at_rationing_price) {
+  vtm::util::rng gen(11);
+  std::vector<core::clearing_request> cohort;
+  for (std::size_t v = 0; v < 6; ++v) cohort.push_back(draw_request(gen, v));
+
+  double soft_price = 0.0;
+  double sharp_price = 0.0;
+  for (const double lambda : {0.25, 4.0}) {
+    core::competitive_market_config config;
     config.msps = {{0.0, 5.0, 50.0, 50.0}, {0.0, 5.0, 50.0, 50.0}};
     config.share_sharpness = lambda;
     core::competitive_market market(config);
@@ -267,10 +300,19 @@ TEST(competitive_market, duopoly_undercuts_monopoly_on_one_cohort) {
     const auto outcome = market.clear(offers);
     ASSERT_FALSE(outcome.grants.empty());
     (lambda < 1.0 ? soft_price : sharp_price) = outcome.grants[0].price;
+
+    // Every seller sells its full capacity: the cap binds for both.
+    std::vector<double> sold(config.msps.size(), 0.0);
+    for (const auto& grant : outcome.grants)
+      for (const auto& slice : grant.slices)
+        sold[slice.msp] += slice.bandwidth_mhz;
+    for (std::size_t m = 0; m < sold.size(); ++m)
+      EXPECT_NEAR(sold[m], 50.0, 1e-6) << "seller " << m;
   }
-  EXPECT_LT(soft_price, monopoly.price);
-  EXPECT_LT(sharp_price, soft_price);
-  EXPECT_GT(sharp_price, 5.0);  // never below cost
+  // The rationing price does not move with λ (fixed_point_tol = 1e-7; the
+  // two solves land within a few ULP-scale multiples of it).
+  EXPECT_NEAR(sharp_price, soft_price, 1e-3);
+  EXPECT_GT(soft_price, 5.0);
 }
 
 // The learned seller seat: an untrained competitor-aware pricer posts a

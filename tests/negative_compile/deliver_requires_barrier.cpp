@@ -1,0 +1,27 @@
+// Negative-compile check for the barrier capability (DESIGN.md §13).
+//
+// `shard_mailbox::deliver`/`pending` may only run at a window barrier; both
+// require a `util::barrier_phase` capability that the caller must hold.
+// This file calls them *without* acquiring the capability — exactly what a
+// mid-phase delivery inside a shard lane would look like — and therefore
+// MUST FAIL to compile under Clang with `-Wthread-safety
+// -Werror=thread-safety`. CMake registers it as a ctest entry with
+// WILL_FAIL when the thread-safety gate is on (see VTM_THREAD_SAFETY); the
+// clang CI job runs it on every push. If this file ever compiles under the
+// gate, the barrier protocol has lost its compile-time enforcement.
+#include <cstddef>
+
+#include "sim/mailbox.hpp"
+#include "util/sync.hpp"
+
+int main() {
+  vtm::sim::shard_mailbox<int> mailbox(2);
+  vtm::util::barrier_phase barrier;
+  mailbox.post(0, 1, 42);
+
+  // error: calling 'pending' requires holding 'barrier'
+  std::size_t n = mailbox.pending(1, barrier);
+  // error: calling 'deliver' requires holding 'barrier'
+  n += mailbox.deliver(1, [](int) {}, barrier);
+  return static_cast<int>(n);
+}

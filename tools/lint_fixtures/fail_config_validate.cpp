@@ -1,0 +1,17 @@
+// Lint fixture: MUST trip exactly `config-validate`.
+//
+// A vtm::core entry point consuming a *_config without any VTM_EXPECTS
+// contract or validate helper lets NaNs and negative capacities flow
+// straight into a run.
+namespace vtm::core {
+
+struct toy_config {
+  double capacity_mhz = 0.0;
+  int vehicles = 0;
+};
+
+double run_toy_scenario(const toy_config& config) {
+  return config.capacity_mhz * static_cast<double>(config.vehicles);
+}
+
+}  // namespace vtm::core

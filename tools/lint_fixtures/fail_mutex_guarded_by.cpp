@@ -1,0 +1,18 @@
+// Lint fixture: MUST trip exactly `mutex-guarded-by`.
+//
+// A mutex member with no VTM_GUARDED_BY annotation on the data it protects
+// is invisible to Clang's thread-safety analysis.
+#include <cstddef>
+#include <mutex>
+
+class unannotated_counter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::size_t count_ = 0;  // should carry VTM_GUARDED_BY(mu_)
+};

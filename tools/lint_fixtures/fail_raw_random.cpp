@@ -1,0 +1,11 @@
+// Lint fixture: MUST trip exactly `raw-random`.
+//
+// Standard engines and wall-clock seeding bypass util::rng, so a
+// (seed, config) pair no longer determines the run.
+#include <random>
+
+double noisy_price(double base) {
+  std::mt19937 gen(std::random_device{}());
+  std::uniform_real_distribution<double> jitter(0.0, 1.0);
+  return base + jitter(gen);
+}

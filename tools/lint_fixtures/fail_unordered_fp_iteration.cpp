@@ -1,0 +1,15 @@
+// Lint fixture: MUST trip exactly `unordered-fp-iteration`.
+//
+// Summing doubles in hash-iteration order is nondeterministic across
+// standard libraries and hash seeds; the fleet engine's bitwise
+// reproducibility guarantee forbids it.
+#include <string>
+#include <unordered_map>
+
+double total_utility(const std::unordered_map<std::string, double>& per_msp) {
+  double sum = 0.0;
+  for (const auto& [msp, utility] : per_msp) {
+    sum += utility;  // accumulation order = hash order: nondeterministic
+  }
+  return sum;
+}

@@ -1,0 +1,18 @@
+// Lint fixture: must produce NO findings — every violation below carries a
+// `vtm-lint: allow(<rule>)` marker, proving the suppression mechanism works
+// (and keeping it honest: a marker for the wrong rule would not suppress).
+#include <random>
+#include <string>
+#include <unordered_map>
+
+// vtm-lint: allow(raw-random)
+std::mt19937 legacy_generator(7);
+
+double diagnostic_only_sum(const std::unordered_map<std::string, double>& m) {
+  double sum = 0.0;
+  // vtm-lint: allow(unordered-fp-iteration)
+  for (const auto& [key, value] : m) {
+    sum += value;
+  }
+  return sum;
+}
