@@ -7,7 +7,7 @@
 // sweep serially versus through util::thread_pool.
 //
 //   $ ./fleet_throughput [--smoke] [--compare] [--shards N] [--msps M]
-//                        [--json PATH]
+//                        [--stream] [--graph NAME] [--json PATH]
 //
 // --smoke trims the counts and horizon for CI; the full run covers vehicle
 // counts {10, 100, 1000, 5000}. --compare additionally trains the
@@ -25,7 +25,14 @@
 // warm-start hit rate, wall-clock over the M = 1 row); conservation
 // (exactly-once resolution, per-seller profit decomposition) plus a clean
 // certificate sweep (unconverged_clearings == 0 at every M) gate the exit
-// code, and the M = 1 row must reproduce the monopoly joint run bitwise. Every run writes a machine-readable
+// code, and the M = 1 row must reproduce the monopoly joint run bitwise.
+// --stream adds the sustained-load open-system regime (DESIGN.md §14):
+// Poisson arrivals over a long horizon through run_streaming_fleet, sharded
+// at the sweep's max shard count, with exactly-once flush accounting and the
+// bounded slot arena gating the exit code (the full run admits >= 100k
+// arrivals and must keep the arena under half of them). --graph NAME picks
+// the streaming topology — "chain" (default, the 8-RSU highway) or "grid4"
+// (the 4x4 Manhattan road network) — and implies --stream. Every run writes a machine-readable
 // BENCH_fleet.json (vehicles/sec, per-regime MSP utility, the shard and
 // MSP sweeps, and the comparison when enabled) so the perf trajectory is
 // trackable across PRs; --json overrides the path.
@@ -35,12 +42,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/fleet_scenario.hpp"
 #include "core/mechanism.hpp"
+#include "sim/road_graph.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -86,6 +95,40 @@ struct msp_report {
   bool conserved = false;
 };
 
+/// The sustained-load streaming regime (--stream).
+struct stream_report {
+  bool ran = false;
+  std::string topology = "chain";
+  std::size_t shards = 1;
+  double arrival_rate_per_s = 0.0;
+  double horizon_s = 0.0;
+  double flush_period_s = 0.0;
+  double wall_s = 0.0;
+  vtm::core::streaming_result result;
+  bool conserved = false;
+};
+
+/// Exactly-once flush accounting for a streaming run: the totals are the sum
+/// of the per-window deltas, the handover ledger balances, and every arrival
+/// retires into exactly one flush.
+bool stream_conserved(const vtm::core::streaming_result& r) {
+  std::size_t flush_handovers = 0;
+  std::size_t flush_completed = 0;
+  std::size_t flush_vehicles = 0;
+  for (const auto& flush : r.flushes) {
+    flush_handovers += flush.handovers;
+    flush_completed += flush.completed;
+    flush_vehicles += flush.vehicles.size();
+  }
+  return r.totals.handovers ==
+             r.totals.completed + r.totals.priced_out + r.totals.abandoned &&
+         flush_handovers == r.totals.handovers &&
+         flush_completed == r.totals.completed &&
+         r.retired == r.arrivals && flush_vehicles == r.arrivals &&
+         r.totals.vehicles.size() == r.arrivals &&
+         r.slot_high_water <= r.peak_live + 1;
+}
+
 /// Exactly-once resolution + per-seller profit decomposition for one
 /// oligopoly run. Every clearing must also carry a convergence certificate
 /// (unconverged_clearings == 0) — the dampened solver is expected to close
@@ -122,9 +165,10 @@ void write_json(const std::string& path, bool smoke, double duration_s,
                 const std::vector<regime_report>& regimes,
                 const std::vector<shard_report>& shard_sweep,
                 const std::vector<msp_report>& msp_sweep,
-                double train_wall_s, std::size_t train_cohorts,
-                double eval_mean_ratio, double sweep_serial_s,
-                double sweep_parallel_s, std::size_t sweep_threads) {
+                const stream_report& stream, double train_wall_s,
+                std::size_t train_cohorts, double eval_mean_ratio,
+                double sweep_serial_s, double sweep_parallel_s,
+                std::size_t sweep_threads) {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "fleet_throughput: cannot write %s\n", path.c_str());
@@ -248,6 +292,37 @@ void write_json(const std::string& path, bool smoke, double duration_s,
     }
     std::fprintf(out, "  ],\n");
   }
+  if (stream.ran) {
+    const auto& r = stream.result;
+    const double wall = stream.wall_s > 1e-9 ? stream.wall_s : 1e-9;
+    std::fprintf(out, "  \"stream\": {\n");
+    std::fprintf(out, "    \"topology\": \"%s\",\n", stream.topology.c_str());
+    std::fprintf(out, "    \"arrival_rate_per_s\": %g,\n",
+                 stream.arrival_rate_per_s);
+    std::fprintf(out, "    \"horizon_s\": %g,\n", stream.horizon_s);
+    std::fprintf(out, "    \"flush_period_s\": %g,\n", stream.flush_period_s);
+    std::fprintf(out, "    \"shards\": %zu,\n", stream.shards);
+    std::fprintf(out, "    \"wall_s\": %.6f,\n", stream.wall_s);
+    std::fprintf(out, "    \"arrivals\": %zu,\n", r.arrivals);
+    std::fprintf(out, "    \"arrivals_per_sec\": %.1f,\n",
+                 static_cast<double>(r.arrivals) / wall);
+    std::fprintf(out, "    \"handovers\": %zu,\n", r.totals.handovers);
+    std::fprintf(out, "    \"completed\": %zu,\n", r.totals.completed);
+    std::fprintf(out, "    \"retired\": %zu,\n", r.retired);
+    std::fprintf(out, "    \"peak_live\": %zu,\n", r.peak_live);
+    std::fprintf(out, "    \"slot_high_water\": %zu,\n", r.slot_high_water);
+    std::fprintf(out, "    \"flushes\": %zu,\n", r.flushes.size());
+    std::fprintf(out, "    \"cross_shard_transfers\": %zu,\n",
+                 r.totals.cross_shard_transfers);
+    std::fprintf(out, "    \"late_handoffs\": %zu,\n",
+                 r.totals.late_handoffs);
+    std::fprintf(out, "    \"mean_price\": %.6f,\n", r.totals.mean_price);
+    std::fprintf(out, "    \"msp_utility\": %.6f,\n",
+                 r.totals.msp_total_utility);
+    std::fprintf(out, "    \"invariants\": \"%s\"\n",
+                 stream.conserved ? "ok" : "FAILED");
+    std::fprintf(out, "  },\n");
+  }
   if (train_cohorts > 0) {
     std::fprintf(out, "  \"pricer_training\": {\n");
     std::fprintf(out, "    \"wall_s\": %.6f,\n", train_wall_s);
@@ -269,12 +344,15 @@ void write_json(const std::string& path, bool smoke, double duration_s,
 int main(int argc, char** argv) {
   bool smoke = false;
   bool compare = false;
+  bool stream = false;
   std::size_t max_shards = 0;  // 0: default per mode (8 full, 4 smoke)
   std::size_t max_msps = 0;    // 0: skip the oligopoly sweep
+  std::string graph_name = "chain";
   std::string json_path = "BENCH_fleet.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--compare") == 0) compare = true;
+    else if (std::strcmp(argv[i], "--stream") == 0) stream = true;
     else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       const long parsed = std::atol(argv[++i]);
       max_shards = parsed > 0 ? static_cast<std::size_t>(parsed) : 1;
@@ -283,8 +361,18 @@ int main(int argc, char** argv) {
       const long parsed = std::atol(argv[++i]);
       max_msps = parsed > 0 ? static_cast<std::size_t>(parsed) : 0;
     }
+    else if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
+      graph_name = argv[++i];
+      stream = true;  // the streaming regime is the topology's consumer
+    }
     else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
       json_path = argv[++i];
+  }
+  if (graph_name != "chain" && graph_name != "grid4") {
+    std::fprintf(stderr,
+                 "fleet_throughput: unknown --graph \"%s\" (chain, grid4)\n",
+                 graph_name.c_str());
+    return 1;
   }
   if (max_shards == 0) max_shards = smoke ? 4 : 8;
   // The engine requires shard_count <= RSU count; the bench chain is fixed
@@ -510,6 +598,66 @@ int main(int argc, char** argv) {
                 msps_conserved ? "OK" : "FAILED");
   }
 
+  // Sustained-load streaming regime: Poisson arrivals over a horizon far
+  // longer than a vehicle's residence time, flushed in periodic windows.
+  // Memory is gated by the slot arena (bounded by the live population), and
+  // the flush deltas must reassemble the run's totals exactly once.
+  stream_report stream_run;
+  bool stream_ok = true;
+  if (stream) {
+    vtm::core::streaming_config stream_config;
+    stream_config.base = base_config(duration_s);
+    if (graph_name == "grid4")
+      stream_config.base.graph =
+          std::make_shared<const vtm::sim::road_graph>(
+              vtm::sim::road_graph::grid(4, 4, 1000.0, 600.0));
+    const std::size_t sites =
+        stream_config.base.graph ? stream_config.base.graph->rsu_count()
+                                 : stream_config.base.rsu_count;
+    stream_config.base.shard_count = std::min(max_shards, sites);
+    // Smoke keeps the TSan CI lap short (overloaded on purpose: maximal
+    // concurrent market pressure in a 40 s horizon). The full regime runs a
+    // *sustainable* load — λ = 6/s holds the 8-RSU market just below
+    // saturation, so the live population plateaus near λ x residence while
+    // λ x horizon = 120k expected arrivals flow through (gated at 100k).
+    stream_config.arrival_rate_per_s = smoke ? 40.0 : 6.0;
+    stream_config.horizon_s = smoke ? 40.0 : 20000.0;
+    stream_config.flush_period_s = smoke ? 5.0 : 50.0;
+
+    stream_run.ran = true;
+    stream_run.topology = graph_name;
+    stream_run.shards = stream_config.base.shard_count;
+    stream_run.arrival_rate_per_s = stream_config.arrival_rate_per_s;
+    stream_run.horizon_s = stream_config.horizon_s;
+    stream_run.flush_period_s = stream_config.flush_period_s;
+    const auto start = clock_type::now();
+    stream_run.result = vtm::core::run_streaming_fleet(stream_config);
+    stream_run.wall_s = seconds_since(start);
+    const auto& r = stream_run.result;
+    stream_run.conserved = stream_conserved(r);
+    stream_ok = stream_run.conserved;
+    if (!smoke)
+      stream_ok = stream_ok && r.arrivals >= 100000 &&
+                  r.slot_high_water < r.arrivals / 2;
+    const double wall = stream_run.wall_s > 1e-9 ? stream_run.wall_s : 1e-9;
+    std::printf(
+        "streaming regime (%s topology, lambda %.0f/s over %.0f s, flush "
+        "%.0f s, %zu shards):\n"
+        "  %zu arrivals in %.2f s wall (%.0f arrivals/s), %zu handovers, "
+        "%zu migrations, %zu flushes\n"
+        "  peak live %zu, slot high-water %zu, retired %zu, transfers %zu, "
+        "late %zu\n"
+        "stream invariants (exactly-once flush accounting + bounded "
+        "arena%s): %s\n\n",
+        graph_name.c_str(), stream_config.arrival_rate_per_s,
+        stream_config.horizon_s, stream_config.flush_period_s,
+        stream_run.shards, r.arrivals, stream_run.wall_s,
+        static_cast<double>(r.arrivals) / wall, r.totals.handovers,
+        r.totals.completed, r.flushes.size(), r.peak_live, r.slot_high_water,
+        r.retired, r.totals.cross_shard_transfers, r.totals.late_handoffs,
+        smoke ? "" : " + >= 100k arrivals", stream_ok ? "OK" : "FAILED");
+  }
+
   // Seed-sweep scaling: independent seeds sharded across the thread pool.
   const std::size_t sweep_vehicles = smoke ? 100 : 1000;
   const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
@@ -554,11 +702,14 @@ int main(int argc, char** argv) {
   if (max_msps > 0)
     std::printf("oligopoly sweep invariants: %s\n",
                 msps_conserved ? "OK" : "FAILED");
+  if (stream)
+    std::printf("stream invariants: %s\n", stream_ok ? "OK" : "FAILED");
 
   write_json(json_path, smoke, duration_s, regimes, shard_sweep, msp_sweep,
-             train_wall_s, train_cohorts, eval_mean_ratio, serial_wall,
-             parallel_wall, threads);
-  return reproduced && thresholds_ok && shards_conserved && msps_conserved
+             stream_run, train_wall_s, train_cohorts, eval_mean_ratio,
+             serial_wall, parallel_wall, threads);
+  return reproduced && thresholds_ok && shards_conserved && msps_conserved &&
+                 stream_ok
              ? 0
              : 1;
 }

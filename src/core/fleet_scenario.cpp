@@ -20,6 +20,12 @@ fleet_result run_fleet_scenario(const fleet_config& config) {
   return coordinator.run();
 }
 
+streaming_result run_streaming_fleet(const streaming_config& config) {
+  validate_streaming_config(config);  // fail fast at the public entry point
+  shard_coordinator coordinator(config);
+  return coordinator.run_stream();
+}
+
 std::vector<fleet_result> run_fleet_sweep(
     const fleet_config& base, std::span<const std::uint64_t> seeds,
     std::size_t threads) {

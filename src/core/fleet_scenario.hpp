@@ -31,6 +31,10 @@
 #include "core/pricing_policy.hpp"
 #include "core/scenario.hpp"
 
+namespace vtm::sim {
+class road_graph;
+}  // namespace vtm::sim
+
 namespace vtm::core {
 
 /// Fleet shape, economics, and clearing semantics.
@@ -56,6 +60,30 @@ struct fleet_config {
   /// boundary.
   double spawn_min_m = -1.0;
   double spawn_max_m = -1.0;
+
+  /// Road-network topology (sim/road_graph.hpp). When set it replaces the
+  /// 1-D chain: the RSUs are the graph's sites, vehicles route over
+  /// entry->exit paths, and pools price graph distance (`upstream_gap_m`) —
+  /// the chain geometry fields above are ignored. A degenerate single-path
+  /// graph (`road_graph::as_chain()`) collapses back onto the legacy chain
+  /// engine bitwise. Requires per-RSU pools; oligopoly mode stays
+  /// chain-only. An explicit spawn window must intersect every route
+  /// (spawn_min_m < the shortest route length), else it spans zero edges on
+  /// some route and is rejected.
+  std::shared_ptr<const sim::road_graph> graph;
+
+  /// Spawn-cohort correlation: vehicles arrive in platoons of
+  /// `platoon_size` (1 = independent draws, the legacy sequence).
+  /// Followers share their leader's route and spawn within
+  /// ±platoon_spread_m / ±platoon_speed_jitter_mps of it, clamped to the
+  /// spawn window and speed band.
+  std::size_t platoon_size = 1;
+  double platoon_spread_m = 50.0;
+  double platoon_speed_jitter_mps = 0.0;
+  /// Lane-change hook (graph mode): on spawn edges with more than one lane
+  /// each vehicle draws a lane and gains lane x delta speed (0 disables;
+  /// the conservative shard window accounts for the maximum bonus).
+  double lane_speed_delta_mps = 0.0;
 
   // Economics (paper ranges; α enters ×100 per the unit calibration).
   double min_alpha = 500.0;
@@ -134,6 +162,8 @@ struct fleet_config {
 
 /// Per-vehicle end-of-run state (always filled; indexed by vehicle id).
 struct vehicle_summary {
+  std::size_t id = 0;          ///< Stable vehicle identity (streaming runs
+                               ///< recycle slots, so the slot index is not).
   std::size_t host_rsu = 0;    ///< RSU hosting the twin after the drain.
   std::size_t migrations = 0;  ///< Completed migrations of this twin.
   double position_m = 0.0;     ///< Position at the vehicle's last sync.
@@ -187,5 +217,50 @@ struct fleet_result {
 [[nodiscard]] std::vector<fleet_result> run_fleet_sweep(
     const fleet_config& base, std::span<const std::uint64_t> seeds,
     std::size_t threads);
+
+/// Sentinel: never reseed a streaming run.
+inline constexpr std::size_t no_reseed = static_cast<std::size_t>(-1);
+
+/// Streaming (open-system) fleet run: vehicles arrive as a Poisson process
+/// over an unbounded horizon instead of all spawning at t = 0, completed
+/// twins retire and their slots are recycled, and results flush in periodic
+/// windows so memory stays bounded by the live population, not the arrival
+/// count (DESIGN.md §14).
+struct streaming_config {
+  /// Geometry, economics, and sharding for the run. `vehicle_count` is
+  /// ignored (population is arrival-driven) and `duration_s` is overridden
+  /// by `horizon_s`. Spot modes only (oligopoly stays closed-population).
+  fleet_config base;
+  double arrival_rate_per_s = 5.0;  ///< Poisson arrival intensity λ.
+  double horizon_s = 600.0;         ///< Arrival-admission horizon.
+  double flush_period_s = 60.0;     ///< Window length between result flushes.
+  /// Mid-stream reseed check: after emitting flush `reseed_flush`, replace
+  /// the RNG with a fresh `reseed_seed` stream. Flushes 0..reseed_flush are
+  /// bitwise-unaffected (all pre-reseed draws land in earlier windows), and
+  /// two runs with the same reseed are bitwise-identical throughout —
+  /// tests/streaming_fleet_test.cpp pins both.
+  std::size_t reseed_flush = no_reseed;
+  std::uint64_t reseed_seed = 0;
+};
+
+/// Outcome of a streaming run. `flushes[k]` covers window k only (counters
+/// are per-window deltas); `totals` aggregates the whole run and carries the
+/// concatenated migration records, cohorts, and one `vehicle_summary` per
+/// arrival (indexed by vehicle id).
+struct streaming_result {
+  std::vector<fleet_result> flushes;
+  fleet_result totals;
+  std::size_t arrivals = 0;   ///< Vehicles admitted over the horizon.
+  std::size_t retired = 0;    ///< Twins retired (== arrivals after drain).
+  std::size_t peak_live = 0;  ///< Max concurrent live twins.
+  /// High-water mark of the recycled slot arena — the engine's actual
+  /// memory footprint (bounded by peak_live, not arrivals).
+  std::size_t slot_high_water = 0;
+};
+
+/// Run one streaming fleet scenario to quiescence (deterministic given the
+/// seed). Validates via `validate_streaming_config` (core/fleet_shard.hpp).
+[[nodiscard]] streaming_result run_streaming_fleet(
+    const streaming_config& config);
 
 }  // namespace vtm::core

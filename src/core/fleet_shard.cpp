@@ -7,6 +7,7 @@
 
 #include "core/aotm.hpp"
 #include "sim/precopy.hpp"
+#include "sim/road_graph.hpp"
 #include "util/contracts.hpp"
 
 namespace vtm::core {
@@ -14,16 +15,40 @@ namespace vtm::core {
 namespace {
 
 /// Build the RSU chain: explicit (possibly non-uniform) centres when given,
-/// the legacy uniform layout otherwise.
+/// the legacy uniform layout otherwise. In route mode the chain only sizes
+/// the global RSU index space — per-route geometry lives in the route
+/// profiles and pool links come from `upstream_gap_m` — so its centres are
+/// never read (spacing 2·radius keeps the ctor's contiguity contract).
 sim::rsu_chain make_chain(const fleet_config& config) {
+  if (config.graph)
+    return sim::rsu_chain(config.graph->rsu_count(),
+                          2.0 * config.graph->coverage_radius_m(),
+                          config.graph->coverage_radius_m());
   if (!config.rsu_positions_m.empty())
     return sim::rsu_chain(config.rsu_positions_m, config.coverage_radius_m);
   return sim::rsu_chain(config.rsu_count, config.rsu_spacing_m,
                         config.coverage_radius_m);
 }
 
-const fleet_config& validated(const fleet_config& config) {
+/// Validate, then collapse a degenerate single-path graph back onto the
+/// legacy chain fields (`road_graph::as_chain()`): the engine's chain code
+/// path — bitwise-golden against the pre-graph engine — runs it verbatim.
+/// Real networks keep `graph` set, which selects route mode everywhere
+/// downstream (`config.graph != nullptr` is the single mode switch).
+fleet_config normalized(fleet_config config) {
   validate_fleet_config(config);
+  if (!config.graph) return config;
+  if (const auto view = config.graph->as_chain()) {
+    if (view->uniform) {
+      config.rsu_count = view->count;
+      config.rsu_spacing_m = view->spacing_m;
+      config.rsu_positions_m.clear();
+    } else {
+      config.rsu_positions_m = view->centers_m;
+    }
+    config.coverage_radius_m = view->coverage_radius_m;
+    config.graph.reset();
+  }
   return config;
 }
 
@@ -33,17 +58,39 @@ const fleet_config& validated(const fleet_config& config) {
 /// crossings announced late (a migration resolving near the boundary). The
 /// window snaps down to a clearing-epoch multiple so epoch-grid clearings —
 /// and the requests they re-home across shards — land exactly on barriers.
+/// Graph mode bounds the same quantity over every route: the narrowest
+/// inter-boundary gap at the worst-case speed (max base speed × max edge
+/// factor + the full lane-change bonus).
 double auto_window_s(const fleet_config& config, const sim::rsu_chain& chain,
                      double epoch_s) {
   double min_cell_m = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i + 2 < chain.count(); ++i)
-    min_cell_m = std::min(min_cell_m, chain.handover_position_m(i + 1) -
-                                          chain.handover_position_m(i));
+  double top_speed = config.max_speed_mps;
+  if (config.graph) {
+    min_cell_m = config.graph->min_boundary_gap_m();
+    top_speed = config.max_speed_mps * config.graph->max_speed_factor() +
+                config.lane_speed_delta_mps *
+                    static_cast<double>(config.graph->max_lanes() - 1);
+  } else {
+    for (std::size_t i = 0; i + 2 < chain.count(); ++i)
+      min_cell_m = std::min(min_cell_m, chain.handover_position_m(i + 1) -
+                                            chain.handover_position_m(i));
+  }
   if (!std::isfinite(min_cell_m)) return config.duration_s;  // <= 1 boundary
-  double window = 0.5 * min_cell_m / config.max_speed_mps;
+  double window = 0.5 * min_cell_m / top_speed;
   if (epoch_s > 0.0)
     window = epoch_s * std::max(1.0, std::floor(window / epoch_s));
   return std::clamp(window, 1e-3, config.duration_s);
+}
+
+/// Resolve the streaming run's base config: the horizon is the handover
+/// admission deadline, and the closed-population `vehicle_count` is ignored
+/// (floored to satisfy the base validation).
+fleet_config streaming_base(const streaming_config& config) {
+  validate_streaming_config(config);
+  fleet_config base = config.base;
+  base.duration_s = config.horizon_s;
+  if (base.vehicle_count == 0) base.vehicle_count = 1;
+  return base;
 }
 
 }  // namespace
@@ -72,7 +119,8 @@ std::vector<fleet_msp> resolved_fleet_msps(const fleet_config& config) {
 }
 
 void validate_fleet_config(const fleet_config& config) {
-  VTM_EXPECTS(config.rsu_count >= 1 || !config.rsu_positions_m.empty());
+  VTM_EXPECTS(config.graph != nullptr || config.rsu_count >= 1 ||
+              !config.rsu_positions_m.empty());
   VTM_EXPECTS(config.pricing == pricing_backend::oracle ||
               config.pricer != nullptr);
   VTM_EXPECTS(config.vehicle_count >= 1);
@@ -95,9 +143,34 @@ void validate_fleet_config(const fleet_config& config) {
   // form a window; mixed explicit/auto is resolved at spawn time.
   if (config.spawn_min_m >= 0.0 && config.spawn_max_m >= 0.0)
     VTM_EXPECTS(config.spawn_max_m >= config.spawn_min_m);
-  const std::size_t rsu_count = config.rsu_positions_m.empty()
-                                    ? config.rsu_count
-                                    : config.rsu_positions_m.size();
+  // Platoon-correlated spawning (size 1 = independent draws).
+  VTM_EXPECTS(config.platoon_size >= 1);
+  VTM_EXPECTS(std::isfinite(config.platoon_spread_m) &&
+              config.platoon_spread_m >= 0.0);
+  VTM_EXPECTS(std::isfinite(config.platoon_speed_jitter_mps) &&
+              config.platoon_speed_jitter_mps >= 0.0);
+  VTM_EXPECTS(std::isfinite(config.lane_speed_delta_mps) &&
+              config.lane_speed_delta_mps >= 0.0);
+  const std::size_t rsu_count =
+      config.graph ? config.graph->rsu_count()
+                   : (config.rsu_positions_m.empty()
+                          ? config.rsu_count
+                          : config.rsu_positions_m.size());
+  if (config.graph) {
+    // Graph topology: the RSUs are the graph's sites, so explicit chain
+    // centres would be dead config; pools are per-site by construction and
+    // the oligopoly roster's offset chains have no graph analogue yet.
+    VTM_EXPECTS(config.rsu_positions_m.empty());
+    VTM_EXPECTS(!config.shared_pool);
+    VTM_EXPECTS(config.mode != market_mode::oligopoly);
+    // An explicit spawn floor at/after the shortest route's end would leave
+    // a spawn window spanning zero graph edges on that route — the `< 0`
+    // auto sentinel only guards the chain path, so graph configs must be
+    // rejected here (tools/vtm_lint.py gates run_* entry points on calling
+    // a validate helper for exactly this class of hole).
+    if (config.spawn_min_m >= 0.0)
+      VTM_EXPECTS(config.spawn_min_m < config.graph->min_route_length_m());
+  }
   VTM_EXPECTS(config.shard_count >= 1);
   VTM_EXPECTS(config.shard_count <= rsu_count);
   // The legacy shared pool is one global book — there is nothing to shard.
@@ -143,6 +216,21 @@ void validate_fleet_config(const fleet_config& config) {
   if (msps.size() >= 2) VTM_EXPECTS(config.pricing == pricing_backend::oracle);
 }
 
+void validate_streaming_config(const streaming_config& config) {
+  VTM_EXPECTS(std::isfinite(config.arrival_rate_per_s) &&
+              config.arrival_rate_per_s > 0.0);
+  VTM_EXPECTS(std::isfinite(config.horizon_s) && config.horizon_s > 0.0);
+  VTM_EXPECTS(std::isfinite(config.flush_period_s) &&
+              config.flush_period_s > 0.0);
+  // The competitive roster's warm-started books assume a closed population;
+  // streaming stays on the spot-market paths.
+  VTM_EXPECTS(config.base.mode != market_mode::oligopoly);
+  fleet_config base = config.base;
+  base.duration_s = config.horizon_s;
+  if (base.vehicle_count == 0) base.vehicle_count = 1;  // field is ignored
+  validate_fleet_config(base);
+}
+
 // ---- shard_engine -----------------------------------------------------------
 
 shard_engine::shard_engine(const fleet_config& config,
@@ -156,6 +244,7 @@ shard_engine::shard_engine(const fleet_config& config,
                            std::shared_ptr<pricing_policy> policy)
     : config_(config),
       chain_(chain),
+      graph_(config.graph.get()),
       index_(index),
       rsu_lo_(rsu_lo),
       rsu_shard_(rsu_shard),
@@ -298,6 +387,9 @@ wireless::link_params shard_engine::link_for(std::size_t rsu,
 /// arithmetic would drift from it by ulps for non-dyadic values, breaking
 /// bitwise reproduction of the pre-heterogeneity engine.
 double shard_engine::pool_link_distance_m(std::size_t rsu) const {
+  // Route mode: the pool prices its site's upstream gap along the traffic
+  // flow through the road network.
+  if (graph_) return graph_->upstream_gap_m(rsu);
   if (config_.shared_pool || chain_.count() < 2 ||
       config_.rsu_positions_m.empty())
     return chain_.spacing_m();
@@ -310,7 +402,8 @@ void shard_engine::sync_position(std::size_t vehicle) {
   auto& slot = vehicles_[vehicle];
   const double dt = queue_.now() - slot.position_at;
   if (dt > 0.0) {
-    slot.kinematics = sim::advance(slot.kinematics, dt);
+    slot.kinematics = slot.route ? slot.route->advance(slot.kinematics, dt)
+                                 : sim::advance(slot.kinematics, dt);
     slot.position_at = queue_.now();
   }
 }
@@ -319,13 +412,28 @@ void shard_engine::adopt(std::size_t vehicle) {
   schedule_next_handover(vehicle);
 }
 
+void shard_engine::inject(std::size_t vehicle, double at) {
+  VTM_EXPECTS(at >= queue_.now());
+  queue_.schedule(at, [this, vehicle] { schedule_next_handover(vehicle); });
+}
+
 void shard_engine::schedule_next_handover(std::size_t vehicle) {
   sync_position(vehicle);
-  const auto& slot = vehicles_[vehicle];
-  const auto next = chain_.next_handover(slot.kinematics);
-  if (!next) return;  // cruising past the end of the chain
+  auto& slot = vehicles_[vehicle];
+  const auto next = slot.route ? slot.route->next_handover(slot.kinematics)
+                               : chain_.next_handover(slot.kinematics);
+  // Both decline branches leave the vehicle with no scheduled event, no
+  // booked request, and no in-flight migration — nothing will ever touch
+  // this twin again, so streaming runs may retire it at the next flush.
+  if (!next) {  // cruising past the end of the chain/route
+    slot.exited = true;
+    return;
+  }
   const double when = queue_.now() + next->after_s;
-  if (when > config_.duration_s) return;
+  if (when > config_.duration_s) {
+    slot.exited = true;
+    return;
+  }
   const std::size_t dest = rsu_shard_[next->to_rsu];
   if (dest != index_) {
     // The crossing lands in another shard: hand the vehicle over now, at
@@ -383,7 +491,9 @@ void shard_engine::run_clearing(std::size_t pidx) {
       sync_position(request.vehicle);
       const auto& slot = vehicles_[request.vehicle];
       request.from_rsu = slot.twin->host_rsu();
-      request.to_rsu = chain_.serving_rsu(slot.kinematics.position_m);
+      request.to_rsu =
+          slot.route ? slot.route->serving_rsu(slot.kinematics.position_m)
+                     : chain_.serving_rsu(slot.kinematics.position_m);
       const std::size_t dest = rsu_shard_[request.to_rsu];
       if (dest != index_) {
         // The vehicle drifted out of this shard's RSU range while deferred:
@@ -565,7 +675,20 @@ void shard_engine::launch_migration(std::size_t pidx,
   // chain-constant link by construction.
   const wireless::link_budget* budget = &budgets_[pidx];
   std::optional<wireless::link_budget> actual;
-  if (!config_.shared_pool && request.to_rsu != request.from_rsu + 1) {
+  if (graph_) {
+    // Route mode prices the destination's upstream gap; a hop whose true
+    // graph distance (from's site to to's site along the network) differs
+    // rebuilds over it. Same-site re-homes keep the pool budget.
+    if (request.to_rsu != request.from_rsu) {
+      const double gap = graph_->site_distance_m(request.from_rsu,
+                                                 request.to_rsu);
+      if (gap != pool_link_distance_m(request.to_rsu)) {
+        VTM_ASSERT(std::isfinite(gap));
+        actual.emplace(link_for(request.to_rsu, gap));
+        budget = &*actual;
+      }
+    }
+  } else if (!config_.shared_pool && request.to_rsu != request.from_rsu + 1) {
     actual.emplace(link_for(
         request.to_rsu,
         chain_.link_distance_m(request.from_rsu, request.to_rsu)));
@@ -713,10 +836,33 @@ void shard_engine::abandon_remaining() {
       resolve_abandoned(request);
 }
 
+shard_engine::flush_data shard_engine::take_flush(
+    [[maybe_unused]] const util::barrier_phase& barrier) {
+  flush_data flush;
+  flush.stats = counters_;  // cumulative; the coordinator diffs
+  flush.ledger = std::move(ledger_);
+  ledger_.clear();
+  flush.records = std::move(records_);
+  records_.clear();
+  flush.cohorts = std::move(cohorts_);
+  cohorts_.clear();
+  return flush;
+}
+
 // ---- shard_coordinator ------------------------------------------------------
 
 shard_coordinator::shard_coordinator(const fleet_config& config)
-    : config_(validated(config)),
+    : shard_coordinator(config, /*spawn=*/true) {}
+
+shard_coordinator::shard_coordinator(const streaming_config& config)
+    : shard_coordinator(streaming_base(config), /*spawn=*/false) {
+  stream_ = config;
+  streaming_ = true;
+  flushed_.resize(shards_.size());
+}
+
+shard_coordinator::shard_coordinator(const fleet_config& config, bool spawn)
+    : config_(normalized(config)),
       chain_(make_chain(config_)),
       gen_(config_.seed),
       mailbox_(config_.shard_count),
@@ -768,50 +914,124 @@ shard_coordinator::shard_coordinator(const fleet_config& config)
     lo += count;
   }
 
-  spawn_vehicles();
+  // Route mode: one mobility profile per graph route (slots point into
+  // this, so it is built once and never resized again).
+  if (config_.graph) {
+    routes_.reserve(config_.graph->route_count());
+    for (std::size_t r = 0; r < config_.graph->route_count(); ++r)
+      routes_.push_back(config_.graph->make_route_profile(r));
+    route_mode_ = true;
+  }
+
+  // Resolve the spawn spans once (streaming arrivals draw them too).
+  if (route_mode_) {
+    route_span_lo_.reserve(routes_.size());
+    route_span_hi_.reserve(routes_.size());
+    for (std::size_t r = 0; r < routes_.size(); ++r) {
+      const double length = config_.graph->route(r).length_m;
+      const double span_lo =
+          config_.spawn_min_m >= 0.0 ? config_.spawn_min_m : 0.0;
+      const double span_hi = config_.spawn_max_m >= 0.0
+                                 ? std::min(config_.spawn_max_m, length)
+                                 : length;
+      route_span_lo_.push_back(span_lo);
+      route_span_hi_.push_back(std::max(span_lo, span_hi));
+    }
+  } else {
+    // Auto spawn span: spread the fleet over the whole chain so every RSU
+    // sees load; the legacy scenario pins the span before the first
+    // boundary. Uniform chains keep the original spacing arithmetic
+    // verbatim (bitwise reproduction); explicit chains derive the span from
+    // the actual centres.
+    double auto_lo, auto_hi;
+    if (config_.rsu_positions_m.empty()) {
+      const double spacing = config_.rsu_spacing_m;
+      auto_lo = 0.5 * spacing;
+      auto_hi = (static_cast<double>(config_.rsu_count) - 0.5) * spacing;
+    } else {
+      auto_lo = chain_.center_m(0) -
+                0.5 * (chain_.count() > 1 ? chain_.link_distance_m(0, 1)
+                                          : chain_.spacing_m());
+      auto_hi = chain_.center_m(chain_.count() - 1) -
+                0.5 * (chain_.count() > 1
+                           ? chain_.link_distance_m(chain_.count() - 2,
+                                                    chain_.count() - 1)
+                           : 0.0);
+    }
+    // Explicit bounds use the "< 0 means auto" sentinel, so a window may
+    // legitimately start (or end) at 0 m.
+    span_lo_ = config_.spawn_min_m >= 0.0 ? config_.spawn_min_m : auto_lo;
+    span_hi_ = config_.spawn_max_m >= 0.0 ? config_.spawn_max_m
+                                          : std::max(span_lo_, auto_hi);
+    VTM_EXPECTS(span_hi_ >= span_lo_);
+  }
+
+  if (spawn) spawn_vehicles();
+}
+
+void shard_coordinator::draw_spawn(vehicle_slot& slot) {
+  double position;
+  double speed;
+  if (platoon_left_ == 0) {
+    // Platoon leader — every vehicle when platoon_size == 1, where the
+    // chain-mode draw sequence (position, speed, α, data) is bitwise the
+    // legacy spawn loop.
+    if (route_mode_ && routes_.size() > 1)
+      lead_route_ = static_cast<std::size_t>(gen_.uniform_int(
+          0, static_cast<std::int64_t>(routes_.size()) - 1));
+    else
+      lead_route_ = 0;
+    const double lo = route_mode_ ? route_span_lo_[lead_route_] : span_lo_;
+    const double hi = route_mode_ ? route_span_hi_[lead_route_] : span_hi_;
+    position = gen_.uniform(lo, hi);
+    speed = gen_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+    platoon_left_ = config_.platoon_size - 1;
+    lead_pos_ = position;
+    lead_speed_ = speed;
+  } else {
+    // Follower: same route, jittered around the leader, clamped back into
+    // the spawn window and speed band.
+    --platoon_left_;
+    const double lo = route_mode_ ? route_span_lo_[lead_route_] : span_lo_;
+    const double hi = route_mode_ ? route_span_hi_[lead_route_] : span_hi_;
+    position = std::clamp(lead_pos_ + gen_.uniform(-config_.platoon_spread_m,
+                                                   config_.platoon_spread_m),
+                          lo, hi);
+    speed = std::clamp(
+        lead_speed_ + gen_.uniform(-config_.platoon_speed_jitter_mps,
+                                   config_.platoon_speed_jitter_mps),
+        config_.min_speed_mps, config_.max_speed_mps);
+  }
+  slot.route = route_mode_ ? &routes_[lead_route_] : nullptr;
+  slot.kinematics.position_m = position;
+  if (route_mode_ && config_.lane_speed_delta_mps > 0.0) {
+    // Lane-change hook: multi-lane spawn edges grant a per-lane speed bonus
+    // (the conservative window budgets the maximum).
+    const std::size_t lanes = config_.graph->lanes_at(lead_route_, position);
+    if (lanes > 1)
+      speed += config_.lane_speed_delta_mps *
+               static_cast<double>(gen_.uniform_int(
+                   0, static_cast<std::int64_t>(lanes) - 1));
+  }
+  slot.kinematics.speed_mps = speed;
+  slot.profile.alpha = gen_.uniform(config_.min_alpha, config_.max_alpha);
+  slot.profile.data_mb =
+      gen_.uniform(config_.min_data_mb, config_.max_data_mb);
 }
 
 void shard_coordinator::spawn_vehicles() {
-  // Auto spawn span: spread the fleet over the whole chain so every RSU
-  // sees load; the legacy scenario pins the span before the first boundary.
-  // Uniform chains keep the original spacing arithmetic verbatim (bitwise
-  // reproduction); explicit chains derive the span from the actual centres.
-  double auto_lo, auto_hi;
-  if (config_.rsu_positions_m.empty()) {
-    const double spacing = config_.rsu_spacing_m;
-    auto_lo = 0.5 * spacing;
-    auto_hi = (static_cast<double>(config_.rsu_count) - 0.5) * spacing;
-  } else {
-    auto_lo = chain_.center_m(0) -
-              0.5 * (chain_.count() > 1 ? chain_.link_distance_m(0, 1)
-                                        : chain_.spacing_m());
-    auto_hi = chain_.center_m(chain_.count() - 1) -
-              0.5 * (chain_.count() > 1
-                         ? chain_.link_distance_m(chain_.count() - 2,
-                                                  chain_.count() - 1)
-                         : 0.0);
-  }
-  // Explicit bounds use the "< 0 means auto" sentinel, so a window may
-  // legitimately start (or end) at 0 m.
-  const double lo = config_.spawn_min_m >= 0.0 ? config_.spawn_min_m : auto_lo;
-  const double hi = config_.spawn_max_m >= 0.0 ? config_.spawn_max_m
-                                               : std::max(lo, auto_hi);
-  VTM_EXPECTS(hi >= lo);
-
   vehicles_.resize(config_.vehicle_count);
   owner_.resize(config_.vehicle_count);
   for (std::size_t v = 0; v < vehicles_.size(); ++v) {
     auto& slot = vehicles_[v];
-    slot.kinematics.position_m = gen_.uniform(lo, hi);
-    slot.kinematics.speed_mps =
-        gen_.uniform(config_.min_speed_mps, config_.max_speed_mps);
-    slot.profile.alpha = gen_.uniform(config_.min_alpha, config_.max_alpha);
-    slot.profile.data_mb =
-        gen_.uniform(config_.min_data_mb, config_.max_data_mb);
+    draw_spawn(slot);
+    slot.id = v;
     slot.twin = std::make_unique<sim::vehicular_twin>(
         sim::vehicular_twin::with_total_mb(v, slot.profile.data_mb,
                                            config_.page_mb));
-    const std::size_t serving = chain_.serving_rsu(slot.kinematics.position_m);
+    const std::size_t serving =
+        slot.route ? slot.route->serving_rsu(slot.kinematics.position_m)
+                   : chain_.serving_rsu(slot.kinematics.position_m);
     slot.twin->set_host_rsu(serving);
     owner_[v] = rsu_shard_[serving];
   }
@@ -883,6 +1103,264 @@ fleet_result shard_coordinator::run() {
   const util::barrier_scope at_barrier(barrier_);
   for (auto& shard : shards_) shard->abandon_remaining();
   return merge();
+}
+
+void shard_coordinator::inject_arrivals(double upto) {
+  for (;;) {
+    if (!arrival_pending_) {
+      // Poisson arrivals: exponential inter-arrival gaps. The undrawn-gap
+      // flag keeps the stream exact across reseeds — a drawn-but-unadmitted
+      // arrival survives window barriers, and a reseed discards it.
+      next_arrival_s_ += gen_.exponential(stream_.arrival_rate_per_s);
+      arrival_pending_ = true;
+    }
+    if (next_arrival_s_ > upto || next_arrival_s_ > stream_.horizon_s) return;
+    arrival_pending_ = false;
+    const double at = next_arrival_s_;
+
+    std::size_t v;
+    if (!free_slots_.empty()) {
+      v = free_slots_.back();  // LIFO keeps the arena hot and bounded
+      free_slots_.pop_back();
+    } else {
+      v = vehicles_.size();
+      vehicles_.emplace_back();
+      owner_.push_back(0);
+    }
+    auto& slot = vehicles_[v];
+    draw_spawn(slot);
+    slot.id = arrivals_++;
+    slot.position_at = at;
+    slot.exited = false;
+    slot.twin = std::make_unique<sim::vehicular_twin>(
+        sim::vehicular_twin::with_total_mb(slot.id, slot.profile.data_mb,
+                                           config_.page_mb));
+    const std::size_t serving =
+        slot.route ? slot.route->serving_rsu(slot.kinematics.position_m)
+                   : chain_.serving_rsu(slot.kinematics.position_m);
+    slot.twin->set_host_rsu(serving);
+    owner_[v] = rsu_shard_[serving];
+    shards_[owner_[v]]->inject(v, at);
+    ++live_;
+    peak_live_ = std::max(peak_live_, live_);
+  }
+}
+
+fleet_result shard_coordinator::flush_window(bool final) {
+  fleet_result window;
+  std::vector<shard_engine::flush_data> data;
+  data.reserve(shards_.size());
+  for (auto& shard : shards_) data.push_back(shard->take_flush(barrier_));
+
+  // Counter deltas against the previous flush's cumulative snapshots.
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& now = data[s].stats;
+    const auto& before = flushed_[s];
+    window.handovers += now.handovers - before.handovers;
+    window.deferred += now.deferred - before.deferred;
+    window.priced_out += now.priced_out - before.priced_out;
+    window.abandoned += now.abandoned - before.abandoned;
+    window.clearings += now.clearings - before.clearings;
+    window.max_cohort = std::max(window.max_cohort, now.max_cohort);
+    window.cross_shard_transfers +=
+        now.cross_shard_transfers - before.cross_shard_transfers;
+    window.cross_shard_retargets +=
+        now.cross_shard_retargets - before.cross_shard_retargets;
+    window.late_handoffs += now.late_handoffs - before.late_handoffs;
+    flushed_[s] = now;
+    total += data[s].ledger.size();
+  }
+
+  // Reduce this window's completion ledgers in global finish-time order
+  // (slot index breaks exact ties) — `merge()`'s reduction restarted per
+  // window. The run-total accumulators advance inside the same loop, so the
+  // streaming totals are the same ordered sum an unwindowed reduction of
+  // the whole stream would produce.
+  double sum_aotm = 0.0;
+  double sum_amplification = 0.0;
+  double sum_price_bandwidth = 0.0;
+  double sum_bandwidth = 0.0;
+  std::vector<std::size_t> head(shards_.size(), 0);
+  if (config_.record_migrations) window.migrations.reserve(total);
+  for (std::size_t n = 0; n < total; ++n) {
+    std::size_t best = shards_.size();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (head[s] >= data[s].ledger.size()) continue;
+      if (best == shards_.size()) {
+        best = s;
+        continue;
+      }
+      const auto& a = data[s].ledger[head[s]];
+      const auto& b = data[best].ledger[head[best]];
+      if (a.finish_s < b.finish_s ||
+          (a.finish_s == b.finish_s && a.vehicle < b.vehicle))
+        best = s;
+    }
+    const auto& entry = data[best].ledger[head[best]];
+    ++window.completed;
+    window.msp_total_utility += entry.msp_utility;
+    window.vmu_total_utility += entry.vmu_utility;
+    sum_aotm += entry.aotm;
+    sum_amplification += entry.amplification;
+    sum_price_bandwidth += entry.price_bandwidth;
+    sum_bandwidth += entry.bandwidth;
+    total_msp_utility_ += entry.msp_utility;
+    total_vmu_utility_ += entry.vmu_utility;
+    sum_aotm_ += entry.aotm;
+    sum_amplification_ += entry.amplification;
+    sum_price_bandwidth_ += entry.price_bandwidth;
+    sum_bandwidth_ += entry.bandwidth;
+    if (config_.record_migrations) {
+      migration_record record = std::move(data[best].records[head[best]]);
+      // Records carry the stable identity — the slot index is recycled.
+      record.vehicle = vehicles_[record.vehicle].id;
+      window.migrations.push_back(std::move(record));
+    }
+    ++head[best];
+  }
+  for (auto& shard_data : data)
+    window.cohorts.insert(window.cohorts.end(),
+                          std::make_move_iterator(shard_data.cohorts.begin()),
+                          std::make_move_iterator(shard_data.cohorts.end()));
+
+  if (window.completed > 0) {
+    const double n = static_cast<double>(window.completed);
+    window.mean_aotm = sum_aotm / n;
+    window.mean_amplification = sum_amplification / n;
+    if (sum_bandwidth > 0.0)
+      window.mean_price = sum_price_bandwidth / sum_bandwidth;
+  }
+
+  // Retire exited twins (every live twin on the final flush): nothing can
+  // reference them again — exited is only set when a vehicle has no
+  // scheduled event, no booked request, and no in-flight migration — so
+  // their slots recycle into the free list and memory stays bounded by the
+  // live population.
+  for (std::size_t v = 0; v < vehicles_.size(); ++v) {
+    auto& slot = vehicles_[v];
+    if (!slot.twin || (!final && !slot.exited)) continue;
+    vehicle_summary summary;
+    summary.id = slot.id;
+    summary.host_rsu = slot.twin->host_rsu();
+    summary.migrations = slot.twin->migration_count();
+    summary.position_m = slot.kinematics.position_m;
+    summary.shard = owner_[v];
+    window.vehicles.push_back(summary);
+    slot.twin.reset();
+    slot.route = nullptr;
+    slot.exited = false;
+    free_slots_.push_back(v);
+    ++retired_;
+    --live_;
+  }
+  return window;
+}
+
+streaming_result shard_coordinator::run_stream() {
+  VTM_EXPECTS(streaming_);
+  const double horizon = config_.duration_s;  // == stream_.horizon_s
+  double t_end = std::min(horizon, window_s_);
+  {
+    // No lane has started yet, so the barrier capability holds trivially.
+    const util::barrier_scope at_barrier(barrier_);
+    inject_arrivals(t_end);
+    exchange();
+  }
+
+  bool draining = false;
+  double next_flush = stream_.flush_period_s;
+  std::size_t flush_index = 0;
+  pool_.run_phased(
+      shards_.size(),
+      [&](std::size_t lane, std::size_t) {
+        if (draining)
+          shards_[lane]->drain_round();
+        else
+          shards_[lane]->run_window(t_end);
+      },
+      [&](std::size_t) {
+        const util::barrier_scope at_barrier(barrier_);
+        const std::size_t delivered = exchange();
+        if (draining) return delivered > 0;
+        // Emit every flush boundary this window crossed. A flush covers
+        // events up to the barrier that emitted it (window granularity);
+        // conservation holds per window by the exactly-once ledger.
+        while (next_flush <= t_end) {
+          flushes_.push_back(flush_window(/*final=*/false));
+          if (flush_index == stream_.reseed_flush) {
+            // Mid-stream reseed: every pre-reseed draw fed an arrival
+            // admitted at or before t_end, whose events landed in this or
+            // an earlier flush — so flushes 0..reseed_flush are
+            // bitwise-unaffected, and the stream restarts cleanly from the
+            // admitted-up-to point.
+            gen_ = util::rng(stream_.reseed_seed);
+            arrival_pending_ = false;
+            next_arrival_s_ = t_end;
+            platoon_left_ = 0;
+          }
+          ++flush_index;
+          next_flush += stream_.flush_period_s;
+        }
+        if (t_end >= horizon) {
+          draining = true;
+          return true;
+        }
+        t_end = std::min(horizon, t_end + window_s_);
+        inject_arrivals(t_end);
+        return true;
+      });
+
+  // Quiesced: sweep the books, emit the final flush (retiring every
+  // remaining twin), and assemble the totals.
+  const util::barrier_scope at_barrier(barrier_);
+  for (auto& shard : shards_) shard->abandon_remaining();
+  flushes_.push_back(flush_window(/*final=*/true));
+
+  streaming_result result;
+  result.arrivals = arrivals_;
+  result.retired = retired_;
+  result.peak_live = peak_live_;
+  result.slot_high_water = vehicles_.size();
+  result.flushes = std::move(flushes_);
+
+  fleet_result& totals = result.totals;
+  for (const auto& shard : shards_) {
+    const auto& c = shard->stats();
+    totals.handovers += c.handovers;
+    totals.deferred += c.deferred;
+    totals.priced_out += c.priced_out;
+    totals.abandoned += c.abandoned;
+    totals.clearings += c.clearings;
+    totals.max_cohort = std::max(totals.max_cohort, c.max_cohort);
+    totals.cross_shard_transfers += c.cross_shard_transfers;
+    totals.cross_shard_retargets += c.cross_shard_retargets;
+    totals.late_handoffs += c.late_handoffs;
+  }
+  totals.msp_total_utility = total_msp_utility_;
+  totals.vmu_total_utility = total_vmu_utility_;
+  totals.vehicles.resize(arrivals_);
+  for (const auto& flush : result.flushes) {
+    totals.completed += flush.completed;
+    for (const auto& summary : flush.vehicles) {
+      VTM_ASSERT(summary.id < arrivals_);
+      totals.vehicles[summary.id] = summary;
+    }
+    if (config_.record_migrations)
+      totals.migrations.insert(totals.migrations.end(),
+                               flush.migrations.begin(),
+                               flush.migrations.end());
+    totals.cohorts.insert(totals.cohorts.end(), flush.cohorts.begin(),
+                          flush.cohorts.end());
+  }
+  if (totals.completed > 0) {
+    const double n = static_cast<double>(totals.completed);
+    totals.mean_aotm = sum_aotm_ / n;
+    totals.mean_amplification = sum_amplification_ / n;
+    if (sum_bandwidth_ > 0.0)
+      totals.mean_price = sum_price_bandwidth_ / sum_bandwidth_;
+  }
+  return result;
 }
 
 fleet_result shard_coordinator::merge() {
@@ -958,6 +1436,7 @@ fleet_result shard_coordinator::merge() {
   result.vehicles.resize(vehicles_.size());
   for (std::size_t v = 0; v < vehicles_.size(); ++v) {
     auto& summary = result.vehicles[v];
+    summary.id = vehicles_[v].id;
     summary.host_rsu = vehicles_[v].twin->host_rsu();
     summary.migrations = vehicles_[v].twin->migration_count();
     summary.position_m = vehicles_[v].kinematics.position_m;

@@ -70,6 +70,12 @@ namespace vtm::core {
 /// RSU gap, so backward traffic would clear over the wrong link.
 void validate_fleet_config(const fleet_config& config);
 
+/// Validate a streaming configuration (arrival process, windows, and the
+/// embedded base config with `duration_s` resolved to the horizon); throws
+/// util::contract_error on violations. Oligopoly mode is rejected — the
+/// competitive roster assumes a closed population.
+void validate_streaming_config(const streaming_config& config);
+
 /// The oligopoly seller roster a fleet run competes with: `config.msps`
 /// verbatim, or — when that is empty — one MSP inheriting the monopoly
 /// economics (zero offset), so `market_mode::oligopoly` without a roster is
@@ -85,6 +91,13 @@ struct vehicle_slot {
   vmu_profile profile;
   std::unique_ptr<sim::vehicular_twin> twin;
   double position_at = 0.0;  ///< Simulation time of `kinematics.position_m`.
+  /// Route the vehicle travels in graph mode (coordinator-owned; null on the
+  /// legacy chain path). Positions are the route's arc coordinate.
+  const sim::route_profile* route = nullptr;
+  std::size_t id = 0;    ///< Stable vehicle identity (slots are recycled).
+  /// The vehicle left coverage (no further handover) with no booked or
+  /// in-flight work — streaming runs retire such twins at the next flush.
+  bool exited = false;
 };
 
 /// A vehicle whose next coverage handover lands in another shard: the
@@ -163,6 +176,11 @@ class shard_engine {
   /// (posts a boundary handoff instead when the crossing leaves the shard).
   void adopt(std::size_t vehicle);
 
+  /// Streaming arrival: schedule the vehicle's first handover computation at
+  /// its arrival time `at` (the slot's kinematics/position_at are already
+  /// set to the arrival instant). Must land at/after the shard clock.
+  void inject(std::size_t vehicle, double at);
+
   /// Apply one cross-shard message. Barrier only — enforced by the analysis:
   /// the caller must hold the run's barrier capability (every lane parked).
   /// Deliveries behind the shard clock are clamped to it and counted as late.
@@ -203,6 +221,19 @@ class shard_engine {
     return cohorts_;
   }
 
+  /// Snapshot for one streaming flush: cumulative counters plus the ledger,
+  /// records, and cohorts accrued since the previous flush (moved out, so
+  /// per-window memory is released). Barrier only — reads engine state the
+  /// lanes otherwise own.
+  struct flush_data {
+    counters stats;  ///< Cumulative; the coordinator diffs against the last.
+    std::vector<completion_entry> ledger;
+    std::vector<migration_record> records;
+    std::vector<cohort_snapshot> cohorts;
+  };
+  [[nodiscard]] flush_data take_flush(const util::barrier_phase& barrier)
+      VTM_REQUIRES(barrier);
+
  private:
   [[nodiscard]] std::size_t pool_index(std::size_t rsu) const noexcept;
   [[nodiscard]] double pool_link_distance_m(std::size_t rsu) const;
@@ -242,6 +273,9 @@ class shard_engine {
 
   const fleet_config& config_;
   const sim::rsu_chain& chain_;
+  /// Road network in graph mode (null on the chain path): pools price
+  /// `upstream_gap_m` and drifted grants rebuild over `site_distance_m`.
+  const sim::road_graph* graph_ = nullptr;
   std::size_t index_;
   std::size_t rsu_lo_;
   std::span<const std::uint32_t> rsu_shard_;
@@ -274,10 +308,20 @@ class shard_coordinator {
  public:
   explicit shard_coordinator(const fleet_config& config);
 
+  /// Streaming run: the closed-population spawn is skipped; vehicles arrive
+  /// via `inject_arrivals` over the horizon and results flush per window.
+  explicit shard_coordinator(const streaming_config& config);
+
   /// Execute the run to full quiescence and merge shard results
   /// deterministically (completion streams are reduced in global
   /// finish-time order, so aggregates are independent of thread timing).
   [[nodiscard]] fleet_result run();
+
+  /// Execute a streaming run (streaming ctor only): windows advance as in
+  /// `run()`, but arrivals inject at each barrier up to the next window end,
+  /// results flush every `flush_period_s`, and completed twins retire so the
+  /// slot arena stays bounded by the live population.
+  [[nodiscard]] streaming_result run_stream();
 
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
@@ -287,7 +331,21 @@ class shard_coordinator {
   [[nodiscard]] shard_engine& shard(std::size_t i) { return *shards_[i]; }
 
  private:
+  shard_coordinator(const fleet_config& config, bool spawn);
+
   void spawn_vehicles();
+  /// Draw one vehicle's spawn state (route, position, speed, α, data) —
+  /// the platoon leader/follower machinery. With `platoon_size = 1` on the
+  /// chain the draw sequence is bitwise the legacy spawn loop.
+  void draw_spawn(vehicle_slot& slot);
+  /// Admit every Poisson arrival with time <= `upto` (and <= the horizon):
+  /// pop or grow a slot, draw its spawn, and inject it into its owning
+  /// shard. Barrier only — touches slots and shard queues across lanes.
+  void inject_arrivals(double upto) VTM_REQUIRES(barrier_);
+  /// Emit one flush window: diff shard counters, reduce the window's
+  /// completion ledgers in finish-time order, and retire exited twins
+  /// (all twins when `final`), recycling their slots.
+  [[nodiscard]] fleet_result flush_window(bool final) VTM_REQUIRES(barrier_);
   /// Deliver every buffered message in (destination, sender, send order)
   /// sequence; returns the number delivered. Barrier only — the analysis
   /// requires the coordinator's barrier capability, acquired exclusively by
@@ -305,8 +363,41 @@ class shard_coordinator {
   /// every cell's per-MSP pool inside the cell's own shard — validated at
   /// construction.
   std::vector<sim::rsu_chain> msp_chains_;
+  /// Graph-mode route profiles, one per graph route (vehicle slots point
+  /// into this); empty on the chain path.
+  std::vector<sim::route_profile> routes_;
+  bool route_mode_ = false;
   util::rng gen_;
   double window_s_ = 0.0;
+  // Spawn-window spans: the chain span, or one [lo, hi] per route.
+  double span_lo_ = 0.0;
+  double span_hi_ = 0.0;
+  std::vector<double> route_span_lo_;
+  std::vector<double> route_span_hi_;
+  // Platoon state threaded through consecutive spawn draws.
+  std::size_t platoon_left_ = 0;   ///< Followers still owed to the leader.
+  std::size_t lead_route_ = 0;
+  double lead_pos_ = 0.0;
+  double lead_speed_ = 0.0;
+  // Streaming state (streaming ctor only).
+  streaming_config stream_;
+  bool streaming_ = false;
+  std::vector<std::size_t> free_slots_;  ///< Retired slots, recycled LIFO.
+  double next_arrival_s_ = 0.0;
+  bool arrival_pending_ = false;  ///< `next_arrival_s_` drawn, not admitted.
+  std::size_t arrivals_ = 0;
+  std::size_t retired_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+  std::vector<shard_engine::counters> flushed_;  ///< Last-flush snapshots.
+  std::vector<fleet_result> flushes_;
+  // Run-total FP accumulators (finish-time reduction order across flushes).
+  double sum_aotm_ = 0.0;
+  double sum_amplification_ = 0.0;
+  double sum_price_bandwidth_ = 0.0;
+  double sum_bandwidth_ = 0.0;
+  double total_msp_utility_ = 0.0;
+  double total_vmu_utility_ = 0.0;
   std::vector<std::uint32_t> rsu_shard_;  ///< Global RSU index -> shard.
   std::vector<vehicle_slot> vehicles_;
   std::vector<std::uint32_t> owner_;      ///< Vehicle -> owning shard.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/fleet_scenario.hpp"
+#include "core/fleet_shard.hpp"
 #include "util/contracts.hpp"
 
 namespace vtm::core {
@@ -43,6 +44,7 @@ scenario_result run_highway_scenario(const scenario_config& config) {
   fleet.record_migrations = true;
   fleet.seed = config.seed;
 
+  validate_fleet_config(fleet);  // the adapter is a public run_* entry too
   fleet_result run = run_fleet_scenario(fleet);
 
   scenario_result result;

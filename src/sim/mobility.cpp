@@ -109,6 +109,109 @@ rsu_chain rsu_chain::shifted(double offset_m) const {
   return rsu_chain(std::move(centers), radius_);
 }
 
+route_profile::route_profile(rsu_chain chain,
+                             std::vector<std::size_t> global_rsus,
+                             std::vector<double> seg_end_m,
+                             std::vector<double> seg_factor)
+    : chain_(std::move(chain)),
+      global_(std::move(global_rsus)),
+      seg_end_(std::move(seg_end_m)),
+      seg_factor_(std::move(seg_factor)) {
+  VTM_EXPECTS(global_.size() == chain_.count());
+  VTM_EXPECTS(seg_end_.size() == seg_factor_.size());
+  for (std::size_t k = 0; k < seg_end_.size(); ++k) {
+    VTM_EXPECTS(std::isfinite(seg_end_[k]));
+    VTM_EXPECTS(k == 0 || seg_end_[k] > seg_end_[k - 1]);
+    VTM_EXPECTS(std::isfinite(seg_factor_[k]) && seg_factor_[k] > 0.0);
+    if (seg_factor_[k] != 1.0) unit_factor_ = false;
+  }
+}
+
+std::size_t route_profile::global_rsu(std::size_t i) const {
+  VTM_EXPECTS(i < global_.size());
+  return global_[i];
+}
+
+std::size_t route_profile::serving_rsu(double position_m) const noexcept {
+  return global_[chain_.serving_rsu(position_m)];
+}
+
+std::size_t route_profile::segment_at(double position_m) const noexcept {
+  const auto it =
+      std::upper_bound(seg_end_.begin(), seg_end_.end(), position_m);
+  if (it == seg_end_.end()) return seg_end_.size() - 1;
+  return static_cast<std::size_t>(it - seg_end_.begin());
+}
+
+double route_profile::factor_at(double position_m) const noexcept {
+  if (seg_end_.empty()) return 1.0;
+  return seg_factor_[segment_at(position_m)];
+}
+
+vehicle_state route_profile::advance(vehicle_state v, double dt) const {
+  VTM_EXPECTS(dt >= 0.0);
+  if (unit_factor_) {
+    // Exact `sim::advance` arithmetic — bitwise on degenerate path graphs.
+    v.position_m += v.speed_mps * dt;
+    return v;
+  }
+  VTM_EXPECTS(v.speed_mps >= 0.0);
+  if (v.speed_mps == 0.0 || dt == 0.0) return v;
+  double remaining = dt;
+  while (remaining > 0.0) {
+    const std::size_t k = segment_at(v.position_m);
+    const double eff = v.speed_mps * seg_factor_[k];
+    if (v.position_m >= seg_end_.back()) {
+      // Cruising past the route end at the last segment's factor.
+      v.position_m += eff * remaining;
+      return v;
+    }
+    const double step_s = (seg_end_[k] - v.position_m) / eff;
+    if (step_s >= remaining) {
+      v.position_m += eff * remaining;
+      return v;
+    }
+    v.position_m = seg_end_[k];
+    remaining -= step_s;
+  }
+  return v;
+}
+
+double route_profile::travel_time_s(double from, double to,
+                                    double speed) const {
+  double t = 0.0;
+  double pos = from;
+  while (pos < to) {
+    const std::size_t k = segment_at(pos);
+    const double eff = speed * seg_factor_[k];
+    const double end =
+        pos >= seg_end_.back() ? to : std::min(seg_end_[k], to);
+    t += (end - pos) / eff;
+    pos = end;
+  }
+  return t;
+}
+
+std::optional<rsu_chain::handover_event> route_profile::next_handover(
+    const vehicle_state& vehicle) const {
+  if (unit_factor_) {
+    const auto event = chain_.next_handover(vehicle);
+    if (!event) return std::nullopt;
+    return rsu_chain::handover_event{event->after_s, global_[event->from_rsu],
+                                     global_[event->to_rsu]};
+  }
+  if (vehicle.speed_mps <= 0.0) return std::nullopt;
+  const std::size_t current = chain_.serving_rsu(vehicle.position_m);
+  if (current + 1 >= chain_.count()) return std::nullopt;
+  const double boundary = chain_.handover_position_m(current);
+  const double after_s =
+      boundary <= vehicle.position_m
+          ? 0.0
+          : travel_time_s(vehicle.position_m, boundary, vehicle.speed_mps);
+  return rsu_chain::handover_event{after_s, global_[current],
+                                   global_[current + 1]};
+}
+
 chain_set::chain_set(std::span<const rsu_chain> chains) : chains_(chains) {
   for (const auto& chain : chains_)
     VTM_EXPECTS(chain.count() == chains_.front().count());

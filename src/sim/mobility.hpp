@@ -77,6 +77,62 @@ class rsu_chain {
   bool uniform_;  ///< Uniform ctor: keep the exact arithmetic nearest-centre.
 };
 
+/// Mobility along one road-network route (sim/road_graph.hpp), expressed in
+/// the route's 1-D arc-length coordinate. Wraps an `rsu_chain` over the
+/// route's RSU arc positions plus the per-edge speed segments, and maps the
+/// chain's local indices back to global RSU (site) indices.
+///
+/// Degeneracy contract: with unit speed factors everywhere the advance and
+/// handover arithmetic delegates to the exact `sim::advance` / `rsu_chain`
+/// expressions, so a degenerate path-graph profile is bitwise-identical to
+/// the raw chain (tests/road_graph_test.cpp pins this).
+class route_profile {
+ public:
+  /// `global_rsus[i]` is the graph-wide RSU index of the chain's RSU i (one
+  /// per chain RSU). `seg_end_m`/`seg_factor` give the per-edge speed
+  /// segments in arc coordinates (strictly increasing ends, positive
+  /// factors); empty means unit factor everywhere. Positions past the last
+  /// segment cruise at the last factor.
+  route_profile(rsu_chain chain, std::vector<std::size_t> global_rsus,
+                std::vector<double> seg_end_m, std::vector<double> seg_factor);
+
+  [[nodiscard]] const rsu_chain& chain() const noexcept { return chain_; }
+  [[nodiscard]] std::size_t count() const noexcept { return chain_.count(); }
+  /// Global RSU index of the chain's local RSU `i`.
+  [[nodiscard]] std::size_t global_rsu(std::size_t i) const;
+
+  /// Serving RSU for an arc position, as a *global* index.
+  [[nodiscard]] std::size_t serving_rsu(double position_m) const noexcept;
+
+  /// Advance `dt` seconds along the route, applying each segment's speed
+  /// factor piecewise. Requires dt >= 0; heterogeneous-factor profiles
+  /// support forward motion only (speed >= 0).
+  [[nodiscard]] vehicle_state advance(vehicle_state v, double dt) const;
+
+  /// Next boundary crossing with *global* RSU indices; `after_s` integrates
+  /// the segment factors between the position and the boundary. Nullopt when
+  /// cruising past the last cell (heterogeneous-factor profiles: also for
+  /// non-forward motion).
+  [[nodiscard]] std::optional<rsu_chain::handover_event> next_handover(
+      const vehicle_state& vehicle) const;
+
+  /// Speed factor in effect at an arc position.
+  [[nodiscard]] double factor_at(double position_m) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t segment_at(double position_m) const noexcept;
+  /// Seconds to travel from `from` to `to` (arc, from <= to) at base
+  /// `speed` through the segment factors.
+  [[nodiscard]] double travel_time_s(double from, double to,
+                                     double speed) const;
+
+  rsu_chain chain_;
+  std::vector<std::size_t> global_;
+  std::vector<double> seg_end_;
+  std::vector<double> seg_factor_;
+  bool unit_factor_ = true;  ///< All factors 1: keep exact chain arithmetic.
+};
+
 /// Several operators' chains over the same highway (overlapping coverage) —
 /// a non-owning view (the chains must outlive it). `serving_rsu` generalizes
 /// to a per-chain *candidate set*: for one highway position, each operator

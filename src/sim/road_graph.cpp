@@ -1,0 +1,339 @@
+#include "sim/road_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace vtm::sim {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+road_graph::road_graph(std::vector<road_node> nodes,
+                       std::vector<road_edge> edges,
+                       std::vector<rsu_site> sites,
+                       std::vector<std::size_t> entries,
+                       std::vector<std::size_t> exits,
+                       double coverage_radius_m)
+    : nodes_(std::move(nodes)),
+      edges_(std::move(edges)),
+      sites_(std::move(sites)),
+      entries_(std::move(entries)),
+      exits_(std::move(exits)),
+      radius_(coverage_radius_m) {
+  VTM_EXPECTS(!nodes_.empty());
+  VTM_EXPECTS(!edges_.empty());
+  VTM_EXPECTS(!sites_.empty());
+  VTM_EXPECTS(!entries_.empty());
+  VTM_EXPECTS(!exits_.empty());
+  VTM_EXPECTS(std::isfinite(radius_) && radius_ > 0.0);
+
+  in_edges_.resize(nodes_.size());
+  out_edges_.resize(nodes_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const auto& edge = edges_[e];
+    VTM_EXPECTS(edge.from < nodes_.size());
+    VTM_EXPECTS(edge.to < nodes_.size());
+    VTM_EXPECTS(edge.from != edge.to);
+    VTM_EXPECTS(std::isfinite(edge.length_m) && edge.length_m > 0.0);
+    VTM_EXPECTS(std::isfinite(edge.speed_factor) && edge.speed_factor > 0.0);
+    VTM_EXPECTS(edge.lanes >= 1);
+    in_edges_[edge.to].push_back(e);
+    out_edges_[edge.from].push_back(e);
+    max_speed_factor_ = std::max(max_speed_factor_, edge.speed_factor);
+    max_lanes_ = std::max(max_lanes_, edge.lanes);
+  }
+
+  // Sites sorted strictly by (edge, offset): the sorted order *is* the
+  // global RSU index space (contiguous site ranges are contiguous edge
+  // ranges — the shard tiling relies on this).
+  edge_first_site_.assign(edges_.size(), npos);
+  edge_site_count_.assign(edges_.size(), 0);
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    const auto& site = sites_[s];
+    VTM_EXPECTS(site.edge < edges_.size());
+    VTM_EXPECTS(site.offset_m > 0.0 &&
+                site.offset_m <= edges_[site.edge].length_m);
+    if (s > 0) {
+      const auto& prev = sites_[s - 1];
+      VTM_EXPECTS(prev.edge < site.edge ||
+                  (prev.edge == site.edge && prev.offset_m < site.offset_m));
+    }
+    if (edge_first_site_[site.edge] == npos) edge_first_site_[site.edge] = s;
+    ++edge_site_count_[site.edge];
+  }
+  for (const std::size_t node : entries_) VTM_EXPECTS(node < nodes_.size());
+  for (const std::size_t node : exits_) VTM_EXPECTS(node < nodes_.size());
+
+  // Deterministic Floyd–Warshall: strict improvement only and fully ordered
+  // iteration, so ties resolve to the lowest (edge, intermediate) indices on
+  // every platform.
+  const std::size_t n = nodes_.size();
+  dist_.assign(n * n, inf);
+  via_edge_.assign(n * n, npos);
+  mid_node_.assign(n * n, npos);
+  for (std::size_t i = 0; i < n; ++i) dist_at(i, i) = 0.0;
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const auto& edge = edges_[e];
+    if (edge.length_m < dist_at(edge.from, edge.to)) {
+      dist_at(edge.from, edge.to) = edge.length_m;
+      via_edge_[edge.from * n + edge.to] = e;
+      mid_node_[edge.from * n + edge.to] = npos;
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ik = dist_at(i, k);
+      if (!std::isfinite(ik)) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double through = ik + dist_at(k, j);
+        if (through < dist_at(i, j)) {
+          dist_at(i, j) = through;
+          mid_node_[i * n + j] = k;
+        }
+      }
+    }
+
+  build_routes();
+  VTM_EXPECTS(!routes_.empty());
+}
+
+void road_graph::append_path_edges(std::size_t a, std::size_t b,
+                                   std::vector<std::size_t>& out) const {
+  const std::size_t mid = mid_node_[a * nodes_.size() + b];
+  if (mid == npos) {
+    const std::size_t e = via_edge_[a * nodes_.size() + b];
+    VTM_ASSERT(e != npos);
+    out.push_back(e);
+    return;
+  }
+  append_path_edges(a, mid, out);
+  append_path_edges(mid, b, out);
+}
+
+void road_graph::build_routes() {
+  min_route_length_ = inf;
+  max_route_length_ = 0.0;
+  min_boundary_gap_ = inf;
+  for (const std::size_t entry : entries_) {
+    for (const std::size_t exit : exits_) {
+      if (entry == exit || !std::isfinite(dist_at(entry, exit))) continue;
+      road_route route;
+      route.entry = entry;
+      route.exit = exit;
+      append_path_edges(entry, exit, route.edges);
+      double arc = 0.0;
+      for (const std::size_t e : route.edges) {
+        for (std::size_t s = edge_first_site_[e];
+             s != npos && s < edge_first_site_[e] + edge_site_count_[e]; ++s) {
+          route.sites.push_back(s);
+          route.site_pos_m.push_back(arc + sites_[s].offset_m);
+        }
+        arc += edges_[e].length_m;
+        route.seg_end_m.push_back(arc);
+        route.seg_factor.push_back(edges_[e].speed_factor);
+      }
+      route.length_m = arc;
+      if (route.sites.empty()) continue;  // no RSU could host a twin here
+      min_route_length_ = std::min(min_route_length_, route.length_m);
+      max_route_length_ = std::max(max_route_length_, route.length_m);
+      for (std::size_t i = 0; i + 2 < route.site_pos_m.size(); ++i) {
+        const double lo =
+            0.5 * (route.site_pos_m[i] + route.site_pos_m[i + 1]);
+        const double hi =
+            0.5 * (route.site_pos_m[i + 1] + route.site_pos_m[i + 2]);
+        min_boundary_gap_ = std::min(min_boundary_gap_, hi - lo);
+      }
+      routes_.push_back(std::move(route));
+    }
+  }
+}
+
+const road_edge& road_graph::edge(std::size_t e) const {
+  VTM_EXPECTS(e < edges_.size());
+  return edges_[e];
+}
+
+const rsu_site& road_graph::site(std::size_t s) const {
+  VTM_EXPECTS(s < sites_.size());
+  return sites_[s];
+}
+
+const road_route& road_graph::route(std::size_t r) const {
+  VTM_EXPECTS(r < routes_.size());
+  return routes_[r];
+}
+
+double road_graph::node_distance_m(std::size_t a, std::size_t b) const {
+  VTM_EXPECTS(a < nodes_.size());
+  VTM_EXPECTS(b < nodes_.size());
+  return dist_at(a, b);
+}
+
+double road_graph::site_distance_m(std::size_t a, std::size_t b) const {
+  VTM_EXPECTS(a < sites_.size());
+  VTM_EXPECTS(b < sites_.size());
+  const auto& sa = sites_[a];
+  const auto& sb = sites_[b];
+  if (sa.edge == sb.edge && sb.offset_m >= sa.offset_m)
+    return sb.offset_m - sa.offset_m;
+  const double between = dist_at(edges_[sa.edge].to, edges_[sb.edge].from);
+  if (!std::isfinite(between)) return inf;
+  return (edges_[sa.edge].length_m - sa.offset_m) + between + sb.offset_m;
+}
+
+double road_graph::upstream_gap_m(std::size_t s) const {
+  VTM_EXPECTS(s < sites_.size());
+  const auto& site = sites_[s];
+  // Previous site on the same edge: plain offset gap.
+  if (s > 0 && sites_[s - 1].edge == site.edge)
+    return site.offset_m - sites_[s - 1].offset_m;
+  // Nearest last-site over the incoming edges (edge-index order, strict
+  // improvement — deterministic).
+  double best = inf;
+  for (const std::size_t e : in_edges_[edges_[site.edge].from]) {
+    if (edge_site_count_[e] == 0) continue;
+    const std::size_t last = edge_first_site_[e] + edge_site_count_[e] - 1;
+    const double gap =
+        (edges_[e].length_m - sites_[last].offset_m) + site.offset_m;
+    if (gap < best) best = gap;
+  }
+  if (std::isfinite(best)) return best;
+  // Entry-edge site with nothing upstream: price the downstream gap, like
+  // the chain engine's RSU 0.
+  if (s + 1 < sites_.size() && sites_[s + 1].edge == site.edge)
+    return sites_[s + 1].offset_m - site.offset_m;
+  for (const std::size_t e : out_edges_[edges_[site.edge].to]) {
+    if (edge_site_count_[e] == 0) continue;
+    const double gap = (edges_[site.edge].length_m - site.offset_m) +
+                       sites_[edge_first_site_[e]].offset_m;
+    if (gap < best) best = gap;
+  }
+  return std::isfinite(best) ? best : 2.0 * radius_;
+}
+
+std::size_t road_graph::lanes_at(std::size_t r, double pos_m) const {
+  VTM_EXPECTS(r < routes_.size());
+  const auto& route = routes_[r];
+  const auto it = std::upper_bound(route.seg_end_m.begin(),
+                                   route.seg_end_m.end(), pos_m);
+  const std::size_t k =
+      it == route.seg_end_m.end()
+          ? route.edges.size() - 1
+          : static_cast<std::size_t>(it - route.seg_end_m.begin());
+  return edges_[route.edges[k]].lanes;
+}
+
+std::optional<chain_view> road_graph::as_chain() const {
+  if (routes_.size() != 1) return std::nullopt;
+  const auto& route = routes_[0];
+  if (route.sites.size() != sites_.size()) return std::nullopt;
+  for (const double factor : route.seg_factor)
+    if (factor != 1.0) return std::nullopt;
+  for (const std::size_t e : route.edges)
+    if (edges_[e].lanes != 1) return std::nullopt;
+  double max_gap = 0.0;
+  for (std::size_t i = 1; i < route.site_pos_m.size(); ++i)
+    max_gap = std::max(max_gap,
+                       route.site_pos_m[i] - route.site_pos_m[i - 1]);
+  // The chain engine requires contiguous coverage; a sparser graph stays in
+  // route mode, where the profile inflates the per-route radius instead.
+  if (radius_ < max_gap / 2.0) return std::nullopt;
+
+  chain_view view;
+  view.coverage_radius_m = radius_;
+  view.count = route.sites.size();
+  const double spacing = route.site_pos_m.front();
+  bool uniform = spacing > 0.0 && radius_ >= spacing / 2.0;
+  for (std::size_t i = 0; uniform && i < route.site_pos_m.size(); ++i)
+    uniform = route.site_pos_m[i] == spacing * static_cast<double>(i + 1);
+  if (uniform) {
+    view.uniform = true;
+    view.spacing_m = spacing;
+  } else {
+    view.centers_m = route.site_pos_m;
+  }
+  return view;
+}
+
+route_profile road_graph::make_route_profile(std::size_t r) const {
+  VTM_EXPECTS(r < routes_.size());
+  const auto& route = routes_[r];
+  double max_gap = 0.0;
+  for (std::size_t i = 1; i < route.site_pos_m.size(); ++i)
+    max_gap = std::max(max_gap,
+                       route.site_pos_m[i] - route.site_pos_m[i - 1]);
+  // Inflate the per-route radius to whatever keeps the chain contiguous:
+  // the graph's physical radius governs real coverage, but the route chain
+  // only drives serving/handover geometry.
+  const double radius = std::max(radius_, 0.5 * max_gap);
+  rsu_chain chain(route.site_pos_m, radius);
+  return route_profile(std::move(chain), route.sites, route.seg_end_m,
+                       route.seg_factor);
+}
+
+road_graph road_graph::path(std::size_t rsu_count, double spacing_m,
+                            double coverage_radius_m) {
+  VTM_EXPECTS(rsu_count >= 1);
+  VTM_EXPECTS(std::isfinite(spacing_m) && spacing_m > 0.0);
+  std::vector<road_node> nodes(rsu_count + 1);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    nodes[i].x_m = spacing_m * static_cast<double>(i);
+  std::vector<road_edge> edges(rsu_count);
+  std::vector<rsu_site> sites(rsu_count);
+  for (std::size_t i = 0; i < rsu_count; ++i) {
+    edges[i] = road_edge{i, i + 1, spacing_m, 1.0, 1};
+    sites[i] = rsu_site{i, spacing_m};  // centre at spacing x (i + 1)
+  }
+  return road_graph(std::move(nodes), std::move(edges), std::move(sites),
+                    {0}, {rsu_count}, coverage_radius_m);
+}
+
+road_graph road_graph::grid(std::size_t rows, std::size_t cols,
+                            double edge_length_m, double coverage_radius_m) {
+  VTM_EXPECTS(rows >= 2 && cols >= 2);
+  VTM_EXPECTS(std::isfinite(edge_length_m) && edge_length_m > 0.0);
+  const auto node = [cols](std::size_t r, std::size_t c) {
+    return r * cols + c;
+  };
+  std::vector<road_node> nodes(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      nodes[node(r, c)] = road_node{edge_length_m * static_cast<double>(c),
+                                    edge_length_m * static_cast<double>(r)};
+  std::vector<road_edge> edges;
+  std::vector<rsu_site> sites;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {  // rightward arterial: 2 lanes, free flow
+        sites.push_back(rsu_site{edges.size(), 0.5 * edge_length_m});
+        edges.push_back(
+            road_edge{node(r, c), node(r, c + 1), edge_length_m, 1.0, 2});
+      }
+      if (r + 1 < rows) {  // downward street: single lane, slower
+        sites.push_back(rsu_site{edges.size(), 0.5 * edge_length_m});
+        edges.push_back(
+            road_edge{node(r, c), node(r + 1, c), edge_length_m, 0.85, 1});
+      }
+    }
+  // Entries on the top/left boundary, exits on the bottom/right; the shared
+  // corners drop out as entry == exit pairs.
+  std::vector<std::size_t> entries;
+  std::vector<std::size_t> exits;
+  for (std::size_t c = 0; c < cols; ++c) entries.push_back(node(0, c));
+  for (std::size_t r = 1; r < rows; ++r) entries.push_back(node(r, 0));
+  for (std::size_t c = 0; c < cols; ++c) exits.push_back(node(rows - 1, c));
+  for (std::size_t r = 0; r + 1 < rows; ++r)
+    exits.push_back(node(r, cols - 1));
+  return road_graph(std::move(nodes), std::move(edges), std::move(sites),
+                    std::move(entries), std::move(exits), coverage_radius_m);
+}
+
+}  // namespace vtm::sim

@@ -1,0 +1,214 @@
+// Streaming (open-system) fleet runs: exactly-once twin accounting across
+// window flushes, bounded live population and slot arena under growing
+// horizons, mid-stream reseed determinism, and the sharded / road-graph
+// streaming paths.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/fleet_scenario.hpp"
+#include "sim/road_graph.hpp"
+#include "util/contracts.hpp"
+
+namespace core = vtm::core;
+namespace sim = vtm::sim;
+
+namespace {
+
+/// Short dense chain so vehicles traverse (and exit) well inside the
+/// horizon, exercising slot recycling.
+core::streaming_config stream_config(double horizon_s) {
+  core::streaming_config config;
+  config.base.rsu_count = 8;
+  config.base.rsu_spacing_m = 200.0;
+  config.base.coverage_radius_m = 120.0;
+  config.base.seed = 17;
+  config.arrival_rate_per_s = 5.0;
+  config.horizon_s = horizon_s;
+  config.flush_period_s = 10.0;
+  return config;
+}
+
+/// Exactly-once accounting: every counter in `totals` is the sum of the
+/// per-window flush deltas, the handover ledger balances, and each arrival
+/// retires exactly once into exactly one flush.
+void expect_stream_conserved(const core::streaming_result& r) {
+  core::fleet_result sum;
+  std::size_t flushed_migrations = 0;
+  std::size_t flushed_vehicles = 0;
+  for (const auto& flush : r.flushes) {
+    sum.handovers += flush.handovers;
+    sum.deferred += flush.deferred;
+    sum.priced_out += flush.priced_out;
+    sum.abandoned += flush.abandoned;
+    sum.completed += flush.completed;
+    sum.clearings += flush.clearings;
+    flushed_migrations += flush.migrations.size();
+    flushed_vehicles += flush.vehicles.size();
+  }
+  EXPECT_EQ(sum.handovers, r.totals.handovers);
+  EXPECT_EQ(sum.deferred, r.totals.deferred);
+  EXPECT_EQ(sum.priced_out, r.totals.priced_out);
+  EXPECT_EQ(sum.abandoned, r.totals.abandoned);
+  EXPECT_EQ(sum.completed, r.totals.completed);
+  EXPECT_EQ(sum.clearings, r.totals.clearings);
+  // The paper's conservation law, over the whole stream.
+  EXPECT_EQ(r.totals.handovers,
+            r.totals.completed + r.totals.priced_out + r.totals.abandoned);
+  EXPECT_EQ(flushed_migrations, r.totals.migrations.size());
+  EXPECT_EQ(r.totals.migrations.size(), r.totals.completed);
+  // Every admitted vehicle retires exactly once.
+  EXPECT_EQ(r.retired, r.arrivals);
+  EXPECT_EQ(flushed_vehicles, r.arrivals);
+  ASSERT_EQ(r.totals.vehicles.size(), r.arrivals);
+  std::vector<std::size_t> seen(r.arrivals, 0);
+  std::size_t twin_migrations = 0;
+  for (const auto& flush : r.flushes) {
+    for (const auto& v : flush.vehicles) {
+      ASSERT_LT(v.id, r.arrivals);
+      ++seen[v.id];
+      twin_migrations += v.migrations;
+    }
+  }
+  for (std::size_t id = 0; id < r.arrivals; ++id) EXPECT_EQ(seen[id], 1u);
+  EXPECT_EQ(twin_migrations, r.totals.completed);
+  // Records carry stable vehicle ids, not recycled slot indices.
+  for (const auto& record : r.totals.migrations)
+    EXPECT_LT(record.vehicle, r.arrivals);
+  EXPECT_LE(r.slot_high_water, r.peak_live + 1);
+  EXPECT_GE(r.peak_live, 1u);
+}
+
+void expect_stream_identical(const core::streaming_result& a,
+                             const core::streaming_result& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.retired, b.retired);
+  EXPECT_EQ(a.peak_live, b.peak_live);
+  EXPECT_EQ(a.slot_high_water, b.slot_high_water);
+  ASSERT_EQ(a.flushes.size(), b.flushes.size());
+  for (std::size_t k = 0; k < a.flushes.size(); ++k) {
+    EXPECT_EQ(a.flushes[k].handovers, b.flushes[k].handovers);
+    EXPECT_EQ(a.flushes[k].completed, b.flushes[k].completed);
+    EXPECT_EQ(a.flushes[k].priced_out, b.flushes[k].priced_out);
+    EXPECT_EQ(a.flushes[k].msp_total_utility, b.flushes[k].msp_total_utility);
+    EXPECT_EQ(a.flushes[k].vmu_total_utility, b.flushes[k].vmu_total_utility);
+  }
+  EXPECT_EQ(a.totals.handovers, b.totals.handovers);
+  EXPECT_EQ(a.totals.completed, b.totals.completed);
+  EXPECT_EQ(a.totals.msp_total_utility, b.totals.msp_total_utility);
+  EXPECT_EQ(a.totals.vmu_total_utility, b.totals.vmu_total_utility);
+  ASSERT_EQ(a.totals.migrations.size(), b.totals.migrations.size());
+  for (std::size_t i = 0; i < a.totals.migrations.size(); ++i) {
+    EXPECT_EQ(a.totals.migrations[i].vehicle, b.totals.migrations[i].vehicle);
+    EXPECT_EQ(a.totals.migrations[i].finish_s,
+              b.totals.migrations[i].finish_s);
+    EXPECT_EQ(a.totals.migrations[i].price, b.totals.migrations[i].price);
+  }
+}
+
+}  // namespace
+
+TEST(streaming_fleet, flush_accounting_is_exactly_once) {
+  const auto r = core::run_streaming_fleet(stream_config(60.0));
+  EXPECT_GT(r.arrivals, 100u);  // λ = 5/s over 60 s
+  EXPECT_GT(r.totals.handovers, 0u);
+  EXPECT_GT(r.totals.completed, 0u);
+  EXPECT_GE(r.flushes.size(), 6u);  // one per 10 s window + the final drain
+  expect_stream_conserved(r);
+}
+
+TEST(streaming_fleet, deterministic_and_seed_sensitive) {
+  const auto a = core::run_streaming_fleet(stream_config(40.0));
+  const auto b = core::run_streaming_fleet(stream_config(40.0));
+  expect_stream_identical(a, b);
+
+  auto other = stream_config(40.0);
+  other.base.seed = 18;
+  const auto c = core::run_streaming_fleet(other);
+  EXPECT_NE(a.totals.msp_total_utility, c.totals.msp_total_utility);
+}
+
+// Memory is bounded by the live population, not the arrival count: a 10x
+// longer horizon admits ~10x the arrivals but reuses the same slot arena
+// once the stream reaches steady state.
+TEST(streaming_fleet, live_population_bounded_under_growing_horizon) {
+  const auto short_run = core::run_streaming_fleet(stream_config(40.0));
+  const auto long_run = core::run_streaming_fleet(stream_config(400.0));
+  expect_stream_conserved(long_run);
+  EXPECT_GT(long_run.arrivals, 5 * short_run.arrivals);
+  // ISSUE bound: 10x the horizon must not grow the live population 10x.
+  EXPECT_LT(long_run.peak_live, 4 * short_run.peak_live);
+  EXPECT_LT(long_run.slot_high_water, long_run.arrivals / 4);
+  // Slots really recycle: more twins retired than slots ever allocated.
+  EXPECT_GT(long_run.retired, 2 * long_run.slot_high_water);
+}
+
+// Reseeding after flush k replaces the arrival/draw stream: flushes
+// 0..k are bitwise-unaffected, later windows diverge, and the reseed
+// itself is reproducible.
+TEST(streaming_fleet, mid_stream_reseed_is_deterministic_and_prefix_stable) {
+  auto reseeded = stream_config(60.0);
+  reseeded.reseed_flush = 2;
+  reseeded.reseed_seed = 777;
+  const auto a = core::run_streaming_fleet(reseeded);
+  const auto b = core::run_streaming_fleet(reseeded);
+  expect_stream_identical(a, b);
+  expect_stream_conserved(a);
+
+  const auto plain = core::run_streaming_fleet(stream_config(60.0));
+  ASSERT_GT(a.flushes.size(), 3u);
+  ASSERT_GT(plain.flushes.size(), 3u);
+  for (std::size_t k = 0; k <= 2; ++k) {
+    EXPECT_EQ(a.flushes[k].handovers, plain.flushes[k].handovers);
+    EXPECT_EQ(a.flushes[k].completed, plain.flushes[k].completed);
+    EXPECT_EQ(a.flushes[k].msp_total_utility,
+              plain.flushes[k].msp_total_utility);
+  }
+  EXPECT_NE(a.totals.msp_total_utility, plain.totals.msp_total_utility);
+}
+
+TEST(streaming_fleet, sharded_stream_conserves_and_crosses_shards) {
+  auto config = stream_config(60.0);
+  config.base.shard_count = 4;
+  const auto r = core::run_streaming_fleet(config);
+  expect_stream_conserved(r);
+  EXPECT_GT(r.totals.cross_shard_transfers, 0u);
+}
+
+TEST(streaming_fleet, road_graph_stream_conserves) {
+  core::streaming_config config;
+  config.base.graph = std::make_shared<const sim::road_graph>(
+      sim::road_graph::grid(3, 3, 600.0, 400.0));
+  config.base.seed = 23;
+  config.arrival_rate_per_s = 4.0;
+  config.horizon_s = 90.0;
+  config.flush_period_s = 15.0;
+  const auto r = core::run_streaming_fleet(config);
+  EXPECT_GT(r.arrivals, 100u);
+  EXPECT_GT(r.totals.completed, 0u);
+  expect_stream_conserved(r);
+}
+
+TEST(streaming_fleet, rejects_invalid_streaming_configs) {
+  auto bad_rate = stream_config(60.0);
+  bad_rate.arrival_rate_per_s = 0.0;
+  EXPECT_THROW((void)core::run_streaming_fleet(bad_rate),
+               vtm::util::contract_error);
+
+  auto bad_flush = stream_config(60.0);
+  bad_flush.flush_period_s = -1.0;
+  EXPECT_THROW((void)core::run_streaming_fleet(bad_flush),
+               vtm::util::contract_error);
+
+  auto bad_horizon = stream_config(60.0);
+  bad_horizon.horizon_s = 0.0;
+  EXPECT_THROW((void)core::run_streaming_fleet(bad_horizon),
+               vtm::util::contract_error);
+
+  auto oligopoly = stream_config(60.0);
+  oligopoly.base.mode = core::market_mode::oligopoly;
+  EXPECT_THROW((void)core::run_streaming_fleet(oligopoly),
+               vtm::util::contract_error);
+}

@@ -1,8 +1,10 @@
 // Lint fixture: MUST trip exactly `config-validate`.
 //
-// A vtm::core entry point consuming a *_config without any VTM_EXPECTS
-// contract or validate helper lets NaNs and negative capacities flow
-// straight into a run.
+// The file-level check is satisfied (run_toy_scenario carries a contract),
+// but the streaming entry point below consumes its *_config& without any
+// VTM_EXPECTS or validate call in its own body — the per-entry run_*
+// sub-rule must still flag it: a contract elsewhere in the file does not
+// protect an entry point a caller reaches directly.
 namespace vtm::core {
 
 struct toy_config {
@@ -10,8 +12,18 @@ struct toy_config {
   int vehicles = 0;
 };
 
+struct toy_stream_config {
+  toy_config base;
+  double arrival_rate_per_s = 0.0;
+};
+
 double run_toy_scenario(const toy_config& config) {
+  VTM_EXPECTS(config.capacity_mhz > 0.0);
   return config.capacity_mhz * static_cast<double>(config.vehicles);
+}
+
+double run_toy_stream(const toy_stream_config& config) {
+  return config.arrival_rate_per_s * run_toy_scenario(config.base);
 }
 
 }  // namespace vtm::core

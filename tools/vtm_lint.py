@@ -29,7 +29,11 @@ sanitizers) cannot express:
       taking a `*_config&` must validate: the file has to contain a
       `VTM_EXPECTS(` contract or call/define a `validate*` helper. Public
       entry points must reject bad configs with `util::contract_error`, not
-      propagate NaNs into a million-vehicle run.
+      propagate NaNs into a million-vehicle run. Additionally, every
+      `run_*`-named definition taking a `*_config&` (run_fleet_scenario,
+      run_streaming_fleet, run_highway_scenario, ...) must validate *inside
+      its own body* — a validate call elsewhere in the file does not protect
+      an entry point a caller reaches directly.
 
 A finding can be suppressed where it is intentional with a trailing or
 preceding-line comment:  // vtm-lint: allow(<rule-id>)
@@ -229,7 +233,26 @@ CORE_SIM_NS_RE = re.compile(r"^namespace vtm::(?:core|sim)\b", re.MULTILINE)
 CONFIG_PARAM_FN_RE = re.compile(
     r"\b[\w:~]+\s*\([^()]*\w+_config\s*&[^()]*\)[\s\w]*\{"
 )
+# A run_*-named definition consuming a *_config& — the repo's convention for
+# public scenario entry points (run_fleet_scenario, run_streaming_fleet, ...).
+RUN_ENTRY_RE = re.compile(
+    r"\b(run_\w+)\s*\([^()]*\w+_config\s*&[^()]*\)\s*(?:const\s*)?\{"
+)
 VALIDATES_RE = re.compile(r"VTM_EXPECTS\s*\(|validate\w*\s*\(")
+
+
+def brace_body(text: str, open_idx: int) -> str:
+    """Text from the `{` at `open_idx` through its matching close brace
+    (comments/strings already blanked, so brace counting is exact)."""
+    depth = 0
+    for j in range(open_idx, len(text)):
+        if text[j] == "{":
+            depth += 1
+        elif text[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_idx:j + 1]
+    return text[open_idx:]
 
 
 def check_config_validate(path: Path, raw: list[str],
@@ -239,17 +262,34 @@ def check_config_validate(path: Path, raw: list[str],
     text = "\n".join(clean)
     if not CORE_SIM_NS_RE.search(text):
         return []
+    findings = []
+    # Per-entry sub-rule: each run_*(*_config&) body must validate itself — a
+    # contract elsewhere in the file does not cover a directly-called entry.
+    for m in RUN_ENTRY_RE.finditer(text):
+        if VALIDATES_RE.search(brace_body(text, m.end() - 1)):
+            continue
+        line_no = text.count("\n", 0, m.start()) + 1
+        if suppressed(raw, line_no, "config-validate"):
+            continue
+        findings.append(Finding(
+            path, line_no, "config-validate",
+            f"`{m.group(1)}` takes a *_config& but its body neither checks "
+            "VTM_EXPECTS nor calls a validate helper — every run_* entry "
+            "point must reject invalid configs itself"))
+    # File-level rule: any other *_config& definition obliges the file to
+    # validate somewhere.
     m = CONFIG_PARAM_FN_RE.search(text)
     if not m or VALIDATES_RE.search(text):
-        return []
+        return findings
     line_no = text.count("\n", 0, m.start()) + 1
     if suppressed(raw, line_no, "config-validate"):
-        return []
-    return [Finding(
+        return findings
+    findings.append(Finding(
         path, line_no, "config-validate",
         "defines a *_config& entry point but neither checks VTM_EXPECTS nor "
         "calls a validate helper — public core/sim entry points must reject "
-        "invalid configs with util::contract_error")]
+        "invalid configs with util::contract_error"))
+    return findings
 
 
 # ---- driver ------------------------------------------------------------------
