@@ -63,7 +63,7 @@ double seconds_since(clock_type::time_point start) {
 vtm::core::fleet_config base_config(double duration_s) {
   vtm::core::fleet_config config;
   config.rsu_count = 8;
-  config.duration_s = duration_s;
+  config.duration_s = vtm::util::seconds{duration_s};
   config.record_migrations = false;  // aggregates only: pure engine cost
   return config;
 }
@@ -161,6 +161,16 @@ double warm_hit_rate(const vtm::core::fleet_result& r) {
                          : 0.0;
 }
 
+// BENCH_fleet.json schema version. Bump when a field is renamed, removed,
+// or changes meaning (adding a field is backward compatible and does not
+// bump). Consumers (the CI artifact diff, notebooks) key on this before
+// comparing runs. v2: added git_sha + schema_version provenance fields.
+constexpr int kBenchSchemaVersion = 2;
+
+#ifndef VTM_GIT_SHA
+#define VTM_GIT_SHA "unknown"  // built outside CMake (or a tarball)
+#endif
+
 void write_json(const std::string& path, bool smoke, double duration_s,
                 const std::vector<regime_report>& regimes,
                 const std::vector<shard_report>& shard_sweep,
@@ -175,6 +185,8 @@ void write_json(const std::string& path, bool smoke, double duration_s,
     return;
   }
   std::fprintf(out, "{\n  \"bench\": \"fleet_throughput\",\n");
+  std::fprintf(out, "  \"schema_version\": %d,\n", kBenchSchemaVersion);
+  std::fprintf(out, "  \"git_sha\": \"%s\",\n", VTM_GIT_SHA);
   std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
   std::fprintf(out, "  \"horizon_s\": %g,\n", duration_s);
   std::fprintf(out, "  \"regimes\": [\n");
@@ -549,7 +561,8 @@ int main(int argc, char** argv) {
       auto config = msp_config;
       config.mode = vtm::core::market_mode::oligopoly;
       for (std::size_t m = 0; m < msps; ++m)
-        config.msps.push_back({0.0, config.unit_cost, config.price_cap,
+        config.msps.push_back({vtm::util::meters{0.0}, config.unit_cost,
+                               config.price_cap,
                                config.bandwidth_per_pool_mhz});
       msp_report report;
       report.msps = msps;
@@ -620,16 +633,16 @@ int main(int argc, char** argv) {
     // *sustainable* load — λ = 6/s holds the 8-RSU market just below
     // saturation, so the live population plateaus near λ x residence while
     // λ x horizon = 120k expected arrivals flow through (gated at 100k).
-    stream_config.arrival_rate_per_s = smoke ? 40.0 : 6.0;
-    stream_config.horizon_s = smoke ? 40.0 : 20000.0;
-    stream_config.flush_period_s = smoke ? 5.0 : 50.0;
+    stream_config.arrival_rate_per_s = vtm::util::per_second{smoke ? 40.0 : 6.0};
+    stream_config.horizon_s = vtm::util::seconds{smoke ? 40.0 : 20000.0};
+    stream_config.flush_period_s = vtm::util::seconds{smoke ? 5.0 : 50.0};
 
     stream_run.ran = true;
     stream_run.topology = graph_name;
     stream_run.shards = stream_config.base.shard_count;
-    stream_run.arrival_rate_per_s = stream_config.arrival_rate_per_s;
-    stream_run.horizon_s = stream_config.horizon_s;
-    stream_run.flush_period_s = stream_config.flush_period_s;
+    stream_run.arrival_rate_per_s = stream_config.arrival_rate_per_s.value();
+    stream_run.horizon_s = stream_config.horizon_s.value();
+    stream_run.flush_period_s = stream_config.flush_period_s.value();
     const auto start = clock_type::now();
     stream_run.result = vtm::core::run_streaming_fleet(stream_config);
     stream_run.wall_s = seconds_since(start);
@@ -649,8 +662,8 @@ int main(int argc, char** argv) {
         "late %zu\n"
         "stream invariants (exactly-once flush accounting + bounded "
         "arena%s): %s\n\n",
-        graph_name.c_str(), stream_config.arrival_rate_per_s,
-        stream_config.horizon_s, stream_config.flush_period_s,
+        graph_name.c_str(), stream_config.arrival_rate_per_s.value(),
+        stream_config.horizon_s.value(), stream_config.flush_period_s.value(),
         stream_run.shards, r.arrivals, stream_run.wall_s,
         static_cast<double>(r.arrivals) / wall, r.totals.handovers,
         r.totals.completed, r.flushes.size(), r.peak_live, r.slot_high_water,

@@ -131,7 +131,7 @@ BENCHMARK(bm_ppo_update);
 void bm_precopy_migration(benchmark::State& state) {
   const auto twin = vtm::sim::vehicular_twin::with_total_mb(1, 200.0);
   vtm::sim::precopy_params params;
-  params.dirty_rate_mb_s = static_cast<double>(state.range(0));
+  params.dirty_rate_mb_s = vtm::util::mb_per_s{static_cast<double>(state.range(0))};
   for (auto _ : state)
     benchmark::DoNotOptimize(vtm::sim::run_precopy(twin, 500.0, params));
 }

@@ -21,8 +21,8 @@
 int main(int argc, char** argv) {
   vtm::core::scenario_config config;
   if (argc > 1) config.vehicle_count = std::strtoul(argv[1], nullptr, 10);
-  if (argc > 2) config.duration_s = std::strtod(argv[2], nullptr);
-  if (argc > 3) config.dirty_rate_mb_s = std::strtod(argv[3], nullptr);
+  if (argc > 2) config.duration_s = vtm::util::seconds{std::strtod(argv[2], nullptr)};
+  if (argc > 3) config.dirty_rate_mb_s = vtm::util::mb_per_s{std::strtod(argv[3], nullptr)};
   if (argc > 4 && std::strcmp(argv[4], "single") == 0)
     config.mode = vtm::core::market_mode::single;
 

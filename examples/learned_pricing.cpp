@@ -100,11 +100,11 @@ int main(int argc, char** argv) {
   // an individual profile — yet tracks the oracle's per-run MSP utility.
   vtm::core::fleet_config fleet;
   fleet.vehicle_count = 100;
-  fleet.duration_s = 60.0;
+  fleet.duration_s = vtm::util::seconds{60.0};
   fleet.record_migrations = false;
   vtm::core::fleet_config congested = fleet;
   congested.vehicle_count = 5000;
-  congested.duration_s = 30.0;
+  congested.duration_s = vtm::util::seconds{30.0};
 
   vtm::core::fleet_pricer_config pricer_config;
   pricer_config.harvest = {fleet, congested};

@@ -65,7 +65,7 @@ int main() {
   vtm::util::ascii_table cap_table({"B_max", "p*", "U_s", "regime"});
   for (double cap : {20.0, 35.0, 50.0, 65.0, 80.0, 95.0}) {
     auto params = base_market(6);
-    params.bandwidth_cap_mhz = cap;
+    params.bandwidth_cap_mhz = vtm::util::megahertz{cap};
     const auto eq =
         vtm::core::solve_equilibrium(vtm::core::migration_market(params));
     cap_table.add_row({vtm::util::format_number(cap),

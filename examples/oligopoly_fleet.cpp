@@ -32,10 +32,7 @@ int main(int argc, char** argv) {
   for (const double lambda : {0.1, 0.25, 1.0, 4.0}) {
     auto duo = base;
     duo.mode = vtm::core::market_mode::oligopoly;
-    duo.msps = {{0.0, duo.unit_cost, duo.price_cap,
-                 duo.bandwidth_per_pool_mhz},
-                {0.0, duo.unit_cost, duo.price_cap,
-                 duo.bandwidth_per_pool_mhz}};
+    duo.msps = {{vtm::util::meters{0.0}, duo.unit_cost, duo.price_cap, vtm::util::megahertz{duo.bandwidth_per_pool_mhz}}, {vtm::util::meters{0.0}, duo.unit_cost, duo.price_cap, vtm::util::megahertz{duo.bandwidth_per_pool_mhz}}};
     duo.share_sharpness = lambda;
     const auto r = vtm::core::run_fleet_scenario(duo);
     table.add_row(std::vector<double>{lambda, r.mean_price,
@@ -51,7 +48,7 @@ int main(int argc, char** argv) {
   // the cost advantage converts into share.
   auto entrant = base;
   entrant.mode = vtm::core::market_mode::oligopoly;
-  entrant.msps = {{0.0, 5.0, 50.0, 50.0}, {150.0, 3.5, 50.0, 50.0}};
+  entrant.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}, {vtm::util::meters{150.0}, 3.5, 50.0, vtm::util::megahertz{50.0}}};
   entrant.share_sharpness = 1.0;
   const auto r = vtm::core::run_fleet_scenario(entrant);
   std::printf("asymmetric entrant (cost 3.5 vs 5.0, +150 m offset chain):\n"

@@ -17,7 +17,7 @@ int main() {
   vtm::core::market_params params;
   params.vmus = {{/*alpha=*/500.0, /*data_mb=*/200.0},
                  {/*alpha=*/500.0, /*data_mb=*/100.0}};
-  params.bandwidth_cap_mhz = 50.0;  // B_max
+  params.bandwidth_cap_mhz = vtm::util::megahertz{50.0};  // B_max
   params.unit_cost = 5.0;           // C
   params.price_cap = 50.0;          // p_max
   const vtm::core::migration_market market(params);

@@ -31,13 +31,13 @@ competitive_market::competitive_market(competitive_market_config config)
     : config_(std::move(config)) {
   VTM_EXPECTS(!config_.msps.empty());
   VTM_EXPECTS(config_.share_sharpness > 0.0);
-  VTM_EXPECTS(config_.min_clearable_mhz > 0.0);
+  VTM_EXPECTS(config_.min_clearable_mhz > util::megahertz{0.0});
   VTM_EXPECTS(config_.fixed_point_tol > 0.0);
   for (const auto& msp : config_.msps) {
-    VTM_EXPECTS(std::isfinite(msp.chain_offset_m));
+    VTM_EXPECTS(std::isfinite(msp.chain_offset_m.value()));
     VTM_EXPECTS(msp.unit_cost > 0.0);
     VTM_EXPECTS(msp.price_cap >= msp.unit_cost);
-    VTM_EXPECTS(msp.bandwidth_per_pool_mhz > 0.0);
+    VTM_EXPECTS(msp.bandwidth_per_pool_mhz > util::megahertz{0.0});
   }
   if (config_.learned_msp != no_learned_msp) {
     VTM_EXPECTS(config_.learned_msp < config_.msps.size());
@@ -114,7 +114,8 @@ competitive_outcome competitive_market::clear_oligopoly(
   // (the monopoly engine's defer-below-minimum rule, applied per MSP).
   std::vector<std::size_t> active;  // participating -> roster index
   for (std::size_t m = 0; m < config_.msps.size(); ++m)
-    if (available_mhz[m] >= config_.min_clearable_mhz) active.push_back(m);
+    if (available_mhz[m] >= config_.min_clearable_mhz.value())
+      active.push_back(m);
   if (active.empty()) {
     outcome.deferred = pending_.size();
     return outcome;
@@ -177,13 +178,14 @@ competitive_outcome competitive_market::clear_oligopoly(
     market_params own_view;
     own_view.vmus = market.params().vmus;
     own_view.link = config_.link;
-    own_view.bandwidth_cap_mhz = available_mhz[config_.learned_msp];
+    own_view.bandwidth_cap_mhz =
+        util::megahertz{available_mhz[config_.learned_msp]};
     own_view.unit_cost = own.unit_cost;
     own_view.price_cap = own.price_cap;
     const migration_market own_market(std::move(own_view));
     cohort_observation obs = make_cohort_observation(
         own_market, available_mhz[config_.learned_msp],
-        own.bandwidth_per_pool_mhz);
+        own.bandwidth_per_pool_mhz.value());
     obs.competitors = active.size() - 1;
     if (obs.competitors > 0) {
       double min_price = std::numeric_limits<double>::infinity();

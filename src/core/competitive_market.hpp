@@ -44,10 +44,10 @@ inline constexpr std::size_t no_learned_msp = static_cast<std::size_t>(-1);
 /// highway: a shifted chain resolves its own serving RSU per location, so
 /// neighbouring clearing books can contend for one of this MSP's pools.
 struct fleet_msp {
-  double chain_offset_m = 0.0;           ///< Shift of this MSP's RSU centres.
-  double unit_cost = 5.0;                ///< C_m.
-  double price_cap = 50.0;               ///< p_max,m.
-  double bandwidth_per_pool_mhz = 50.0;  ///< Capacity of each of its pools.
+  util::meters chain_offset_m{0.0};  ///< Shift of this MSP's RSU centres.
+  double unit_cost = 5.0;            ///< C_m.
+  double price_cap = 50.0;           ///< p_max,m.
+  util::megahertz bandwidth_per_pool_mhz{50.0};  ///< Capacity of its pools.
 };
 
 /// One seller's share of a competitive grant.
@@ -95,10 +95,10 @@ struct competitive_outcome {
 
 /// Economics shared by every clearing of one destination cell's book.
 struct competitive_market_config {
-  std::vector<fleet_msp> msps;     ///< The roster (M >= 1).
-  double share_sharpness = 0.25;   ///< λ of the softmin share rule.
-  wireless::link_params link{};    ///< Demand-side migration channel.
-  double min_clearable_mhz = 0.5;  ///< An MSP below this remainder sits out.
+  std::vector<fleet_msp> msps;    ///< The roster (M >= 1).
+  double share_sharpness = 0.25;  ///< λ of the softmin share rule.
+  wireless::link_params link{};   ///< Demand-side migration channel.
+  util::megahertz min_clearable_mhz{0.5};  ///< Below this an MSP sits out.
   /// Monopoly-path backend for the M = 1 delegation (null = oracle); unused
   /// for M >= 2, where the price vector comes from the best-response solve.
   /// The delegation's observation normalization anchors on the roster MSP's

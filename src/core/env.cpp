@@ -69,7 +69,7 @@ void pricing_env::push_history(double price,
   history_[base] = price / market_.params().price_cap;
   for (std::size_t n = 0; n < market_.vmu_count(); ++n)
     history_[base + 1 + n] =
-        demands[n] / market_.params().bandwidth_cap_mhz;
+        demands[n] / market_.params().bandwidth_cap_mhz.value();
 }
 
 nn::tensor pricing_env::observation_tensor() const {

@@ -56,7 +56,7 @@ equilibrium evaluate_at_price(const migration_market& market, double price) {
   for (double b : market.unconstrained_demands(price)) unconstrained += b;
 
   equilibrium_regime regime = equilibrium_regime::interior;
-  if (unconstrained > p.bandwidth_cap_mhz * (1.0 + 1e-12))
+  if (unconstrained > p.bandwidth_cap_mhz.value() * (1.0 + 1e-12))
     regime = equilibrium_regime::capacity_bound;
   else if (price >= p.price_cap * (1.0 - 1e-12))
     regime = equilibrium_regime::price_capped;
@@ -99,8 +99,8 @@ equilibrium solve_equilibrium(const migration_market& market) {
     double total = 0.0;
     for (std::size_t n = 0; n < n_vmus; ++n)
       total += market.best_response(n, price);
-    if (total > p.bandwidth_cap_mhz + 1e-12) {
-      price = sum_alpha / (p.bandwidth_cap_mhz + sum_kappa);
+    if (total > p.bandwidth_cap_mhz.value() + 1e-12) {
+      price = sum_alpha / (p.bandwidth_cap_mhz.value() + sum_kappa);
       regime = equilibrium_regime::capacity_bound;
     }
 
@@ -165,7 +165,7 @@ equilibrium solve_equilibrium_numeric(const migration_market& market,
     regime = equilibrium_regime::price_capped;
   else if (std::abs(price - p.unit_cost) < eps)
     regime = equilibrium_regime::cost_floor;
-  else if (unconstrained_total >= p.bandwidth_cap_mhz - 1e-9)
+  else if (unconstrained_total >= p.bandwidth_cap_mhz.value() - 1e-9)
     regime = equilibrium_regime::capacity_bound;
   return finalize(market, price, regime);
 }
@@ -196,11 +196,11 @@ equilibrium_check verify_equilibrium(const migration_market& market,
   for (std::size_t n = 0; n < market.vmu_count(); ++n)
     unconstrained_total += market.best_response(n, candidate.price);
   const bool rationed =
-      unconstrained_total > p.bandwidth_cap_mhz * (1.0 + 1e-9);
+      unconstrained_total > p.bandwidth_cap_mhz.value() * (1.0 + 1e-9);
   if (!rationed) {
     for (std::size_t n = 0; n < market.vmu_count(); ++n) {
       const double hi =
-          std::max(2.0 * candidate.demands[n], p.bandwidth_cap_mhz);
+          std::max(2.0 * candidate.demands[n], p.bandwidth_cap_mhz.value());
       for (std::size_t i = 0; i < samples; ++i) {
         const double b = hi * static_cast<double>(i) /
                          static_cast<double>(samples - 1);

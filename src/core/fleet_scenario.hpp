@@ -37,29 +37,31 @@ class road_graph;
 
 namespace vtm::core {
 
-/// Fleet shape, economics, and clearing semantics.
+/// Fleet shape, economics, and clearing semantics. Physical fields are typed
+/// quantities (util/quantity.hpp); the engine unwraps via `.value()` at the
+/// point of use, so the arithmetic — and the tier-2 goldens — stay bitwise.
 struct fleet_config {
   // Geometry / fleet shape.
   std::size_t rsu_count = 8;
-  double rsu_spacing_m = 1000.0;
-  double coverage_radius_m = 600.0;
+  util::meters rsu_spacing_m{1000.0};
+  util::meters coverage_radius_m{600.0};
   /// Explicit (possibly non-uniform) RSU centres. When non-empty it
   /// overrides rsu_count x rsu_spacing_m, and each pool's migration link —
   /// hence its spectral efficiency, κ_n, and cleared price — uses the actual
   /// distance from its upstream neighbour instead of a global constant.
-  std::vector<double> rsu_positions_m;
+  std::vector<util::meters> rsu_positions_m;
   std::size_t vehicle_count = 100;
-  double min_speed_mps = 20.0;
-  double max_speed_mps = 35.0;
-  double duration_s = 120.0;     ///< Handover-admission horizon.
+  util::mps min_speed_mps{20.0};
+  util::mps max_speed_mps{35.0};
+  util::seconds duration_s{120.0};  ///< Handover-admission horizon.
 
   /// Spawn span along the highway; < 0 means "auto" (spread across the whole
   /// chain so every RSU sees load), so an explicit window may start at 0 m.
   /// When both bounds are explicit, spawn_max_m >= spawn_min_m is required.
   /// The legacy scenario pins this to the stretch before the first handover
   /// boundary.
-  double spawn_min_m = -1.0;
-  double spawn_max_m = -1.0;
+  util::meters spawn_min_m{-1.0};
+  util::meters spawn_max_m{-1.0};
 
   /// Road-network topology (sim/road_graph.hpp). When set it replaces the
   /// 1-D chain: the RSUs are the graph's sites, vehicles route over
@@ -78,19 +80,19 @@ struct fleet_config {
   /// ±platoon_spread_m / ±platoon_speed_jitter_mps of it, clamped to the
   /// spawn window and speed band.
   std::size_t platoon_size = 1;
-  double platoon_spread_m = 50.0;
-  double platoon_speed_jitter_mps = 0.0;
+  util::meters platoon_spread_m{50.0};
+  util::mps platoon_speed_jitter_mps{0.0};
   /// Lane-change hook (graph mode): on spawn edges with more than one lane
   /// each vehicle draws a lane and gains lane x delta speed (0 disables;
   /// the conservative shard window accounts for the maximum bonus).
-  double lane_speed_delta_mps = 0.0;
+  util::mps lane_speed_delta_mps{0.0};
 
   // Economics (paper ranges; α enters ×100 per the unit calibration).
   double min_alpha = 500.0;
   double max_alpha = 2000.0;
-  double min_data_mb = 100.0;
-  double max_data_mb = 300.0;
-  double bandwidth_per_pool_mhz = 50.0;  ///< Capacity of each OFDMA pool.
+  util::megabytes min_data_mb{100.0};
+  util::megabytes max_data_mb{300.0};
+  util::megahertz bandwidth_per_pool_mhz{50.0};  ///< Per-OFDMA-pool capacity.
   bool shared_pool = false;  ///< true: one global pool (legacy topology).
   double unit_cost = 5.0;
   double price_cap = 50.0;
@@ -99,13 +101,13 @@ struct fleet_config {
   /// `link.noise_power_dbm` / `link.tx_power_dbm` for RSU r's pool (and for
   /// drifted-grant link rebuilds landing at r). Size must equal the RSU
   /// count; empty keeps the chain-wide values (bitwise-unchanged default).
-  std::vector<double> rsu_noise_dbm;
-  std::vector<double> rsu_tx_power_dbm;
+  std::vector<util::dbm> rsu_noise_dbm;
+  std::vector<util::dbm> rsu_tx_power_dbm;
 
   // Spot-market clearing.
   market_mode mode = market_mode::joint;
-  double clearing_epoch_s = 0.5;   ///< 0 clears at each handover instant.
-  double min_clearable_mhz = 0.5;  ///< Defer below this pool remainder.
+  util::seconds clearing_epoch_s{0.5};  ///< 0 clears at each handover.
+  util::megahertz min_clearable_mhz{0.5};  ///< Defer below this remainder.
 
   // Oligopoly competition (market_mode::oligopoly; DESIGN.md §11).
   /// The competing sellers. Empty means one MSP inheriting the monopoly
@@ -133,9 +135,9 @@ struct fleet_config {
   bool record_cohorts = false;
 
   // Migration machinery.
-  double dirty_rate_mb_s = 50.0;
-  double page_mb = 0.25;
-  double stop_copy_threshold_mb = 1.0;
+  util::mb_per_s dirty_rate_mb_s{50.0};
+  util::megabytes page_mb{0.25};
+  util::megabytes stop_copy_threshold_mb{1.0};
 
   /// Keep per-migration records (turn off for throughput benches at scale;
   /// aggregates are accumulated either way).
@@ -155,7 +157,7 @@ struct fleet_config {
   /// positive value is *safe* — late boundary crossings are clamped to the
   /// next barrier and counted in `fleet_result::late_handoffs` — but windows
   /// longer than the lookahead trade fidelity for fewer barriers.
-  double window_s = 0.0;
+  util::seconds window_s{0.0};
 
   std::uint64_t seed = 2023;
 };
@@ -231,9 +233,9 @@ struct streaming_config {
   /// ignored (population is arrival-driven) and `duration_s` is overridden
   /// by `horizon_s`. Spot modes only (oligopoly stays closed-population).
   fleet_config base;
-  double arrival_rate_per_s = 5.0;  ///< Poisson arrival intensity λ.
-  double horizon_s = 600.0;         ///< Arrival-admission horizon.
-  double flush_period_s = 60.0;     ///< Window length between result flushes.
+  util::per_second arrival_rate_per_s{5.0};  ///< Poisson arrival λ.
+  util::seconds horizon_s{600.0};      ///< Arrival-admission horizon.
+  util::seconds flush_period_s{60.0};  ///< Window length between flushes.
   /// Mid-stream reseed check: after emitting flush `reseed_flush`, replace
   /// the RNG with a fresh `reseed_seed` stream. Flushes 0..reseed_flush are
   /// bitwise-unaffected (all pre-reseed draws land in earlier windows), and

@@ -64,22 +64,24 @@ fleet_config normalized(fleet_config config) {
 double auto_window_s(const fleet_config& config, const sim::rsu_chain& chain,
                      double epoch_s) {
   double min_cell_m = std::numeric_limits<double>::infinity();
-  double top_speed = config.max_speed_mps;
+  double top_speed = config.max_speed_mps.value();
   if (config.graph) {
     min_cell_m = config.graph->min_boundary_gap_m();
-    top_speed = config.max_speed_mps * config.graph->max_speed_factor() +
-                config.lane_speed_delta_mps *
-                    static_cast<double>(config.graph->max_lanes() - 1);
+    top_speed =
+        config.max_speed_mps.value() * config.graph->max_speed_factor() +
+        config.lane_speed_delta_mps.value() *
+            static_cast<double>(config.graph->max_lanes() - 1);
   } else {
     for (std::size_t i = 0; i + 2 < chain.count(); ++i)
       min_cell_m = std::min(min_cell_m, chain.handover_position_m(i + 1) -
                                             chain.handover_position_m(i));
   }
-  if (!std::isfinite(min_cell_m)) return config.duration_s;  // <= 1 boundary
+  if (!std::isfinite(min_cell_m))
+    return config.duration_s.value();  // <= 1 boundary
   double window = 0.5 * min_cell_m / top_speed;
   if (epoch_s > 0.0)
     window = epoch_s * std::max(1.0, std::floor(window / epoch_s));
-  return std::clamp(window, 1e-3, config.duration_s);
+  return std::clamp(window, 1e-3, config.duration_s.value());
 }
 
 /// Resolve the streaming run's base config: the horizon is the handover
@@ -111,7 +113,7 @@ std::vector<fleet_msp> resolved_fleet_msps(const fleet_config& config) {
   if (config.mode != market_mode::oligopoly) return {};
   if (!config.msps.empty()) return config.msps;
   fleet_msp monopoly;
-  monopoly.chain_offset_m = 0.0;
+  monopoly.chain_offset_m = util::meters{0.0};
   monopoly.unit_cost = config.unit_cost;
   monopoly.price_cap = config.price_cap;
   monopoly.bandwidth_per_pool_mhz = config.bandwidth_per_pool_mhz;
@@ -124,33 +126,34 @@ void validate_fleet_config(const fleet_config& config) {
   VTM_EXPECTS(config.pricing == pricing_backend::oracle ||
               config.pricer != nullptr);
   VTM_EXPECTS(config.vehicle_count >= 1);
-  VTM_EXPECTS(config.duration_s > 0.0);
+  VTM_EXPECTS(config.duration_s > util::seconds{0.0});
   // Speeds must be strictly positive: each pool prices its *upstream* RSU
   // gap, so backward traffic (which `rsu_chain::next_handover` itself can
   // model) would clear over the wrong link. Rejected by design; see the
   // (from, to)-gap handling in `shard_engine::start_migration` for how
   // non-adjacent forward hops are priced.
-  VTM_EXPECTS(config.min_speed_mps > 0.0);
+  VTM_EXPECTS(config.min_speed_mps > util::mps{0.0});
   VTM_EXPECTS(config.max_speed_mps >= config.min_speed_mps);
-  VTM_EXPECTS(config.min_data_mb > 0.0);
+  VTM_EXPECTS(config.min_data_mb > util::megabytes{0.0});
   VTM_EXPECTS(config.max_data_mb >= config.min_data_mb);
   VTM_EXPECTS(config.min_alpha > 0.0);
   VTM_EXPECTS(config.max_alpha >= config.min_alpha);
-  VTM_EXPECTS(config.bandwidth_per_pool_mhz > 0.0);
-  VTM_EXPECTS(config.clearing_epoch_s >= 0.0);
-  VTM_EXPECTS(config.min_clearable_mhz > 0.0);
+  VTM_EXPECTS(config.bandwidth_per_pool_mhz > util::megahertz{0.0});
+  VTM_EXPECTS(config.clearing_epoch_s >= util::seconds{0.0});
+  VTM_EXPECTS(config.min_clearable_mhz > util::megahertz{0.0});
   // Both spawn bounds explicit (>= 0, the "< 0 means auto" sentinel) must
   // form a window; mixed explicit/auto is resolved at spawn time.
-  if (config.spawn_min_m >= 0.0 && config.spawn_max_m >= 0.0)
+  if (config.spawn_min_m >= util::meters{0.0} &&
+      config.spawn_max_m >= util::meters{0.0})
     VTM_EXPECTS(config.spawn_max_m >= config.spawn_min_m);
   // Platoon-correlated spawning (size 1 = independent draws).
   VTM_EXPECTS(config.platoon_size >= 1);
-  VTM_EXPECTS(std::isfinite(config.platoon_spread_m) &&
-              config.platoon_spread_m >= 0.0);
-  VTM_EXPECTS(std::isfinite(config.platoon_speed_jitter_mps) &&
-              config.platoon_speed_jitter_mps >= 0.0);
-  VTM_EXPECTS(std::isfinite(config.lane_speed_delta_mps) &&
-              config.lane_speed_delta_mps >= 0.0);
+  VTM_EXPECTS(std::isfinite(config.platoon_spread_m.value()) &&
+              config.platoon_spread_m >= util::meters{0.0});
+  VTM_EXPECTS(std::isfinite(config.platoon_speed_jitter_mps.value()) &&
+              config.platoon_speed_jitter_mps >= util::mps{0.0});
+  VTM_EXPECTS(std::isfinite(config.lane_speed_delta_mps.value()) &&
+              config.lane_speed_delta_mps >= util::mps{0.0});
   const std::size_t rsu_count =
       config.graph ? config.graph->rsu_count()
                    : (config.rsu_positions_m.empty()
@@ -168,8 +171,9 @@ void validate_fleet_config(const fleet_config& config) {
     // auto sentinel only guards the chain path, so graph configs must be
     // rejected here (tools/vtm_lint.py gates run_* entry points on calling
     // a validate helper for exactly this class of hole).
-    if (config.spawn_min_m >= 0.0)
-      VTM_EXPECTS(config.spawn_min_m < config.graph->min_route_length_m());
+    if (config.spawn_min_m >= util::meters{0.0})
+      VTM_EXPECTS(config.spawn_min_m.value() <
+                  config.graph->min_route_length_m());
   }
   VTM_EXPECTS(config.shard_count >= 1);
   VTM_EXPECTS(config.shard_count <= rsu_count);
@@ -183,7 +187,8 @@ void validate_fleet_config(const fleet_config& config) {
     if (overrides->empty()) continue;
     VTM_EXPECTS(!config.shared_pool);
     VTM_EXPECTS(overrides->size() == rsu_count);
-    for (const double dbm : *overrides) VTM_EXPECTS(std::isfinite(dbm));
+    for (const util::dbm level : *overrides)
+      VTM_EXPECTS(std::isfinite(level.value()));
   }
 
   // Oligopoly roster (market_mode::oligopoly only; a roster in any other
@@ -197,10 +202,10 @@ void validate_fleet_config(const fleet_config& config) {
   VTM_EXPECTS(config.share_sharpness > 0.0);
   const auto msps = resolved_fleet_msps(config);
   for (const auto& msp : msps) {
-    VTM_EXPECTS(std::isfinite(msp.chain_offset_m));
+    VTM_EXPECTS(std::isfinite(msp.chain_offset_m.value()));
     VTM_EXPECTS(msp.unit_cost > 0.0);
     VTM_EXPECTS(msp.price_cap >= msp.unit_cost);
-    VTM_EXPECTS(msp.bandwidth_per_pool_mhz > 0.0);
+    VTM_EXPECTS(msp.bandwidth_per_pool_mhz > util::megahertz{0.0});
   }
   if (config.learned_msp != no_learned_msp) {
     // The learned seller seat needs rivals to price against and a pricer
@@ -217,11 +222,12 @@ void validate_fleet_config(const fleet_config& config) {
 }
 
 void validate_streaming_config(const streaming_config& config) {
-  VTM_EXPECTS(std::isfinite(config.arrival_rate_per_s) &&
-              config.arrival_rate_per_s > 0.0);
-  VTM_EXPECTS(std::isfinite(config.horizon_s) && config.horizon_s > 0.0);
-  VTM_EXPECTS(std::isfinite(config.flush_period_s) &&
-              config.flush_period_s > 0.0);
+  VTM_EXPECTS(std::isfinite(config.arrival_rate_per_s.value()) &&
+              config.arrival_rate_per_s > util::per_second{0.0});
+  VTM_EXPECTS(std::isfinite(config.horizon_s.value()) &&
+              config.horizon_s > util::seconds{0.0});
+  VTM_EXPECTS(std::isfinite(config.flush_period_s.value()) &&
+              config.flush_period_s > util::seconds{0.0});
   // The competitive roster's warm-started books assume a closed population;
   // streaming stays on the spot-market paths.
   VTM_EXPECTS(config.base.mode != market_mode::oligopoly);
@@ -250,8 +256,9 @@ shard_engine::shard_engine(const fleet_config& config,
       rsu_shard_(rsu_shard),
       vehicles_(vehicles),
       mailbox_(mailbox),
-      epoch_s_(config.mode == market_mode::single ? 0.0
-                                                  : config.clearing_epoch_s),
+      epoch_s_(config.mode == market_mode::single
+                   ? 0.0
+                   : config.clearing_epoch_s.value()),
       msps_(resolved_fleet_msps(config)),
       msp_chains_(msp_chains) {
   VTM_EXPECTS(rsu_count >= 1);
@@ -322,7 +329,7 @@ shard_engine::shard_engine(const fleet_config& config,
   for (std::size_t p = 0; p < pool_count; ++p) {
     wireless::link_params link = config.link;
     if (config.shared_pool) {
-      link.distance_m = pool_link_distance_m(0);
+      link.distance_m = util::meters{pool_link_distance_m(0)};
     } else {
       link = link_for(rsu_lo + p, pool_link_distance_m(rsu_lo + p));
     }
@@ -370,7 +377,7 @@ void shard_engine::submit_request(std::size_t pidx,
 wireless::link_params shard_engine::link_for(std::size_t rsu,
                                              double distance_m) const {
   wireless::link_params link = config_.link;
-  link.distance_m = distance_m;
+  link.distance_m = util::meters{distance_m};
   if (!config_.rsu_noise_dbm.empty())
     link.noise_power_dbm = config_.rsu_noise_dbm[rsu];
   if (!config_.rsu_tx_power_dbm.empty())
@@ -430,7 +437,7 @@ void shard_engine::schedule_next_handover(std::size_t vehicle) {
     return;
   }
   const double when = queue_.now() + next->after_s;
-  if (when > config_.duration_s) {
+  if (when > config_.duration_s.value()) {
     slot.exited = true;
     return;
   }
@@ -535,7 +542,7 @@ void shard_engine::run_clearing(std::size_t pidx) {
   // remainder, so a whole-book snapshot would train the pricer on
   // observations it never sees at deployment.
   if (config_.record_cohorts && config_.mode == market_mode::joint &&
-      !book.empty() && available >= config_.min_clearable_mhz) {
+      !book.empty() && available >= config_.min_clearable_mhz.value()) {
     // Harvest the clearing cohort as training data for the learned pricer:
     // full profiles (the oracle label needs them) + the pool state the
     // partial-information observation summarizes.
@@ -544,7 +551,7 @@ void shard_engine::run_clearing(std::size_t pidx) {
     for (const auto& request : book)
       snapshot.profiles.push_back(request.profile);
     snapshot.available_mhz = available;
-    snapshot.capacity_mhz = config_.bandwidth_per_pool_mhz;
+    snapshot.capacity_mhz = config_.bandwidth_per_pool_mhz.value();
     snapshot.link = pool_links_[pidx];
     snapshot.unit_cost = config_.unit_cost;
     snapshot.price_cap = config_.price_cap;
@@ -867,12 +874,12 @@ shard_coordinator::shard_coordinator(const fleet_config& config, bool spawn)
       gen_(config_.seed),
       mailbox_(config_.shard_count),
       pool_(config_.shard_count > 1 ? config_.shard_count - 1 : 0) {
-  window_s_ = config_.window_s > 0.0
-                  ? config_.window_s
+  window_s_ = config_.window_s > util::seconds{0.0}
+                  ? config_.window_s.value()
                   : auto_window_s(config_, chain_,
                                   config_.mode == market_mode::single
                                       ? 0.0
-                                      : config_.clearing_epoch_s);
+                                      : config_.clearing_epoch_s.value());
 
   // Contiguous balanced partition of the chain into shards.
   const std::size_t shard_count = config_.shard_count;
@@ -929,11 +936,13 @@ shard_coordinator::shard_coordinator(const fleet_config& config, bool spawn)
     route_span_hi_.reserve(routes_.size());
     for (std::size_t r = 0; r < routes_.size(); ++r) {
       const double length = config_.graph->route(r).length_m;
-      const double span_lo =
-          config_.spawn_min_m >= 0.0 ? config_.spawn_min_m : 0.0;
-      const double span_hi = config_.spawn_max_m >= 0.0
-                                 ? std::min(config_.spawn_max_m, length)
-                                 : length;
+      const double span_lo = config_.spawn_min_m >= util::meters{0.0}
+                                 ? config_.spawn_min_m.value()
+                                 : 0.0;
+      const double span_hi =
+          config_.spawn_max_m >= util::meters{0.0}
+              ? std::min(config_.spawn_max_m.value(), length)
+              : length;
       route_span_lo_.push_back(span_lo);
       route_span_hi_.push_back(std::max(span_lo, span_hi));
     }
@@ -945,7 +954,7 @@ shard_coordinator::shard_coordinator(const fleet_config& config, bool spawn)
     // the actual centres.
     double auto_lo, auto_hi;
     if (config_.rsu_positions_m.empty()) {
-      const double spacing = config_.rsu_spacing_m;
+      const double spacing = config_.rsu_spacing_m.value();
       auto_lo = 0.5 * spacing;
       auto_hi = (static_cast<double>(config_.rsu_count) - 0.5) * spacing;
     } else {
@@ -960,9 +969,12 @@ shard_coordinator::shard_coordinator(const fleet_config& config, bool spawn)
     }
     // Explicit bounds use the "< 0 means auto" sentinel, so a window may
     // legitimately start (or end) at 0 m.
-    span_lo_ = config_.spawn_min_m >= 0.0 ? config_.spawn_min_m : auto_lo;
-    span_hi_ = config_.spawn_max_m >= 0.0 ? config_.spawn_max_m
-                                          : std::max(span_lo_, auto_hi);
+    span_lo_ = config_.spawn_min_m >= util::meters{0.0}
+                   ? config_.spawn_min_m.value()
+                   : auto_lo;
+    span_hi_ = config_.spawn_max_m >= util::meters{0.0}
+                   ? config_.spawn_max_m.value()
+                   : std::max(span_lo_, auto_hi);
     VTM_EXPECTS(span_hi_ >= span_lo_);
   }
 
@@ -984,7 +996,8 @@ void shard_coordinator::draw_spawn(vehicle_slot& slot) {
     const double lo = route_mode_ ? route_span_lo_[lead_route_] : span_lo_;
     const double hi = route_mode_ ? route_span_hi_[lead_route_] : span_hi_;
     position = gen_.uniform(lo, hi);
-    speed = gen_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+    speed = gen_.uniform(config_.min_speed_mps.value(),
+                         config_.max_speed_mps.value());
     platoon_left_ = config_.platoon_size - 1;
     lead_pos_ = position;
     lead_speed_ = speed;
@@ -994,29 +1007,30 @@ void shard_coordinator::draw_spawn(vehicle_slot& slot) {
     --platoon_left_;
     const double lo = route_mode_ ? route_span_lo_[lead_route_] : span_lo_;
     const double hi = route_mode_ ? route_span_hi_[lead_route_] : span_hi_;
-    position = std::clamp(lead_pos_ + gen_.uniform(-config_.platoon_spread_m,
-                                                   config_.platoon_spread_m),
-                          lo, hi);
+    position = std::clamp(
+        lead_pos_ + gen_.uniform(-config_.platoon_spread_m.value(),
+                                 config_.platoon_spread_m.value()),
+        lo, hi);
     speed = std::clamp(
-        lead_speed_ + gen_.uniform(-config_.platoon_speed_jitter_mps,
-                                   config_.platoon_speed_jitter_mps),
-        config_.min_speed_mps, config_.max_speed_mps);
+        lead_speed_ + gen_.uniform(-config_.platoon_speed_jitter_mps.value(),
+                                   config_.platoon_speed_jitter_mps.value()),
+        config_.min_speed_mps.value(), config_.max_speed_mps.value());
   }
   slot.route = route_mode_ ? &routes_[lead_route_] : nullptr;
   slot.kinematics.position_m = position;
-  if (route_mode_ && config_.lane_speed_delta_mps > 0.0) {
+  if (route_mode_ && config_.lane_speed_delta_mps > util::mps{0.0}) {
     // Lane-change hook: multi-lane spawn edges grant a per-lane speed bonus
     // (the conservative window budgets the maximum).
     const std::size_t lanes = config_.graph->lanes_at(lead_route_, position);
     if (lanes > 1)
-      speed += config_.lane_speed_delta_mps *
+      speed += config_.lane_speed_delta_mps.value() *
                static_cast<double>(gen_.uniform_int(
                    0, static_cast<std::int64_t>(lanes) - 1));
   }
   slot.kinematics.speed_mps = speed;
   slot.profile.alpha = gen_.uniform(config_.min_alpha, config_.max_alpha);
   slot.profile.data_mb =
-      gen_.uniform(config_.min_data_mb, config_.max_data_mb);
+      gen_.uniform(config_.min_data_mb.value(), config_.max_data_mb.value());
 }
 
 void shard_coordinator::spawn_vehicles() {
@@ -1028,7 +1042,7 @@ void shard_coordinator::spawn_vehicles() {
     slot.id = v;
     slot.twin = std::make_unique<sim::vehicular_twin>(
         sim::vehicular_twin::with_total_mb(v, slot.profile.data_mb,
-                                           config_.page_mb));
+                                           config_.page_mb.value()));
     const std::size_t serving =
         slot.route ? slot.route->serving_rsu(slot.kinematics.position_m)
                    : chain_.serving_rsu(slot.kinematics.position_m);
@@ -1075,7 +1089,7 @@ fleet_result shard_coordinator::run() {
   // they trigger remain, and running to quiescence guarantees every started
   // migration lands in the totals *and* the records.
   bool draining = false;
-  double t_end = std::min(config_.duration_s, window_s_);
+  double t_end = std::min(config_.duration_s.value(), window_s_);
   pool_.run_phased(
       shards_.size(),
       [&](std::size_t lane, std::size_t) {
@@ -1090,11 +1104,11 @@ fleet_result shard_coordinator::run() {
         const util::barrier_scope at_barrier(barrier_);
         const std::size_t delivered = exchange();
         if (draining) return delivered > 0;
-        if (t_end >= config_.duration_s) {
+        if (t_end >= config_.duration_s.value()) {
           draining = true;
           return true;
         }
-        t_end = std::min(config_.duration_s, t_end + window_s_);
+        t_end = std::min(config_.duration_s.value(), t_end + window_s_);
         return true;
       });
 
@@ -1111,10 +1125,12 @@ void shard_coordinator::inject_arrivals(double upto) {
       // Poisson arrivals: exponential inter-arrival gaps. The undrawn-gap
       // flag keeps the stream exact across reseeds — a drawn-but-unadmitted
       // arrival survives window barriers, and a reseed discards it.
-      next_arrival_s_ += gen_.exponential(stream_.arrival_rate_per_s);
+      next_arrival_s_ += gen_.exponential(stream_.arrival_rate_per_s.value());
       arrival_pending_ = true;
     }
-    if (next_arrival_s_ > upto || next_arrival_s_ > stream_.horizon_s) return;
+    if (next_arrival_s_ > upto ||
+        next_arrival_s_ > stream_.horizon_s.value())
+      return;
     arrival_pending_ = false;
     const double at = next_arrival_s_;
 
@@ -1134,7 +1150,7 @@ void shard_coordinator::inject_arrivals(double upto) {
     slot.exited = false;
     slot.twin = std::make_unique<sim::vehicular_twin>(
         sim::vehicular_twin::with_total_mb(slot.id, slot.profile.data_mb,
-                                           config_.page_mb));
+                                           config_.page_mb.value()));
     const std::size_t serving =
         slot.route ? slot.route->serving_rsu(slot.kinematics.position_m)
                    : chain_.serving_rsu(slot.kinematics.position_m);
@@ -1259,7 +1275,7 @@ fleet_result shard_coordinator::flush_window(bool final) {
 
 streaming_result shard_coordinator::run_stream() {
   VTM_EXPECTS(streaming_);
-  const double horizon = config_.duration_s;  // == stream_.horizon_s
+  const double horizon = config_.duration_s.value();  // == stream_.horizon_s
   double t_end = std::min(horizon, window_s_);
   {
     // No lane has started yet, so the barrier capability holds trivially.
@@ -1269,7 +1285,7 @@ streaming_result shard_coordinator::run_stream() {
   }
 
   bool draining = false;
-  double next_flush = stream_.flush_period_s;
+  double next_flush = stream_.flush_period_s.value();
   std::size_t flush_index = 0;
   pool_.run_phased(
       shards_.size(),
@@ -1300,7 +1316,7 @@ streaming_result shard_coordinator::run_stream() {
             platoon_left_ = 0;
           }
           ++flush_index;
-          next_flush += stream_.flush_period_s;
+          next_flush += stream_.flush_period_s.value();
         }
         if (t_end >= horizon) {
           draining = true;

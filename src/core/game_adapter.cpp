@@ -48,7 +48,7 @@ game::leader_problem make_leader_problem(const migration_market& market) {
     // Apply the capacity rationing rule to the requested bandwidths.
     double total = 0.0;
     for (double b : requests) total += b;
-    const double cap = market.params().bandwidth_cap_mhz;
+    const double cap = market.params().bandwidth_cap_mhz.value();
     const double scale = total > cap && total > 0.0 ? cap / total : 1.0;
     double utility = 0.0;
     for (double b : requests)

@@ -38,7 +38,7 @@ generalized_market::generalized_market(market_params params,
                                        const immersion_model& model)
     : params_(std::move(params)), link_(params_.link), model_(model) {
   VTM_EXPECTS(!params_.vmus.empty());
-  VTM_EXPECTS(params_.bandwidth_cap_mhz > 0.0);
+  VTM_EXPECTS(params_.bandwidth_cap_mhz.value() > 0.0);
   VTM_EXPECTS(params_.unit_cost > 0.0);
   VTM_EXPECTS(params_.price_cap >= params_.unit_cost);
   for (const auto& vmu : params_.vmus) {
@@ -61,7 +61,7 @@ double generalized_market::best_response(std::size_t n, double price) const {
   VTM_EXPECTS(price > 0.0);
   const auto result = game::golden_section_maximize(
       [&](double b) { return vmu_utility(n, b, price); }, 0.0,
-      params_.bandwidth_cap_mhz, 1e-9);
+      params_.bandwidth_cap_mhz.value(), 1e-9);
   return result.value > 0.0 ? result.arg : 0.0;
 }
 
@@ -72,8 +72,8 @@ std::vector<double> generalized_market::demands(double price) const {
     out[n] = best_response(n, price);
     total += out[n];
   }
-  if (total > params_.bandwidth_cap_mhz && total > 0.0) {
-    const double scale = params_.bandwidth_cap_mhz / total;
+  if (total > params_.bandwidth_cap_mhz.value() && total > 0.0) {
+    const double scale = params_.bandwidth_cap_mhz.value() / total;
     for (double& b : out) b *= scale;
   }
   return out;

@@ -10,7 +10,7 @@ namespace vtm::core {
 migration_market::migration_market(market_params params)
     : params_(std::move(params)), link_(params_.link) {
   VTM_EXPECTS(!params_.vmus.empty());
-  VTM_EXPECTS(params_.bandwidth_cap_mhz > 0.0);
+  VTM_EXPECTS(params_.bandwidth_cap_mhz.value() > 0.0);
   VTM_EXPECTS(params_.unit_cost > 0.0);
   VTM_EXPECTS(params_.price_cap >= params_.unit_cost);
   for (const auto& vmu : params_.vmus) {
@@ -44,8 +44,8 @@ std::vector<double> migration_market::demands(double price) const {
   std::vector<double> out = unconstrained_demands(price);
   double total = 0.0;
   for (double b : out) total += b;
-  if (total > params_.bandwidth_cap_mhz && total > 0.0) {
-    const double scale = params_.bandwidth_cap_mhz / total;
+  if (total > params_.bandwidth_cap_mhz.value() && total > 0.0) {
+    const double scale = params_.bandwidth_cap_mhz.value() / total;
     for (double& b : out) b *= scale;
   }
   return out;

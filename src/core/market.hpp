@@ -30,7 +30,7 @@ struct vmu_profile {
 struct market_params {
   std::vector<vmu_profile> vmus;       ///< The N followers.
   wireless::link_params link{};        ///< Source→destination RSU channel.
-  double bandwidth_cap_mhz = 50.0;     ///< B_max.
+  util::megahertz bandwidth_cap_mhz{50.0};  ///< B_max.
   double unit_cost = 5.0;              ///< C — MSP's unit transmission cost.
   double price_cap = 50.0;             ///< p_max.
 };

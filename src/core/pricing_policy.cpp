@@ -173,7 +173,7 @@ market_params cohort_snapshot::to_market_params() const {
   market_params params;
   params.vmus = profiles;
   params.link = link;
-  params.bandwidth_cap_mhz = available_mhz;
+  params.bandwidth_cap_mhz = util::megahertz{available_mhz};
   params.unit_cost = unit_cost;
   params.price_cap = price_cap;
   return params;

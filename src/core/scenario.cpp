@@ -16,7 +16,7 @@ namespace vtm::core {
 scenario_result run_highway_scenario(const scenario_config& config) {
   // Check the fields this adapter itself computes with; the forwarded values
   // are validated in full by run_fleet_scenario.
-  VTM_EXPECTS(config.rsu_spacing_m > 0.0);
+  VTM_EXPECTS(config.rsu_spacing_m > util::meters{0.0});
   fleet_config fleet;
   fleet.rsu_count = config.rsu_count;
   fleet.rsu_spacing_m = config.rsu_spacing_m;

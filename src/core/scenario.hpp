@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/market.hpp"
+#include "util/quantity.hpp"
 
 namespace vtm::core {
 
@@ -29,35 +30,37 @@ enum class market_mode {
               ///< core/competitive_market.hpp, DESIGN.md §11).
 };
 
-/// Scenario shape and economics.
+/// Scenario shape and economics. Physical fields are typed quantities
+/// (util/quantity.hpp): construction from a raw double is explicit, so a
+/// meters-for-seconds (or dBm-for-watts) slip is a compile error.
 struct scenario_config {
   // Geometry / mobility.
   std::size_t rsu_count = 4;
-  double rsu_spacing_m = 1000.0;
-  double coverage_radius_m = 600.0;
+  util::meters rsu_spacing_m{1000.0};
+  util::meters coverage_radius_m{600.0};
   std::size_t vehicle_count = 3;
-  double min_speed_mps = 20.0;   ///< Speeds drawn uniformly per vehicle.
-  double max_speed_mps = 35.0;
-  double duration_s = 120.0;     ///< Simulated horizon.
+  util::mps min_speed_mps{20.0};  ///< Speeds drawn uniformly per vehicle.
+  util::mps max_speed_mps{35.0};
+  util::seconds duration_s{120.0};  ///< Simulated horizon.
 
   // Economics (paper ranges; α enters ×100 per the unit calibration).
   double min_alpha = 500.0;
   double max_alpha = 2000.0;
-  double min_data_mb = 100.0;    ///< D_n ∈ [100, 300] MB.
-  double max_data_mb = 300.0;
-  double bandwidth_cap_mhz = 50.0;
+  util::megabytes min_data_mb{100.0};  ///< D_n ∈ [100, 300] MB.
+  util::megabytes max_data_mb{300.0};
+  util::megahertz bandwidth_cap_mhz{50.0};
   double unit_cost = 5.0;
   double price_cap = 50.0;
   wireless::link_params link{};  ///< d is overridden by actual RSU spacing.
 
   // Spot-market clearing.
   market_mode mode = market_mode::joint;
-  double clearing_epoch_s = 0.5; ///< Aggregation window (joint mode only).
+  util::seconds clearing_epoch_s{0.5};  ///< Aggregation window (joint mode).
 
   // Migration machinery.
-  double dirty_rate_mb_s = 50.0;     ///< Memory dirtying while live.
-  double page_mb = 0.25;
-  double stop_copy_threshold_mb = 1.0;
+  util::mb_per_s dirty_rate_mb_s{50.0};  ///< Memory dirtying while live.
+  util::megabytes page_mb{0.25};
+  util::megabytes stop_copy_threshold_mb{1.0};
 
   std::uint64_t seed = 2023;
 };

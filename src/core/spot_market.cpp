@@ -21,7 +21,7 @@ spot_market::spot_market(spot_market_config config)
     : config_(std::move(config)) {
   VTM_EXPECTS(config_.unit_cost > 0.0);
   VTM_EXPECTS(config_.price_cap >= config_.unit_cost);
-  VTM_EXPECTS(config_.min_clearable_mhz > 0.0);
+  VTM_EXPECTS(config_.min_clearable_mhz > util::megahertz{0.0});
   if (!config_.policy) config_.policy = std::make_shared<oracle_policy>();
 }
 
@@ -29,7 +29,7 @@ equilibrium spot_market::price_market(const migration_market& market,
                                       double available_mhz) {
   return config_.policy->price_cohort(
       market, make_cohort_observation(market, available_mhz,
-                                      config_.pool_capacity_mhz));
+                                      config_.pool_capacity_mhz.value()));
 }
 
 void spot_market::submit(clearing_request request) {
@@ -41,7 +41,7 @@ void spot_market::submit(clearing_request request) {
 clearing_outcome spot_market::clear(double available_mhz) {
   VTM_EXPECTS(available_mhz >= 0.0);
   if (pending_.empty()) return {};
-  if (available_mhz < config_.min_clearable_mhz) {
+  if (available_mhz < config_.min_clearable_mhz.value()) {
     clearing_outcome outcome;
     outcome.deferred = pending_.size();
     return outcome;
@@ -58,7 +58,7 @@ clearing_outcome spot_market::clear_joint(double available_mhz) {
   params.vmus.reserve(pending_.size());
   for (const auto& request : pending_) params.vmus.push_back(request.profile);
   params.link = config_.link;
-  params.bandwidth_cap_mhz = available_mhz;
+  params.bandwidth_cap_mhz = util::megahertz{available_mhz};
   params.unit_cost = config_.unit_cost;
   params.price_cap = config_.price_cap;
 
@@ -107,7 +107,7 @@ clearing_outcome spot_market::clear_sequential(double available_mhz) {
 
   std::vector<clearing_request> still_pending;
   for (auto& request : pending_) {
-    if (remaining < config_.min_clearable_mhz) {
+    if (remaining < config_.min_clearable_mhz.value()) {
       // Pool exhausted mid-book: everything behind the cut waits.
       still_pending.push_back(std::move(request));
       ++outcome.deferred;
@@ -116,7 +116,7 @@ clearing_outcome spot_market::clear_sequential(double available_mhz) {
     market_params params;
     params.vmus = {request.profile};
     params.link = config_.link;
-    params.bandwidth_cap_mhz = remaining;
+    params.bandwidth_cap_mhz = util::megahertz{remaining};
     params.unit_cost = config_.unit_cost;
     params.price_cap = config_.price_cap;
     const migration_market market(std::move(params));

@@ -77,16 +77,16 @@ struct clearing_outcome {
 /// Economics shared by every clearing of one pool.
 struct spot_market_config {
   clearing_discipline discipline = clearing_discipline::joint;
-  wireless::link_params link{};    ///< Source→destination RSU channel.
-  double unit_cost = 5.0;          ///< C — MSP's unit transmission cost.
-  double price_cap = 50.0;         ///< p_max.
-  double min_clearable_mhz = 0.5;  ///< Below this remainder, defer instead.
+  wireless::link_params link{};  ///< Source→destination RSU channel.
+  double unit_cost = 5.0;        ///< C — MSP's unit transmission cost.
+  double price_cap = 50.0;       ///< p_max.
+  util::megahertz min_clearable_mhz{0.5};  ///< Below this, defer instead.
   /// Pricing backend; null selects the analytic oracle. Shared so one
   /// learned pricer can serve every pool of a fleet run.
   std::shared_ptr<pricing_policy> policy;
   /// Nominal pool capacity anchoring observation normalization (<= 0 falls
   /// back to the clearing's available bandwidth).
-  double pool_capacity_mhz = 0.0;
+  util::megahertz pool_capacity_mhz{0.0};
 };
 
 /// Pending-request book + clearing logic for one bandwidth pool.

@@ -17,6 +17,8 @@
 #include <optional>
 #include <utility>
 
+#include "util/quantity.hpp"
+
 namespace vtm::sim {
 
 /// Time-ordered event executor with cancellation.
@@ -28,6 +30,11 @@ class event_queue {
   /// Current simulation time (seconds). Starts at 0.
   [[nodiscard]] double now() const noexcept { return now_; }
 
+  /// Typed sibling of `now` (util/quantity.hpp timestamps).
+  [[nodiscard]] util::seconds now_time() const noexcept {
+    return util::seconds{now_};
+  }
+
   /// Number of pending events.
   [[nodiscard]] std::size_t pending() const noexcept { return events_.size(); }
 
@@ -35,11 +42,27 @@ class event_queue {
   /// empty. Never advances the clock.
   [[nodiscard]] std::optional<double> next_event_time() const noexcept;
 
+  /// Typed sibling of `next_event_time`.
+  [[nodiscard]] std::optional<util::seconds> next_event_at() const noexcept {
+    const auto t = next_event_time();
+    if (!t) return std::nullopt;
+    return util::seconds{*t};
+  }
+
   /// Schedule `action` at absolute time `at` (>= now()).
   handle schedule(double at, std::function<void()> action);
 
   /// Schedule `action` `delay` seconds from now (delay >= 0).
   handle schedule_in(double delay, std::function<void()> action);
+
+  /// Typed siblings of the scheduling calls — a distance or a rate can no
+  /// longer be scheduled as a timestamp by accident.
+  handle schedule(util::seconds at, std::function<void()> action) {
+    return schedule(at.value(), std::move(action));
+  }
+  handle schedule_in(util::seconds delay, std::function<void()> action) {
+    return schedule_in(delay.value(), std::move(action));
+  }
 
   /// Cancel a pending event. Returns false if it already ran or is unknown.
   bool cancel(handle h);
@@ -51,6 +74,9 @@ class event_queue {
   /// Run all events with time <= t, then advance the clock to t (if t > now).
   /// Returns the number of events executed.
   std::size_t run_until(double t);
+
+  /// Typed sibling of `run_until`.
+  std::size_t run_until(util::seconds t) { return run_until(t.value()); }
 
   /// Run until the queue drains or `max_events` have executed.
   /// Returns the number of events executed.

@@ -9,8 +9,8 @@ namespace vtm::sim {
 migration_report run_precopy(const vehicular_twin& twin, double rate_mb_s,
                              const precopy_params& params) {
   VTM_EXPECTS(rate_mb_s > 0.0);
-  VTM_EXPECTS(params.dirty_rate_mb_s >= 0.0);
-  VTM_EXPECTS(params.stop_copy_threshold_mb > 0.0);
+  VTM_EXPECTS(params.dirty_rate_mb_s >= util::mb_per_s{0.0});
+  VTM_EXPECTS(params.stop_copy_threshold_mb > util::megabytes{0.0});
   VTM_EXPECTS(params.max_rounds >= 1);
 
   migration_report report;
@@ -19,10 +19,10 @@ migration_report run_precopy(const vehicular_twin& twin, double rate_mb_s,
   // Phase 0: system-configuration block, pushed while the twin stays live.
   // Dirtying during this phase counts against the memory image, but the image
   // is already fully pending, so it does not grow beyond memory_mb.
-  if (twin.config().system_config_mb > 0.0) {
+  if (twin.config().system_config_mb > util::megabytes{0.0}) {
     migration_round config_round;
     config_round.index = report.rounds.size();
-    config_round.sent_mb = twin.config().system_config_mb;
+    config_round.sent_mb = twin.config().system_config_mb.value();
     config_round.duration_s = config_round.sent_mb / rate_mb_s;
     report.rounds.push_back(config_round);
     report.total_sent_mb += config_round.sent_mb;
@@ -32,7 +32,7 @@ migration_report run_precopy(const vehicular_twin& twin, double rate_mb_s,
   // Iterative pre-copy over the memory image (fluid model).
   double pending_mb = memory_mb;
   for (std::size_t round = 0; round < params.max_rounds; ++round) {
-    if (pending_mb <= params.stop_copy_threshold_mb) break;
+    if (pending_mb <= params.stop_copy_threshold_mb.value()) break;
     if (round + 1 == params.max_rounds) {
       report.converged = false;  // round budget forced the pause
       break;
@@ -43,7 +43,7 @@ migration_report run_precopy(const vehicular_twin& twin, double rate_mb_s,
     r.duration_s = pending_mb / rate_mb_s;
     // Dirt produced while this round streams; cannot exceed the image size.
     r.dirtied_mb =
-        std::min(memory_mb, params.dirty_rate_mb_s * r.duration_s);
+        std::min(memory_mb, params.dirty_rate_mb_s.value() * r.duration_s);
     report.rounds.push_back(r);
     report.total_sent_mb += r.sent_mb;
     report.total_time_s += r.duration_s;
@@ -57,7 +57,7 @@ migration_report run_precopy(const vehicular_twin& twin, double rate_mb_s,
   }
 
   // Final stop-and-copy: remaining dirty pages + runtime state, twin paused.
-  const double final_mb = pending_mb + twin.config().runtime_state_mb;
+  const double final_mb = pending_mb + twin.config().runtime_state_mb.value();
   if (final_mb > 0.0) {
     migration_round final_round;
     final_round.index = report.rounds.size();

@@ -18,14 +18,18 @@
 #include <vector>
 
 #include "sim/vt.hpp"
+#include "util/quantity.hpp"
 
 namespace vtm::sim {
 
-/// Tunables of the pre-copy algorithm.
+/// Tunables of the pre-copy algorithm. The dirty rate and the stop-and-copy
+/// threshold are typed (util/quantity.hpp) so a rate cannot be passed where
+/// a volume is expected; the report below stays raw double (record output).
 struct precopy_params {
-  double dirty_rate_mb_s = 0.0;     ///< Memory dirtied per second while live.
-  double stop_copy_threshold_mb = 1.0;  ///< Residue small enough to pause.
-  std::size_t max_rounds = 30;      ///< Iterative round budget (>= 1).
+  util::mb_per_s dirty_rate_mb_s{0.0};  ///< Memory dirtied while live.
+  util::megabytes stop_copy_threshold_mb{1.0};  ///< Residue small enough
+                                                ///< to pause.
+  std::size_t max_rounds = 30;  ///< Iterative round budget (>= 1).
 };
 
 /// One iterative copy round (or the stop-and-copy phase).

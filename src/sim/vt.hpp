@@ -11,14 +11,18 @@
 #include <cstdint>
 #include <string>
 
+#include "util/quantity.hpp"
+
 namespace vtm::sim {
 
-/// Static description of a VT's migratable footprint.
+/// Static description of a VT's migratable footprint. Data volumes are typed
+/// megabytes (util/quantity.hpp) so a page size cannot be confused with a
+/// rate or a duration at compile time.
 struct vt_config {
-  double system_config_mb = 2.0;   ///< CPU/GPU/device description block.
-  std::size_t memory_pages = 792;  ///< Historical memory page count.
-  double page_mb = 0.25;           ///< Page size in MB.
-  double runtime_state_mb = 0.0;   ///< Real-time state sent at stop-and-copy.
+  util::megabytes system_config_mb{2.0};  ///< CPU/GPU/device description.
+  std::size_t memory_pages = 792;         ///< Historical memory page count.
+  util::megabytes page_mb{0.25};          ///< Page size in MB.
+  util::megabytes runtime_state_mb{0.0};  ///< Real-time stop-and-copy state.
 };
 
 /// A vehicular twin instance deployed on an RSU edge server.
@@ -35,6 +39,13 @@ class vehicular_twin {
                                                     double total_mb,
                                                     double page_mb = 0.25);
 
+  /// Typed sibling of `with_total_mb`.
+  [[nodiscard]] static vehicular_twin with_total(
+      std::uint64_t vmu_id, util::megabytes total,
+      util::megabytes page = util::megabytes{0.25}) {
+    return with_total_mb(vmu_id, total.value(), page.value());
+  }
+
   /// Owning VMU's identifier.
   [[nodiscard]] std::uint64_t vmu_id() const noexcept { return vmu_id_; }
 
@@ -46,6 +57,14 @@ class vehicular_twin {
 
   /// Total migratable data in MB (config + memory + state) — the paper's D_n.
   [[nodiscard]] double total_mb() const noexcept;
+
+  /// Typed siblings of the footprint accessors.
+  [[nodiscard]] util::megabytes memory() const noexcept {
+    return util::megabytes{memory_mb()};
+  }
+  [[nodiscard]] util::megabytes total() const noexcept {
+    return util::megabytes{total_mb()};
+  }
 
   /// RSU currently hosting the twin.
   [[nodiscard]] std::size_t host_rsu() const noexcept { return host_rsu_; }

@@ -1,0 +1,361 @@
+// Compile-time dimensional analysis: zero-overhead strong unit types.
+//
+// Every physical quantity the paper's model carries — SI kinematics (m, s,
+// m/s), spectrum (MHz), data volume (MB, MB/s), radio power in logarithmic
+// (dBm/dB) and linear (W) form, arrival intensity (1/s), and the market's
+// price-per-MHz — gets its own `quantity<Tag>` wrapper around one double.
+// Construction from a raw double is explicit and reading one back requires
+// `.value()`, so a dBm-where-watts-expected or meters-where-seconds-expected
+// slip is a compile error instead of a silently wrong simulation
+// (tests/negative_compile/ proves each rejection class).
+//
+// The operator surface is a *curated* dimension table, not a general algebra:
+// only physically meaningful combinations exist.
+//
+//   - Same-dimension `+`/`-`/comparison/ratio for linear units
+//     (meters − meters → meters, meters / meters → double).
+//   - Cross-dimension products and quotients from the tables below
+//     (meters / seconds → mps, mps × seconds → meters,
+//      megabytes / mb_per_s → seconds, price_per_mhz × megahertz → double).
+//   - Logarithmic units follow log arithmetic: dbm + db → dbm (gain applied),
+//     dbm − dbm → db (a ratio), db ± db → db. There is *no* dbm + dbm, no
+//     scalar scaling of a log unit, and no implicit dbm ↔ watts path —
+//     conversion goes through util/units.hpp explicitly.
+//
+// Zero-overhead contract: each quantity is exactly one double (static_asserts
+// below), trivially copyable, and fully constexpr, so wrapping a config field
+// or an API parameter changes neither layout nor code generation — the tier-2
+// goldens stay bitwise (DESIGN.md §15).
+#pragma once
+
+#include <compare>
+#include <type_traits>
+
+namespace vtm::util {
+
+// --- dimension tags ----------------------------------------------------------
+
+struct meter_tag {};          ///< Distance along the highway/graph (m).
+struct second_tag {};         ///< Simulation time / durations (s).
+struct mps_tag {};            ///< Speed (m/s).
+struct megahertz_tag {};      ///< Spectrum bandwidth (MHz).
+struct megabyte_tag {};       ///< Data volume (MB, decimal).
+struct mb_per_s_tag {};       ///< Transfer / dirtying rate (MB/s).
+struct per_second_tag {};     ///< Arrival intensity λ (1/s).
+struct watt_tag {};           ///< Linear power (W).
+struct dbm_tag {};            ///< Absolute power, logarithmic (dBm).
+struct db_tag {};             ///< Power ratio / gain, logarithmic (dB).
+struct price_per_mhz_tag {};  ///< Market unit price (utility per MHz).
+
+/// Logarithmic units get log arithmetic only: no same-dimension `+`, no
+/// scalar scaling (2 × 3 dBm is not 6 dBm), no linear ratio.
+template <class Tag>
+inline constexpr bool is_linear_unit_v = true;
+template <>
+inline constexpr bool is_linear_unit_v<dbm_tag> = false;
+template <>
+inline constexpr bool is_linear_unit_v<db_tag> = false;
+
+// --- the quantity wrapper ----------------------------------------------------
+
+/// One double, tagged with its dimension. Explicit in, `.value()` out.
+template <class Tag>
+class quantity {
+ public:
+  using tag_type = Tag;
+
+  quantity() = default;
+  constexpr explicit quantity(double v) noexcept : v_(v) {}
+
+  /// The raw magnitude — the *only* way back to double, so every unit
+  /// boundary (records, tensors, legacy APIs) is visible at the call site.
+  [[nodiscard]] constexpr double value() const noexcept { return v_; }
+
+  /// Same-dimension ordering/equality only; cross-unit comparison is a
+  /// compile error (no implicit conversion between tags).
+  [[nodiscard]] constexpr auto operator<=>(const quantity&) const = default;
+
+  /// Same-dimension accumulation (linear units only — log units have no
+  /// same-dimension sum).
+  constexpr quantity& operator+=(quantity rhs) noexcept
+    requires is_linear_unit_v<Tag>
+  {
+    v_ += rhs.v_;
+    return *this;
+  }
+  constexpr quantity& operator-=(quantity rhs) noexcept
+    requires is_linear_unit_v<Tag>
+  {
+    v_ -= rhs.v_;
+    return *this;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+using meters = quantity<meter_tag>;
+using seconds = quantity<second_tag>;
+using mps = quantity<mps_tag>;
+using megahertz = quantity<megahertz_tag>;
+using megabytes = quantity<megabyte_tag>;
+using mb_per_s = quantity<mb_per_s_tag>;
+using per_second = quantity<per_second_tag>;
+using watts = quantity<watt_tag>;
+using dbm = quantity<dbm_tag>;
+using db = quantity<db_tag>;
+using price_per_mhz = quantity<price_per_mhz_tag>;
+
+namespace detail {
+/// Build an operator result that is either a quantity or a plain double
+/// (dimensionless results decay to double at the point they arise).
+template <class R>
+[[nodiscard]] constexpr R make_result(double v) noexcept {
+  if constexpr (std::is_same_v<R, double>) {
+    return v;
+  } else {
+    return R{v};
+  }
+}
+}  // namespace detail
+
+// --- same-dimension arithmetic (linear units) --------------------------------
+
+template <class Tag>
+  requires is_linear_unit_v<Tag>
+[[nodiscard]] constexpr quantity<Tag> operator+(quantity<Tag> a,
+                                                quantity<Tag> b) noexcept {
+  return quantity<Tag>{a.value() + b.value()};
+}
+
+template <class Tag>
+  requires is_linear_unit_v<Tag>
+[[nodiscard]] constexpr quantity<Tag> operator-(quantity<Tag> a,
+                                                quantity<Tag> b) noexcept {
+  return quantity<Tag>{a.value() - b.value()};
+}
+
+template <class Tag>
+  requires is_linear_unit_v<Tag>
+[[nodiscard]] constexpr quantity<Tag> operator-(quantity<Tag> a) noexcept {
+  return quantity<Tag>{-a.value()};
+}
+
+/// Dimensionless ratio of two like quantities.
+template <class Tag>
+  requires is_linear_unit_v<Tag>
+[[nodiscard]] constexpr double operator/(quantity<Tag> a,
+                                         quantity<Tag> b) noexcept {
+  return a.value() / b.value();
+}
+
+/// Scalar scaling (linear units only — scaling a log unit is meaningless).
+template <class Tag>
+  requires is_linear_unit_v<Tag>
+[[nodiscard]] constexpr quantity<Tag> operator*(double s,
+                                                quantity<Tag> a) noexcept {
+  return quantity<Tag>{s * a.value()};
+}
+
+template <class Tag>
+  requires is_linear_unit_v<Tag>
+[[nodiscard]] constexpr quantity<Tag> operator*(quantity<Tag> a,
+                                                double s) noexcept {
+  return quantity<Tag>{a.value() * s};
+}
+
+template <class Tag>
+  requires is_linear_unit_v<Tag>
+[[nodiscard]] constexpr quantity<Tag> operator/(quantity<Tag> a,
+                                                double s) noexcept {
+  return quantity<Tag>{a.value() / s};
+}
+
+// --- cross-dimension product/quotient tables ---------------------------------
+
+/// `quantity<A> * quantity<B>` exists iff `product_result<A, B>::type` does.
+template <class A, class B>
+struct product_result {};
+template <>
+struct product_result<mps_tag, second_tag> { using type = meters; };
+template <>
+struct product_result<second_tag, mps_tag> { using type = meters; };
+template <>
+struct product_result<mb_per_s_tag, second_tag> { using type = megabytes; };
+template <>
+struct product_result<second_tag, mb_per_s_tag> { using type = megabytes; };
+/// λ·T — the expected arrival count over a window (dimensionless).
+template <>
+struct product_result<per_second_tag, second_tag> { using type = double; };
+template <>
+struct product_result<second_tag, per_second_tag> { using type = double; };
+/// p·w — the market's payment term (utility units, dimensionless here).
+template <>
+struct product_result<price_per_mhz_tag, megahertz_tag> {
+  using type = double;
+};
+template <>
+struct product_result<megahertz_tag, price_per_mhz_tag> {
+  using type = double;
+};
+
+/// `quantity<A> / quantity<B>` (A ≠ B) exists iff
+/// `quotient_result<A, B>::type` does.
+template <class A, class B>
+struct quotient_result {};
+template <>
+struct quotient_result<meter_tag, second_tag> { using type = mps; };
+template <>
+struct quotient_result<meter_tag, mps_tag> { using type = seconds; };
+template <>
+struct quotient_result<megabyte_tag, second_tag> { using type = mb_per_s; };
+template <>
+struct quotient_result<megabyte_tag, mb_per_s_tag> { using type = seconds; };
+
+template <class A, class B>
+[[nodiscard]] constexpr typename product_result<A, B>::type operator*(
+    quantity<A> a, quantity<B> b) noexcept {
+  using result = typename product_result<A, B>::type;
+  return detail::make_result<result>(a.value() * b.value());
+}
+
+template <class A, class B>
+[[nodiscard]] constexpr typename quotient_result<A, B>::type operator/(
+    quantity<A> a, quantity<B> b) noexcept {
+  using result = typename quotient_result<A, B>::type;
+  return detail::make_result<result>(a.value() / b.value());
+}
+
+// --- logarithmic arithmetic --------------------------------------------------
+
+/// Apply a dB gain to an absolute dBm level (multiplication in linear space).
+[[nodiscard]] constexpr dbm operator+(dbm p, db g) noexcept {
+  return dbm{p.value() + g.value()};
+}
+[[nodiscard]] constexpr dbm operator+(db g, dbm p) noexcept {
+  return dbm{g.value() + p.value()};
+}
+[[nodiscard]] constexpr dbm operator-(dbm p, db g) noexcept {
+  return dbm{p.value() - g.value()};
+}
+/// The ratio of two absolute levels is a gain (division in linear space).
+[[nodiscard]] constexpr db operator-(dbm a, dbm b) noexcept {
+  return db{a.value() - b.value()};
+}
+/// Gains compose additively.
+[[nodiscard]] constexpr db operator+(db a, db b) noexcept {
+  return db{a.value() + b.value()};
+}
+[[nodiscard]] constexpr db operator-(db a, db b) noexcept {
+  return db{a.value() - b.value()};
+}
+[[nodiscard]] constexpr db operator-(db a) noexcept { return db{-a.value()}; }
+
+// --- literals ----------------------------------------------------------------
+
+namespace literals {
+
+// NOLINTBEGIN(google-runtime-int) — UDL signatures are fixed by the language.
+[[nodiscard]] constexpr meters operator""_m(long double v) noexcept {
+  return meters{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr meters operator""_m(unsigned long long v) noexcept {
+  return meters{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr seconds operator""_s(long double v) noexcept {
+  return seconds{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr seconds operator""_s(unsigned long long v) noexcept {
+  return seconds{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr mps operator""_mps(long double v) noexcept {
+  return mps{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr mps operator""_mps(unsigned long long v) noexcept {
+  return mps{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr megahertz operator""_mhz(long double v) noexcept {
+  return megahertz{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr megahertz operator""_mhz(
+    unsigned long long v) noexcept {
+  return megahertz{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr megabytes operator""_mb(long double v) noexcept {
+  return megabytes{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr megabytes operator""_mb(unsigned long long v) noexcept {
+  return megabytes{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr mb_per_s operator""_mb_s(long double v) noexcept {
+  return mb_per_s{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr mb_per_s operator""_mb_s(
+    unsigned long long v) noexcept {
+  return mb_per_s{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr per_second operator""_per_s(long double v) noexcept {
+  return per_second{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr per_second operator""_per_s(
+    unsigned long long v) noexcept {
+  return per_second{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr watts operator""_w(long double v) noexcept {
+  return watts{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr watts operator""_w(unsigned long long v) noexcept {
+  return watts{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr dbm operator""_dbm(long double v) noexcept {
+  return dbm{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr dbm operator""_dbm(unsigned long long v) noexcept {
+  return dbm{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr db operator""_db(long double v) noexcept {
+  return db{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr db operator""_db(unsigned long long v) noexcept {
+  return db{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr price_per_mhz operator""_per_mhz(
+    long double v) noexcept {
+  return price_per_mhz{static_cast<double>(v)};
+}
+[[nodiscard]] constexpr price_per_mhz operator""_per_mhz(
+    unsigned long long v) noexcept {
+  return price_per_mhz{static_cast<double>(v)};
+}
+// NOLINTEND(google-runtime-int)
+
+}  // namespace literals
+
+// --- zero-overhead and dimension-table proofs (DESIGN.md §15) ----------------
+
+static_assert(sizeof(quantity<meter_tag>) == sizeof(double),
+              "quantity must add no storage over its raw double");
+static_assert(alignof(quantity<meter_tag>) == alignof(double));
+static_assert(std::is_trivially_copyable_v<meters>);
+static_assert(std::is_trivially_copyable_v<dbm>);
+static_assert(std::is_standard_layout_v<meters>);
+static_assert(!std::is_convertible_v<double, meters>,
+              "construction from raw double must stay explicit");
+static_assert(!std::is_convertible_v<meters, double>,
+              "unwrapping must go through .value()");
+static_assert(!std::is_convertible_v<meters, seconds>);
+
+static_assert((meters{6.0} / seconds{2.0}) == mps{3.0});
+static_assert((mps{3.0} * seconds{2.0}) == meters{6.0});
+static_assert((meters{6.0} / mps{3.0}) == seconds{2.0});
+static_assert((megabytes{10.0} / mb_per_s{2.0}) == seconds{5.0});
+static_assert((megabytes{10.0} / seconds{5.0}) == mb_per_s{2.0});
+static_assert((per_second{5.0} * seconds{60.0}) == 300.0);
+static_assert((price_per_mhz{5.0} * megahertz{10.0}) == 50.0);
+static_assert((dbm{40.0} + db{-20.0}) == dbm{20.0});
+static_assert((dbm{40.0} - dbm{10.0}) == db{30.0});
+static_assert(meters{1.0} + meters{2.0} == meters{3.0});
+static_assert(meters{6.0} / meters{2.0} == 3.0);
+static_assert(2.0 * mps{3.0} == mps{6.0});
+
+}  // namespace vtm::util

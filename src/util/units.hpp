@@ -2,7 +2,16 @@
 //
 // The paper states channel parameters in logarithmic units (dBm / dB); all
 // internal computation is done in linear SI units (watts / unitless gains).
+//
+// Two parallel surfaces: the raw-double helpers (the legacy spelling, kept
+// for records/tensors and hot-loop internals that already unwrapped), and
+// typed overloads over util/quantity.hpp that make the unit crossing —
+// notably the only dbm → watts path — explicit in the type system. The typed
+// overloads forward to the raw helpers, so both spellings are bitwise
+// identical by construction (tests/property_test.cpp pins this).
 #pragma once
+
+#include "util/quantity.hpp"
 
 namespace vtm::util {
 
@@ -23,5 +32,38 @@ namespace vtm::util {
 
 /// Megahertz → hertz.
 [[nodiscard]] double mhz_to_hz(double mhz) noexcept;
+
+// --- typed overloads (the only dbm/db ↔ linear crossings) --------------------
+
+/// dBm → watts, the explicit logarithmic → linear power conversion (there is
+/// deliberately no arithmetic path between `dbm` and `watts`).
+[[nodiscard]] inline watts to_watts(dbm power) noexcept {
+  return watts{dbm_to_watt(power.value())};
+}
+
+/// Watts → dBm. Requires a positive power.
+[[nodiscard]] inline dbm to_dbm(watts power) {
+  return dbm{watt_to_dbm(power.value())};
+}
+
+/// dB gain → linear (dimensionless) ratio.
+[[nodiscard]] inline double to_linear(db gain) noexcept {
+  return db_to_linear(gain.value());
+}
+
+/// Linear (dimensionless) ratio → dB. Requires a positive ratio.
+[[nodiscard]] inline db to_db(double linear) {
+  return db{linear_to_db(linear)};
+}
+
+/// Data volume → bits (decimal convention, matching `megabytes_to_bits`).
+[[nodiscard]] inline double to_bits(megabytes volume) noexcept {
+  return megabytes_to_bits(volume.value());
+}
+
+/// Bandwidth → hertz.
+[[nodiscard]] inline double to_hz(megahertz bandwidth) noexcept {
+  return mhz_to_hz(bandwidth.value());
+}
 
 }  // namespace vtm::util

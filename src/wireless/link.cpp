@@ -8,12 +8,12 @@
 namespace vtm::wireless {
 
 link_budget::link_budget(const link_params& params) : params_(params) {
-  VTM_EXPECTS(params.distance_m > 0.0);
+  VTM_EXPECTS(params.distance_m > util::meters{0.0});
   VTM_EXPECTS(params.path_loss_exponent >= 0.0);
-  tx_watt_ = util::dbm_to_watt(params.tx_power_dbm);
-  gain_ = util::db_to_linear(params.unit_gain_db) *
-          std::pow(params.distance_m, -params.path_loss_exponent);
-  noise_watt_ = util::dbm_to_watt(params.noise_power_dbm);
+  tx_watt_ = util::to_watts(params.tx_power_dbm).value();
+  gain_ = util::to_linear(params.unit_gain_db) *
+          std::pow(params.distance_m.value(), -params.path_loss_exponent);
+  noise_watt_ = util::to_watts(params.noise_power_dbm).value();
   VTM_ENSURES(noise_watt_ > 0.0);
   snr_ = tx_watt_ * gain_ / noise_watt_;
   spectral_efficiency_ = std::log2(1.0 + snr_);

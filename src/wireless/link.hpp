@@ -6,15 +6,20 @@
 // γ = b·log2(1 + SNR) (OFDMA subchannels are orthogonal, so rates add).
 #pragma once
 
+#include "util/quantity.hpp"
+
 namespace vtm::wireless {
 
-/// Channel parameters in the paper's logarithmic units.
+/// Channel parameters in the paper's logarithmic units. Power levels and the
+/// link distance are typed quantities (util/quantity.hpp): dBm cannot be
+/// mistaken for watts or meters at compile time, and crossing into linear
+/// units goes through util/units.hpp explicitly.
 struct link_params {
-  double tx_power_dbm = 40.0;       ///< ρ — source RSU transmit power.
-  double unit_gain_db = -20.0;      ///< h0 — unit channel power gain.
-  double distance_m = 500.0;        ///< d — source↔destination distance.
-  double path_loss_exponent = 2.0;  ///< ε — path-loss coefficient.
-  double noise_power_dbm = -150.0;  ///< N0 — average noise power.
+  util::dbm tx_power_dbm{40.0};       ///< ρ — source RSU transmit power.
+  util::db unit_gain_db{-20.0};       ///< h0 — unit channel power gain.
+  util::meters distance_m{500.0};     ///< d — source↔destination distance.
+  double path_loss_exponent = 2.0;    ///< ε — path-loss coefficient (unitless).
+  util::dbm noise_power_dbm{-150.0};  ///< N0 — average noise power.
 };
 
 /// Derived linear-scale quantities for a point-to-point RSU link.
@@ -28,6 +33,14 @@ class link_budget {
 
   /// Transmit power in watts.
   [[nodiscard]] double tx_power_watt() const noexcept { return tx_watt_; }
+
+  /// Typed siblings of the linear-power accessors.
+  [[nodiscard]] util::watts tx_power() const noexcept {
+    return util::watts{tx_watt_};
+  }
+  [[nodiscard]] util::watts noise_power() const noexcept {
+    return util::watts{noise_watt_};
+  }
 
   /// Composite channel gain h0·d^−ε (linear, unitless).
   [[nodiscard]] double channel_gain() const noexcept { return gain_; }
@@ -51,6 +64,12 @@ class link_budget {
   /// Achievable rate in Mbit/s for a bandwidth in MHz.
   /// Requires bandwidth >= 0.
   [[nodiscard]] double rate_mbps(double bandwidth_mhz) const;
+
+  /// Typed sibling: rate for a typed bandwidth (Mbit/s stays a raw double —
+  /// rates feed straight into record/tensor aggregates).
+  [[nodiscard]] double rate_mbps(util::megahertz bandwidth) const {
+    return rate_mbps(bandwidth.value());
+  }
 
   /// Seconds to move `data_bits` over `bandwidth_hz`. Requires positive
   /// bandwidth and non-negative data.

@@ -92,7 +92,7 @@ void check_outcome_invariants(const core::competitive_market_config& config,
 core::fleet_config duopoly_fleet(double sharpness = 0.25) {
   core::fleet_config config;  // defaults: 8 RSUs, 100 vehicles, 120 s
   config.mode = core::market_mode::oligopoly;
-  config.msps = {{0.0, 5.0, 50.0, 50.0}, {0.0, 5.0, 50.0, 50.0}};
+  config.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}, {vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}};
   config.share_sharpness = sharpness;
   return config;
 }
@@ -148,7 +148,7 @@ TEST(competitive_market, m1_delegates_bitwise_to_spot_market) {
   vtm::util::rng gen(99);
   for (int trial = 0; trial < 50; ++trial) {
     core::competitive_market_config config;
-    config.msps = {{0.0, 5.0, 50.0, 50.0}};
+    config.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}};
     core::competitive_market oligo(config);
 
     core::spot_market_config mono_config;
@@ -196,7 +196,7 @@ TEST(competitive_market, oligopoly_clearing_invariants_randomized) {
       core::fleet_msp msp;
       msp.unit_cost = gen.uniform(2.0, 8.0);
       msp.price_cap = msp.unit_cost + gen.uniform(10.0, 50.0);
-      msp.bandwidth_per_pool_mhz = gen.uniform(1.0, 60.0);
+      msp.bandwidth_per_pool_mhz = vtm::util::megahertz{gen.uniform(1.0, 60.0)};
       config.msps.push_back(msp);
     }
     config.share_sharpness = gen.uniform(0.05, 2.0);
@@ -218,7 +218,7 @@ TEST(competitive_market, oligopoly_clearing_invariants_randomized) {
 // cohort defers (and stays in the book for the next clearing).
 TEST(competitive_market, starved_sellers_defer_the_cohort) {
   core::competitive_market_config config;
-  config.msps = {{0.0, 5.0, 50.0, 50.0}, {0.0, 5.0, 50.0, 50.0}};
+  config.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}, {vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}};
   core::competitive_market market(config);
   vtm::util::rng gen(3);
   for (std::size_t v = 0; v < 4; ++v) market.submit(draw_request(gen, v));
@@ -262,7 +262,7 @@ TEST(competitive_market, duopoly_undercuts_monopoly_on_one_cohort) {
   double sharp_price = 0.0;
   for (const double lambda : {0.25, 4.0}) {
     core::competitive_market_config config;
-    config.msps = {{0.0, 5.0, 50.0, 1000.0}, {0.0, 5.0, 50.0, 1000.0}};
+    config.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{1000.0}}, {vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{1000.0}}};
     config.share_sharpness = lambda;
     core::competitive_market market(config);
     for (const auto& request : cohort) market.submit(request);
@@ -292,7 +292,7 @@ TEST(competitive_market, scarce_duopoly_clears_at_rationing_price) {
   double sharp_price = 0.0;
   for (const double lambda : {0.25, 4.0}) {
     core::competitive_market_config config;
-    config.msps = {{0.0, 5.0, 50.0, 50.0}, {0.0, 5.0, 50.0, 50.0}};
+    config.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}, {vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}};
     config.share_sharpness = lambda;
     core::competitive_market market(config);
     for (const auto& request : cohort) market.submit(request);
@@ -322,9 +322,7 @@ TEST(competitive_market, learned_seat_respects_invariants) {
   vtm::util::rng gen(55);
   for (int trial = 0; trial < 40; ++trial) {
     core::competitive_market_config config;
-    config.msps = {{0.0, 5.0, 50.0, 50.0},
-                   {0.0, 4.0, 40.0, 30.0},
-                   {0.0, 6.0, 60.0, 40.0}};
+    config.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}, {vtm::util::meters{0.0}, 4.0, 40.0, vtm::util::megahertz{30.0}}, {vtm::util::meters{0.0}, 6.0, 60.0, vtm::util::megahertz{40.0}}};
     config.learned_msp = 1;
     config.pricer = random_competitor_pricer(
         700 + static_cast<std::uint64_t>(trial), config.msps[1].unit_cost,
@@ -354,13 +352,12 @@ TEST(competitive_market, validates_config) {
                vtm::util::contract_error);
 
   core::competitive_market_config bad_cost;
-  bad_cost.msps = {{0.0, -1.0, 50.0, 50.0}};
+  bad_cost.msps = {{vtm::util::meters{0.0}, -1.0, 50.0, vtm::util::megahertz{50.0}}};
   EXPECT_THROW((void)core::competitive_market{bad_cost},
                vtm::util::contract_error);
 
   core::competitive_market_config seat_without_pricer;
-  seat_without_pricer.msps = {{0.0, 5.0, 50.0, 50.0},
-                              {0.0, 5.0, 50.0, 50.0}};
+  seat_without_pricer.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}, {vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}};
   seat_without_pricer.learned_msp = 0;
   EXPECT_THROW((void)core::competitive_market{seat_without_pricer},
                vtm::util::contract_error);
@@ -421,10 +418,10 @@ TEST(competitive_market, fleet_m1_is_bitwise_joint) {
   }
   {
     core::fleet_config joint;
-    joint.rsu_positions_m = {800.0, 2000.0, 2900.0, 4400.0, 5200.0, 6800.0};
-    joint.coverage_radius_m = 900.0;
+    joint.rsu_positions_m = {vtm::util::meters{800.0}, vtm::util::meters{2000.0}, vtm::util::meters{2900.0}, vtm::util::meters{4400.0}, vtm::util::meters{5200.0}, vtm::util::meters{6800.0}};
+    joint.coverage_radius_m = vtm::util::meters{900.0};
     joint.vehicle_count = 80;
-    joint.duration_s = 90.0;
+    joint.duration_s = vtm::util::seconds{90.0};
     joint.seed = 99;
     const auto a = core::run_fleet_scenario(joint);
     auto oligo = joint;
@@ -483,7 +480,7 @@ TEST(competitive_market, fleet_cheaper_msp_wins_share) {
 // reproduces the serial oligopoly run bitwise.
 TEST(competitive_market, fleet_offset_duopoly_shards_match_serial) {
   auto config = duopoly_fleet();
-  config.msps[1].chain_offset_m = 120.0;
+  config.msps[1].chain_offset_m = vtm::util::meters{120.0};
   config.msps[1].unit_cost = 4.0;
   const auto serial = core::run_fleet_scenario(config);
   expect_fleet_conserved(config, serial);
@@ -510,22 +507,22 @@ TEST(competitive_market, fleet_offset_duopoly_shards_match_serial) {
 // books), and the migration still lands exactly once.
 TEST(competitive_market, fleet_cross_shard_retargets_reach_oligopoly_books) {
   core::fleet_config config;
-  config.rsu_positions_m = {1000.0, 2000.0, 4000.0};
-  config.coverage_radius_m = 1100.0;
+  config.rsu_positions_m = {vtm::util::meters{1000.0}, vtm::util::meters{2000.0}, vtm::util::meters{4000.0}};
+  config.coverage_radius_m = vtm::util::meters{1100.0};
   config.vehicle_count = 2;
-  config.min_speed_mps = 30.0;
-  config.max_speed_mps = 30.0;
+  config.min_speed_mps = vtm::util::mps{30.0};
+  config.max_speed_mps = vtm::util::mps{30.0};
   config.min_alpha = 5000.0;
   config.max_alpha = 5000.0;
-  config.min_data_mb = 280.0;
-  config.spawn_min_m = 1100.0;
-  config.spawn_max_m = 1400.0;
-  config.bandwidth_per_pool_mhz = 0.1;  // one grant saturates a pool
-  config.min_clearable_mhz = 0.1;
-  config.duration_s = 20.0;
+  config.min_data_mb = vtm::util::megabytes{280.0};
+  config.spawn_min_m = vtm::util::meters{1100.0};
+  config.spawn_max_m = vtm::util::meters{1400.0};
+  config.bandwidth_per_pool_mhz = vtm::util::megahertz{0.1};  // one grant saturates a pool
+  config.min_clearable_mhz = vtm::util::megahertz{0.1};
+  config.duration_s = vtm::util::seconds{20.0};
   config.shard_count = 3;
   config.mode = core::market_mode::oligopoly;
-  config.msps = {{0.0, 5.0, 50.0, 0.1}, {0.0, 5.0, 50.0, 0.1}};
+  config.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{0.1}}, {vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{0.1}}};
   const auto r = core::run_fleet_scenario(config);
 
   EXPECT_GT(r.cross_shard_retargets, 0u);
@@ -559,7 +556,7 @@ TEST(competitive_market, fleet_learned_seat_runs_conserved) {
 TEST(competitive_market, fleet_rejects_invalid_oligopoly_configs) {
   // A roster outside oligopoly mode is a misconfiguration, not ignorable.
   core::fleet_config roster_in_joint;
-  roster_in_joint.msps = {{0.0, 5.0, 50.0, 50.0}};
+  roster_in_joint.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{50.0}}};
   EXPECT_THROW((void)core::run_fleet_scenario(roster_in_joint),
                vtm::util::contract_error);
 
@@ -584,7 +581,7 @@ TEST(competitive_market, fleet_rejects_invalid_oligopoly_configs) {
   // An offset pushing a candidate pool across a shard boundary would let
   // two shards race on it: rejected up front.
   auto offset_too_far = duopoly_fleet();
-  offset_too_far.msps[1].chain_offset_m = -600.0;  // past the cell midpoint
+  offset_too_far.msps[1].chain_offset_m = vtm::util::meters{-600.0};  // past the cell midpoint
   offset_too_far.shard_count = 8;                  // one RSU per shard
   EXPECT_THROW((void)core::run_fleet_scenario(offset_too_far),
                vtm::util::contract_error);
@@ -597,7 +594,7 @@ TEST(competitive_market, fleet_rejects_invalid_oligopoly_configs) {
 // cost, not the answer.
 TEST(competitive_market, second_clearing_warm_starts_to_the_cold_answer) {
   core::competitive_market_config config;
-  config.msps = {{0.0, 5.0, 50.0, 40.0}, {0.0, 6.0, 50.0, 40.0}};
+  config.msps = {{vtm::util::meters{0.0}, 5.0, 50.0, vtm::util::megahertz{40.0}}, {vtm::util::meters{0.0}, 6.0, 50.0, vtm::util::megahertz{40.0}}};
   config.share_sharpness = 0.5;
   const std::vector<double> available{40.0, 40.0};
 

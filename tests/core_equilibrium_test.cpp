@@ -141,14 +141,14 @@ INSTANTIATE_TEST_SUITE_P(
                     [] {
                       core::market_params p;
                       p.vmus = {{800.0, 150.0}, {800.0, 150.0}};
-                      p.bandwidth_cap_mhz = 12.0;
+                      p.bandwidth_cap_mhz = vtm::util::megahertz{12.0};
                       return p;
                     }()},
         market_case{"price_cap_binds",
                     [] {
                       core::market_params p;
                       p.vmus.assign(8, core::vmu_profile{2000.0, 100.0});
-                      p.bandwidth_cap_mhz = 20.0;
+                      p.bandwidth_cap_mhz = vtm::util::megahertz{20.0};
                       p.price_cap = 40.0;
                       return p;
                     }()},
@@ -166,7 +166,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(regimes, price_cap_binds_when_demand_is_huge) {
   core::market_params p;
   p.vmus.assign(8, core::vmu_profile{2000.0, 100.0});
-  p.bandwidth_cap_mhz = 20.0;
+  p.bandwidth_cap_mhz = vtm::util::megahertz{20.0};
   p.price_cap = 40.0;
   const auto eq = core::solve_equilibrium(core::migration_market(p));
   EXPECT_EQ(eq.regime, core::equilibrium_regime::price_capped);

@@ -245,7 +245,7 @@ TEST(generalized_market, best_response_is_utility_maximizing) {
     const double best = market.best_response(n, price);
     const double at_best = market.vmu_utility(n, best, price);
     for (double b : {best * 0.5, best * 0.9, best * 1.1, best * 1.5}) {
-      if (b <= 0.0 || b > market.params().bandwidth_cap_mhz) continue;
+      if (b <= 0.0 || b > market.params().bandwidth_cap_mhz.value()) continue;
       EXPECT_GE(at_best + 1e-6, market.vmu_utility(n, b, price));
     }
   }
@@ -275,7 +275,7 @@ TEST(generalized_market, models_rank_demand_consistently) {
 TEST(generalized_market, rationing_applies) {
   const core::log_immersion model;
   auto params = monopoly_params();
-  params.bandwidth_cap_mhz = 5.0;
+  params.bandwidth_cap_mhz = vtm::util::megahertz{5.0};
   const core::generalized_market market(params, model);
   const auto demands = market.demands(10.0);
   double total = 0.0;

@@ -160,7 +160,7 @@ TEST(best_response, demand_decreases_with_price) {
 
 TEST(demands, rationing_caps_at_bmax) {
   auto params = two_vmu_params();
-  params.bandwidth_cap_mhz = 10.0;  // force the cap to bind at p = 20
+  params.bandwidth_cap_mhz = vtm::util::megahertz{10.0};  // force the cap to bind at p = 20
   const core::migration_market market(params);
   const auto rationed = market.demands(20.0);
   double total = 0.0;

@@ -120,7 +120,7 @@ TEST(fig_golden, fleet_joint_aggregates) {
   core::fleet_config config;
   config.rsu_count = 8;
   config.vehicle_count = 100;
-  config.duration_s = 60.0;
+  config.duration_s = vtm::util::seconds{60.0};
   config.record_migrations = false;
   const auto r100 = core::run_fleet_scenario(config);
   EXPECT_EQ(r100.handovers, 156u);
@@ -154,7 +154,7 @@ TEST(fig_golden, fleet_oligopoly_m1_matches_joint_pins) {
   core::fleet_config config;
   config.rsu_count = 8;
   config.vehicle_count = 100;
-  config.duration_s = 60.0;
+  config.duration_s = vtm::util::seconds{60.0};
   config.record_migrations = false;
   config.mode = core::market_mode::oligopoly;
   const auto r100 = core::run_fleet_scenario(config);
@@ -187,7 +187,7 @@ TEST(fig_golden, fleet_sequential_aggregates) {
   core::fleet_config config;
   config.rsu_count = 6;
   config.vehicle_count = 40;
-  config.duration_s = 60.0;
+  config.duration_s = vtm::util::seconds{60.0};
   config.mode = core::market_mode::single;
   config.record_migrations = false;
   const auto r = core::run_fleet_scenario(config);
@@ -220,10 +220,10 @@ TEST(fig_golden, fleet_shard1_matches_pre_shard_engine) {
   }
   {
     core::fleet_config config;
-    config.rsu_positions_m = {800.0, 2000.0, 2900.0, 4400.0, 5200.0, 6800.0};
-    config.coverage_radius_m = 900.0;
+    config.rsu_positions_m = {vtm::util::meters{800.0}, vtm::util::meters{2000.0}, vtm::util::meters{2900.0}, vtm::util::meters{4400.0}, vtm::util::meters{5200.0}, vtm::util::meters{6800.0}};
+    config.coverage_radius_m = vtm::util::meters{900.0};
     config.vehicle_count = 80;
-    config.duration_s = 90.0;
+    config.duration_s = vtm::util::seconds{90.0};
     config.seed = 99;
     const auto r = core::run_fleet_scenario(config);
     EXPECT_EQ(r.handovers, 146u);
@@ -236,11 +236,11 @@ TEST(fig_golden, fleet_shard1_matches_pre_shard_engine) {
   {
     core::fleet_config config;
     config.vehicle_count = 60;
-    config.bandwidth_per_pool_mhz = 6.0;
+    config.bandwidth_per_pool_mhz = vtm::util::megahertz{6.0};
     config.min_alpha = 4000.0;
     config.max_alpha = 5000.0;
-    config.min_data_mb = 250.0;
-    config.duration_s = 90.0;
+    config.min_data_mb = vtm::util::megabytes{250.0};
+    config.duration_s = vtm::util::seconds{90.0};
     config.seed = 7;
     const auto r = core::run_fleet_scenario(config);
     EXPECT_EQ(r.handovers, 134u);

@@ -22,7 +22,7 @@ namespace {
 core::fleet_config uncongested_fleet() {
   core::fleet_config config;
   config.vehicle_count = 100;
-  config.duration_s = 60.0;
+  config.duration_s = vtm::util::seconds{60.0};
   config.record_migrations = false;
   config.seed = 2023;
   return config;
@@ -31,7 +31,7 @@ core::fleet_config uncongested_fleet() {
 core::fleet_config congested_fleet() {
   auto config = uncongested_fleet();
   config.vehicle_count = 5000;
-  config.duration_s = 30.0;
+  config.duration_s = vtm::util::seconds{30.0};
   return config;
 }
 

@@ -29,10 +29,10 @@ core::scenario_config starved_config() {
   config.vehicle_count = 6;
   config.min_alpha = 5000.0;
   config.max_alpha = 5000.0;
-  config.min_data_mb = 280.0;
-  config.max_data_mb = 300.0;
-  config.bandwidth_cap_mhz = 8.0;
-  config.duration_s = 90.0;
+  config.min_data_mb = vtm::util::megabytes{280.0};
+  config.max_data_mb = vtm::util::megabytes{300.0};
+  config.bandwidth_cap_mhz = vtm::util::megahertz{8.0};
+  config.duration_s = vtm::util::seconds{90.0};
   return config;
 }
 
@@ -76,7 +76,7 @@ TEST(fleet_scenario, deferral_retries_do_not_inflate_handovers) {
 TEST(fleet_scenario, drains_until_empty_and_totals_match_records) {
   core::scenario_config config;
   config.vehicle_count = 5;
-  config.duration_s = 150.0;
+  config.duration_s = vtm::util::seconds{150.0};
   const auto result = core::run_highway_scenario(config);
 
   ASSERT_FALSE(result.migrations.empty());
@@ -98,9 +98,9 @@ TEST(fleet_scenario, drains_until_empty_and_totals_match_records) {
 TEST(fleet_scenario, in_flight_migrations_at_horizon_are_not_lost) {
   core::scenario_config config;
   config.vehicle_count = 8;
-  config.duration_s = 20.0;        // short horizon, migrations overhang it
-  config.bandwidth_cap_mhz = 2.0;  // tight pool: slow transfers...
-  config.dirty_rate_mb_s = 70.0;   // ...dirtied near line rate: long pre-copy
+  config.duration_s = vtm::util::seconds{20.0};        // short horizon, migrations overhang it
+  config.bandwidth_cap_mhz = vtm::util::megahertz{2.0};  // tight pool: slow transfers...
+  config.dirty_rate_mb_s = vtm::util::mb_per_s{70.0};   // ...dirtied near line rate: long pre-copy
   const auto result = core::run_highway_scenario(config);
   EXPECT_EQ(result.completed, result.migrations.size());
   double msp = 0.0;
@@ -110,7 +110,7 @@ TEST(fleet_scenario, in_flight_migrations_at_horizon_are_not_lost) {
   const bool overhang = std::any_of(
       result.migrations.begin(), result.migrations.end(),
       [&](const core::migration_record& m) {
-        return m.start_s + m.aotm_simulated > config.duration_s;
+        return m.start_s + m.aotm_simulated > config.duration_s.value();
       });
   EXPECT_TRUE(overhang);
 }
@@ -158,10 +158,10 @@ TEST(fleet_scenario, highway_scenario_is_bitwise_deterministic) {
 TEST(fleet_scenario, same_epoch_handovers_clear_as_one_market) {
   core::scenario_config config;
   config.vehicle_count = 8;
-  config.min_speed_mps = 30.0;
-  config.max_speed_mps = 30.0;  // same speed: crossings cluster by position
-  config.clearing_epoch_s = 10.0;
-  config.duration_s = 60.0;
+  config.min_speed_mps = vtm::util::mps{30.0};
+  config.max_speed_mps = vtm::util::mps{30.0};  // same speed: crossings cluster by position
+  config.clearing_epoch_s = vtm::util::seconds{10.0};
+  config.duration_s = vtm::util::seconds{60.0};
   const auto result = core::run_highway_scenario(config);
 
   ASSERT_FALSE(result.migrations.empty());
@@ -184,9 +184,9 @@ TEST(fleet_scenario, single_mode_always_prices_solo_markets) {
   core::scenario_config config;
   config.mode = core::market_mode::single;
   config.vehicle_count = 8;
-  config.min_speed_mps = 30.0;
-  config.max_speed_mps = 30.0;
-  config.duration_s = 60.0;
+  config.min_speed_mps = vtm::util::mps{30.0};
+  config.max_speed_mps = vtm::util::mps{30.0};
+  config.duration_s = vtm::util::seconds{60.0};
   const auto result = core::run_highway_scenario(config);
   ASSERT_FALSE(result.migrations.empty());
   for (const auto& record : result.migrations) EXPECT_EQ(record.cohort, 1u);
@@ -198,7 +198,7 @@ TEST(fleet_scenario, fleet_run_spreads_load_over_rsu_pools) {
   core::fleet_config config;
   config.rsu_count = 8;
   config.vehicle_count = 60;
-  config.duration_s = 60.0;
+  config.duration_s = vtm::util::seconds{60.0};
   const auto result = core::run_fleet_scenario(config);
 
   EXPECT_GT(result.handovers, 0u);
@@ -224,7 +224,7 @@ TEST(fleet_scenario, fleet_run_spreads_load_over_rsu_pools) {
 TEST(fleet_scenario, record_toggle_preserves_aggregates) {
   core::fleet_config config;
   config.vehicle_count = 30;
-  config.duration_s = 45.0;
+  config.duration_s = vtm::util::seconds{45.0};
   auto bare = config;
   bare.record_migrations = false;
   const auto with_records = core::run_fleet_scenario(config);
@@ -239,7 +239,7 @@ TEST(fleet_scenario, record_toggle_preserves_aggregates) {
 TEST(fleet_scenario, parallel_sweep_is_bitwise_equal_to_serial) {
   core::fleet_config base;
   base.vehicle_count = 20;
-  base.duration_s = 40.0;
+  base.duration_s = vtm::util::seconds{40.0};
   const std::array<std::uint64_t, 4> seeds{1, 2, 3, 4};
   const auto serial = core::run_fleet_sweep(base, seeds, 0);
   const auto threaded = core::run_fleet_sweep(base, seeds, 2);
@@ -262,7 +262,7 @@ TEST(fleet_scenario, rejects_invalid_configs) {
   EXPECT_THROW((void)core::run_fleet_scenario(bad),
                vtm::util::contract_error);
   core::fleet_config negative_epoch;
-  negative_epoch.clearing_epoch_s = -1.0;
+  negative_epoch.clearing_epoch_s = vtm::util::seconds{-1.0};
   EXPECT_THROW((void)core::run_fleet_scenario(negative_epoch),
                vtm::util::contract_error);
 }

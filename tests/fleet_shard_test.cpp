@@ -28,10 +28,10 @@ namespace {
 
 core::fleet_config nonuniform_config() {
   core::fleet_config config;
-  config.rsu_positions_m = {800.0, 2000.0, 2900.0, 4400.0, 5200.0, 6800.0};
-  config.coverage_radius_m = 900.0;
+  config.rsu_positions_m = {vtm::util::meters{800.0}, vtm::util::meters{2000.0}, vtm::util::meters{2900.0}, vtm::util::meters{4400.0}, vtm::util::meters{5200.0}, vtm::util::meters{6800.0}};
+  config.coverage_radius_m = vtm::util::meters{900.0};
   config.vehicle_count = 80;
-  config.duration_s = 90.0;
+  config.duration_s = vtm::util::seconds{90.0};
   config.seed = 99;
   return config;
 }
@@ -39,11 +39,11 @@ core::fleet_config nonuniform_config() {
 core::fleet_config congested_config() {
   core::fleet_config config;
   config.vehicle_count = 60;
-  config.bandwidth_per_pool_mhz = 6.0;
+  config.bandwidth_per_pool_mhz = vtm::util::megahertz{6.0};
   config.min_alpha = 4000.0;
   config.max_alpha = 5000.0;
-  config.min_data_mb = 250.0;
-  config.duration_s = 90.0;
+  config.min_data_mb = vtm::util::megabytes{250.0};
+  config.duration_s = vtm::util::seconds{90.0};
   config.seed = 7;
   return config;
 }
@@ -272,7 +272,7 @@ TEST(fleet_shard, drain_sweep_rehomes_abandoned_twins) {
   vehicles[0].kinematics = {2600.0, 25.0};
   vehicles[0].profile = {1000.0, 200.0};
   vehicles[0].twin = std::make_unique<sim::vehicular_twin>(
-      sim::vehicular_twin::with_total_mb(0, 200.0, config.page_mb));
+      sim::vehicular_twin::with_total_mb(0, 200.0, config.page_mb.value()));
   vehicles[0].twin->set_host_rsu(1);
 
   sim::shard_mailbox<core::shard_message> mailbox(1);
@@ -300,9 +300,9 @@ TEST(fleet_shard, drain_sweep_rehomes_abandoned_twins) {
 TEST(fleet_shard, explicit_zero_spawn_window_is_not_auto) {
   core::fleet_config config;
   config.vehicle_count = 10;
-  config.duration_s = 30.0;
-  config.spawn_min_m = 0.0;  // pre-fix: conflated with the auto sentinel
-  config.spawn_max_m = 0.0;
+  config.duration_s = vtm::util::seconds{30.0};
+  config.spawn_min_m = vtm::util::meters{0.0};  // pre-fix: conflated with the auto sentinel
+  config.spawn_max_m = vtm::util::meters{0.0};
   const auto r = core::run_fleet_scenario(config);
   // Everyone spawns at 0 m: the first boundary (1500 m) is out of reach
   // within 30 s at <= 35 m/s, so an honest [0, 0] window admits no
@@ -313,8 +313,8 @@ TEST(fleet_shard, explicit_zero_spawn_window_is_not_auto) {
 
 TEST(fleet_shard, rejects_inverted_explicit_spawn_window) {
   core::fleet_config config;
-  config.spawn_min_m = 500.0;
-  config.spawn_max_m = 100.0;
+  config.spawn_min_m = vtm::util::meters{500.0};
+  config.spawn_max_m = vtm::util::meters{100.0};
   EXPECT_THROW((void)core::run_fleet_scenario(config),
                vtm::util::contract_error);
 }
@@ -327,19 +327,19 @@ TEST(fleet_shard, rejects_inverted_explicit_spawn_window) {
 // gap (2000 m here) instead of the actual 3000 m hop.
 TEST(fleet_shard, drifted_grants_use_actual_from_to_gap) {
   core::fleet_config config;
-  config.rsu_positions_m = {1000.0, 2000.0, 4000.0};
-  config.coverage_radius_m = 1100.0;
+  config.rsu_positions_m = {vtm::util::meters{1000.0}, vtm::util::meters{2000.0}, vtm::util::meters{4000.0}};
+  config.coverage_radius_m = vtm::util::meters{1100.0};
   config.vehicle_count = 2;
-  config.min_speed_mps = 30.0;
-  config.max_speed_mps = 30.0;
+  config.min_speed_mps = vtm::util::mps{30.0};
+  config.max_speed_mps = vtm::util::mps{30.0};
   config.min_alpha = 5000.0;
   config.max_alpha = 5000.0;
-  config.min_data_mb = 280.0;  // long transfer: the deferred vehicle drifts
-  config.spawn_min_m = 1100.0;
-  config.spawn_max_m = 1400.0;
-  config.bandwidth_per_pool_mhz = 0.1;  // one grant saturates a pool
-  config.min_clearable_mhz = 0.1;
-  config.duration_s = 20.0;
+  config.min_data_mb = vtm::util::megabytes{280.0};  // long transfer: the deferred vehicle drifts
+  config.spawn_min_m = vtm::util::meters{1100.0};
+  config.spawn_max_m = vtm::util::meters{1400.0};
+  config.bandwidth_per_pool_mhz = vtm::util::megahertz{0.1};  // one grant saturates a pool
+  config.min_clearable_mhz = vtm::util::megahertz{0.1};
+  config.duration_s = vtm::util::seconds{20.0};
   const auto r = core::run_fleet_scenario(config);
 
   const auto drifted = std::find_if(
@@ -352,15 +352,15 @@ TEST(fleet_shard, drifted_grants_use_actual_from_to_gap) {
   vtm::util::rng gen(config.seed);
   double data_mb[2];
   for (std::size_t v = 0; v < 2; ++v) {
-    (void)gen.uniform(config.spawn_min_m, config.spawn_max_m);
-    (void)gen.uniform(config.min_speed_mps, config.max_speed_mps);
+    (void)gen.uniform(config.spawn_min_m.value(), config.spawn_max_m.value());
+    (void)gen.uniform(config.min_speed_mps.value(), config.max_speed_mps.value());
     (void)gen.uniform(config.min_alpha, config.max_alpha);
-    data_mb[v] = gen.uniform(config.min_data_mb, config.max_data_mb);
+    data_mb[v] = gen.uniform(config.min_data_mb.value(), config.max_data_mb.value());
   }
   const auto twin = sim::vehicular_twin::with_total_mb(
-      drifted->vehicle, data_mb[drifted->vehicle], config.page_mb);
+      drifted->vehicle, data_mb[drifted->vehicle], config.page_mb.value());
   vtm::wireless::link_params actual = config.link;
-  actual.distance_m = 3000.0;  // centre 0 -> centre 2
+  actual.distance_m = vtm::util::meters{3000.0};  // centre 0 -> centre 2
   const vtm::wireless::link_budget budget(actual);
   EXPECT_DOUBLE_EQ(
       drifted->aotm_closed_form,
@@ -377,8 +377,8 @@ TEST(fleet_shard, backward_traffic_is_rejected_by_design) {
   EXPECT_EQ(event->to_rsu, 1u);
 
   core::fleet_config config;
-  config.min_speed_mps = -30.0;
-  config.max_speed_mps = -10.0;
+  config.min_speed_mps = vtm::util::mps{-30.0};
+  config.max_speed_mps = vtm::util::mps{-10.0};
   EXPECT_THROW((void)core::run_fleet_scenario(config),
                vtm::util::contract_error);
 }
@@ -391,7 +391,7 @@ TEST(fleet_shard, backward_traffic_is_rejected_by_design) {
 TEST(fleet_shard, identity_channel_overrides_are_bitwise_inert) {
   core::fleet_config config;
   config.vehicle_count = 60;
-  config.duration_s = 60.0;
+  config.duration_s = vtm::util::seconds{60.0};
   const auto baseline = core::run_fleet_scenario(config);
 
   auto overridden = config;
@@ -411,16 +411,16 @@ TEST(fleet_shard, noisier_cell_slows_its_own_migrations) {
   core::fleet_config config;
   config.rsu_count = 4;
   config.vehicle_count = 1;
-  config.spawn_min_m = 1200.0;  // one boundary (1500 m) within the horizon
-  config.spawn_max_m = 1400.0;
-  config.duration_s = 30.0;
+  config.spawn_min_m = vtm::util::meters{1200.0};  // one boundary (1500 m) within the horizon
+  config.spawn_max_m = vtm::util::meters{1400.0};
+  config.duration_s = vtm::util::seconds{30.0};
   const auto baseline = core::run_fleet_scenario(config);
   ASSERT_EQ(baseline.completed, 1u);
   EXPECT_EQ(baseline.migrations[0].to_rsu, 1u);
 
   auto noisy = config;
   noisy.rsu_noise_dbm.assign(config.rsu_count, config.link.noise_power_dbm);
-  noisy.rsu_noise_dbm[1] = config.link.noise_power_dbm + 12.0;
+  noisy.rsu_noise_dbm[1] = vtm::util::dbm{config.link.noise_power_dbm.value() + 12.0};
   const auto r = core::run_fleet_scenario(noisy);
   ASSERT_EQ(r.completed, 1u);
   EXPECT_GT(r.migrations[0].aotm_closed_form,
@@ -431,7 +431,7 @@ TEST(fleet_shard, noisier_cell_slows_its_own_migrations) {
   // A hotter transmitter pushes the other way.
   auto boosted = config;
   boosted.rsu_tx_power_dbm.assign(config.rsu_count, config.link.tx_power_dbm);
-  boosted.rsu_tx_power_dbm[1] = config.link.tx_power_dbm + 6.0;
+  boosted.rsu_tx_power_dbm[1] = vtm::util::dbm{config.link.tx_power_dbm.value() + 6.0};
   const auto b = core::run_fleet_scenario(boosted);
   ASSERT_EQ(b.completed, 1u);
   EXPECT_LT(b.migrations[0].aotm_closed_form,
@@ -440,20 +440,21 @@ TEST(fleet_shard, noisier_cell_slows_its_own_migrations) {
 
 TEST(fleet_shard, rejects_malformed_channel_overrides) {
   core::fleet_config wrong_size;
-  wrong_size.rsu_noise_dbm = {-150.0, -150.0};  // 8-RSU chain
+  wrong_size.rsu_noise_dbm = {vtm::util::dbm{-150.0}, vtm::util::dbm{-150.0}};  // 8-RSU chain
   EXPECT_THROW((void)core::run_fleet_scenario(wrong_size),
                vtm::util::contract_error);
 
   core::fleet_config not_finite;
-  not_finite.rsu_tx_power_dbm.assign(not_finite.rsu_count, 40.0);
+  not_finite.rsu_tx_power_dbm.assign(not_finite.rsu_count,
+                                     vtm::util::dbm{40.0});
   not_finite.rsu_tx_power_dbm[3] =
-      std::numeric_limits<double>::quiet_NaN();
+      vtm::util::dbm{std::numeric_limits<double>::quiet_NaN()};
   EXPECT_THROW((void)core::run_fleet_scenario(not_finite),
                vtm::util::contract_error);
 
   core::fleet_config shared;
   shared.shared_pool = true;
-  shared.rsu_noise_dbm.assign(shared.rsu_count, -150.0);
+  shared.rsu_noise_dbm.assign(shared.rsu_count, vtm::util::dbm{-150.0});
   EXPECT_THROW((void)core::run_fleet_scenario(shared),
                vtm::util::contract_error);
 }
@@ -472,19 +473,19 @@ TEST(fleet_shard, rejects_malformed_channel_overrides) {
 // drifted.
 TEST(fleet_shard, same_instant_cross_shard_retargets_serialize_in_fifo_order) {
   core::fleet_config config;
-  config.rsu_positions_m = {1000.0, 2000.0, 4000.0};
-  config.coverage_radius_m = 1100.0;
+  config.rsu_positions_m = {vtm::util::meters{1000.0}, vtm::util::meters{2000.0}, vtm::util::meters{4000.0}};
+  config.coverage_radius_m = vtm::util::meters{1100.0};
   config.vehicle_count = 3;
-  config.min_speed_mps = 30.0;
-  config.max_speed_mps = 30.0;
+  config.min_speed_mps = vtm::util::mps{30.0};
+  config.max_speed_mps = vtm::util::mps{30.0};
   config.min_alpha = 5000.0;
   config.max_alpha = 5000.0;
-  config.min_data_mb = 280.0;
-  config.spawn_min_m = 1100.0;
-  config.spawn_max_m = 1400.0;
-  config.bandwidth_per_pool_mhz = 0.1;  // one grant saturates a pool
-  config.min_clearable_mhz = 0.1;
-  config.duration_s = 20.0;
+  config.min_data_mb = vtm::util::megabytes{280.0};
+  config.spawn_min_m = vtm::util::meters{1100.0};
+  config.spawn_max_m = vtm::util::meters{1400.0};
+  config.bandwidth_per_pool_mhz = vtm::util::megahertz{0.1};  // one grant saturates a pool
+  config.min_clearable_mhz = vtm::util::megahertz{0.1};
+  config.duration_s = vtm::util::seconds{20.0};
 
   const auto serial = core::run_fleet_scenario(config);
 
@@ -530,19 +531,19 @@ TEST(fleet_shard, same_instant_cross_shard_retargets_serialize_in_fifo_order) {
 // migration still lands exactly once.
 TEST(fleet_shard, cross_shard_retarget_rehomes_deferred_requests) {
   core::fleet_config config;
-  config.rsu_positions_m = {1000.0, 2000.0, 4000.0};
-  config.coverage_radius_m = 1100.0;
+  config.rsu_positions_m = {vtm::util::meters{1000.0}, vtm::util::meters{2000.0}, vtm::util::meters{4000.0}};
+  config.coverage_radius_m = vtm::util::meters{1100.0};
   config.vehicle_count = 2;
-  config.min_speed_mps = 30.0;
-  config.max_speed_mps = 30.0;
+  config.min_speed_mps = vtm::util::mps{30.0};
+  config.max_speed_mps = vtm::util::mps{30.0};
   config.min_alpha = 5000.0;
   config.max_alpha = 5000.0;
-  config.min_data_mb = 280.0;
-  config.spawn_min_m = 1100.0;
-  config.spawn_max_m = 1400.0;
-  config.bandwidth_per_pool_mhz = 0.1;
-  config.min_clearable_mhz = 0.1;
-  config.duration_s = 20.0;
+  config.min_data_mb = vtm::util::megabytes{280.0};
+  config.spawn_min_m = vtm::util::meters{1100.0};
+  config.spawn_max_m = vtm::util::meters{1400.0};
+  config.bandwidth_per_pool_mhz = vtm::util::megahertz{0.1};
+  config.min_clearable_mhz = vtm::util::megahertz{0.1};
+  config.duration_s = vtm::util::seconds{20.0};
   config.shard_count = 3;
   const auto r = core::run_fleet_scenario(config);
 
@@ -567,7 +568,7 @@ core::fleet_config grid_config() {
   config.graph = std::make_shared<const sim::road_graph>(
       sim::road_graph::grid(4, 4, 1000.0, 600.0));
   config.vehicle_count = 300;
-  config.duration_s = 120.0;
+  config.duration_s = vtm::util::seconds{120.0};
   config.seed = 61;
   return config;
 }

@@ -136,7 +136,7 @@ TEST(scenario, runs_and_records_migrations) {
     EXPECT_GE(record.price, config.unit_cost);
     EXPECT_LE(record.price, config.price_cap);
     EXPECT_GT(record.bandwidth_mhz, 0.0);
-    EXPECT_LE(record.bandwidth_mhz, config.bandwidth_cap_mhz + 1e-9);
+    EXPECT_LE(record.bandwidth_mhz, config.bandwidth_cap_mhz.value() + 1e-9);
     EXPECT_GT(record.aotm_closed_form, 0.0);
     // Pre-copy with dirtying can only be slower than the cold copy.
     EXPECT_GE(record.aotm_simulated, record.aotm_closed_form - 1e-9);
@@ -149,7 +149,7 @@ TEST(scenario, runs_and_records_migrations) {
 
 TEST(scenario, zero_dirty_rate_matches_closed_form_exactly) {
   core::scenario_config config;
-  config.dirty_rate_mb_s = 0.0;
+  config.dirty_rate_mb_s = vtm::util::mb_per_s{0.0};
   const auto result = core::run_highway_scenario(config);
   ASSERT_FALSE(result.migrations.empty());
   for (const auto& record : result.migrations) {
@@ -160,9 +160,9 @@ TEST(scenario, zero_dirty_rate_matches_closed_form_exactly) {
 
 TEST(scenario, dirty_pages_amplify_traffic) {
   core::scenario_config clean;
-  clean.dirty_rate_mb_s = 0.0;
+  clean.dirty_rate_mb_s = vtm::util::mb_per_s{0.0};
   core::scenario_config dirty;
-  dirty.dirty_rate_mb_s = 100.0;
+  dirty.dirty_rate_mb_s = vtm::util::mb_per_s{100.0};
   const auto clean_result = core::run_highway_scenario(clean);
   const auto dirty_result = core::run_highway_scenario(dirty);
   ASSERT_FALSE(clean_result.migrations.empty());
@@ -196,11 +196,11 @@ TEST(scenario, more_vehicles_more_migrations) {
 
 TEST(scenario, faster_vehicles_cross_more_boundaries) {
   core::scenario_config slow;
-  slow.min_speed_mps = 10.0;
-  slow.max_speed_mps = 12.0;
+  slow.min_speed_mps = vtm::util::mps{10.0};
+  slow.max_speed_mps = vtm::util::mps{12.0};
   core::scenario_config fast;
-  fast.min_speed_mps = 30.0;
-  fast.max_speed_mps = 34.0;
+  fast.min_speed_mps = vtm::util::mps{30.0};
+  fast.max_speed_mps = vtm::util::mps{34.0};
   const auto slow_result = core::run_highway_scenario(slow);
   const auto fast_result = core::run_highway_scenario(fast);
   EXPECT_GE(fast_result.handovers, slow_result.handovers);

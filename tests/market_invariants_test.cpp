@@ -118,7 +118,7 @@ TEST_P(market_invariants, learned_backend_randomized) {
     config.policy = std::make_shared<core::learned_policy>(
         random_pricer(1000 + static_cast<std::uint64_t>(trial),
                       config.unit_cost, config.price_cap));
-    config.pool_capacity_mhz = 50.0;
+    config.pool_capacity_mhz = vtm::util::megahertz{50.0};
     core::spot_market market(config);
     const auto book = draw_book(gen);
     for (const auto& request : book.requests) market.submit(request);
@@ -148,7 +148,7 @@ TEST(market_invariants, joint_oracle_matches_combined_equilibrium) {
       combined.vmus.push_back(request.profile);
     }
     combined.link = config.link;
-    combined.bandwidth_cap_mhz = book.available_mhz;
+    combined.bandwidth_cap_mhz = vtm::util::megahertz{book.available_mhz};
     combined.unit_cost = config.unit_cost;
     combined.price_cap = config.price_cap;
     const auto eq =
@@ -253,11 +253,11 @@ TEST(market_invariants, squashed_price_stays_in_box) {
 // equilibrium price than the pools at the short gaps.
 TEST(market_invariants, prices_vary_along_a_non_uniform_chain) {
   core::fleet_config config;
-  config.rsu_positions_m = {1000.0, 1600.0, 3200.0, 3800.0, 5400.0};
-  config.coverage_radius_m = 900.0;  // covers the widest (1600 m) gap
+  config.rsu_positions_m = {vtm::util::meters{1000.0}, vtm::util::meters{1600.0}, vtm::util::meters{3200.0}, vtm::util::meters{3800.0}, vtm::util::meters{5400.0}};
+  config.coverage_radius_m = vtm::util::meters{900.0};  // covers the widest (1600 m) gap
   config.vehicle_count = 60;
-  config.duration_s = 80.0;
-  config.clearing_epoch_s = 0.5;
+  config.duration_s = vtm::util::seconds{80.0};
+  config.clearing_epoch_s = vtm::util::seconds{0.5};
   config.seed = 11;
 
   const auto result = core::run_fleet_scenario(config);

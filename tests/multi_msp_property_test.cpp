@@ -127,7 +127,7 @@ TEST(multi_msp_property, single_msp_is_bitwise_the_monopoly_path) {
     core::market_params mono;
     mono.vmus = params.vmus;
     mono.link = params.link;
-    mono.bandwidth_cap_mhz = params.msps[0].bandwidth_cap_mhz;
+    mono.bandwidth_cap_mhz = vtm::util::megahertz{params.msps[0].bandwidth_cap_mhz};
     mono.unit_cost = params.msps[0].unit_cost;
     mono.price_cap = params.msps[0].price_cap;
     const core::migration_market market(mono);

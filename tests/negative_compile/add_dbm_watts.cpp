@@ -1,0 +1,10 @@
+// Negative-compile proof: a log-scale power (dBm) cannot be added to a
+// linear power (watts) — the sum is dimensionally meaningless. Convert with
+// util::to_watts / util::to_dbm first. Must NOT compile.
+#include "util/units.hpp"
+
+int main() {
+  const vtm::util::dbm tx{40.0};
+  const vtm::util::watts noise{1.0e-12};
+  return (tx + noise).value() > 0.0;  // no operator+(dbm, watts)
+}

@@ -1,0 +1,8 @@
+// Negative-compile proof: ordering is defined per unit only (defaulted
+// operator<=> on the same quantity type); comparing a distance against a
+// duration is a category error. Must NOT compile.
+#include "util/quantity.hpp"
+
+int main() {
+  return vtm::util::meters{500.0} < vtm::util::seconds{500.0};
+}

@@ -1,3 +1,5 @@
+// vtm-negative-compile: requires(thread-safety)
+//
 // Negative-compile check for the barrier capability (DESIGN.md §13).
 //
 // `shard_mailbox::deliver`/`pending` may only run at a window barrier; both

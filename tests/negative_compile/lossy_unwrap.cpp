@@ -1,0 +1,10 @@
+// Negative-compile proof: a quantity does not decay back to double — the
+// boundary to raw-double code (records, tensors) must be an explicit
+// .value() unwrap. Must NOT compile.
+#include "core/scenario.hpp"
+
+int main() {
+  const vtm::core::scenario_config config;
+  const double radius = config.coverage_radius_m;  // needs .value()
+  return radius > 0.0;
+}

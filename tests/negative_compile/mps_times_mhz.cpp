@@ -1,0 +1,9 @@
+// Negative-compile proof: the operator tables are curated, not a general
+// algebra — a speed times a bandwidth has no meaning in this codebase, so
+// there is no product_result<mps_tag, megahertz_tag>. Must NOT compile.
+#include "util/quantity.hpp"
+
+int main() {
+  const auto nonsense = vtm::util::mps{30.0} * vtm::util::megahertz{50.0};
+  return nonsense > 0.0;
+}

@@ -1,0 +1,9 @@
+// Negative-compile proof: scalar scaling is a linear-unit operation;
+// doubling a dBm level is not doubling a power (that is +3 dB). Log units
+// only compose through the dbm/db table. Must NOT compile.
+#include "util/quantity.hpp"
+
+int main() {
+  const auto twice = 2.0 * vtm::util::dbm{40.0};
+  return twice.value() > 0.0;
+}

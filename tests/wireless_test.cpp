@@ -30,9 +30,9 @@ TEST(link_budget, rate_is_linear_in_bandwidth) {
 
 TEST(link_budget, rejects_invalid_geometry) {
   w::link_params bad;
-  bad.distance_m = 0.0;
+  bad.distance_m = vtm::util::meters{0.0};
   EXPECT_THROW((void)w::link_budget{bad}, vtm::util::contract_error);
-  bad.distance_m = 1.0;
+  bad.distance_m = vtm::util::meters{1.0};
   bad.path_loss_exponent = -1.0;
   EXPECT_THROW((void)w::link_budget{bad}, vtm::util::contract_error);
 }
@@ -50,8 +50,8 @@ class link_distance_sweep : public ::testing::TestWithParam<double> {};
 TEST_P(link_distance_sweep, efficiency_decreases_with_distance) {
   w::link_params near = {};
   w::link_params far = {};
-  near.distance_m = GetParam();
-  far.distance_m = GetParam() * 2.0;
+  near.distance_m = vtm::util::meters{GetParam()};
+  far.distance_m = vtm::util::meters{GetParam() * 2.0};
   EXPECT_GT(w::link_budget(near).spectral_efficiency(),
             w::link_budget(far).spectral_efficiency());
 }
@@ -59,10 +59,10 @@ TEST_P(link_distance_sweep, efficiency_decreases_with_distance) {
 TEST_P(link_distance_sweep, efficiency_increases_with_power) {
   w::link_params weak = {};
   w::link_params strong = {};
-  weak.distance_m = GetParam();
-  strong.distance_m = GetParam();
-  weak.tx_power_dbm = 30.0;
-  strong.tx_power_dbm = 46.0;
+  weak.distance_m = vtm::util::meters{GetParam()};
+  strong.distance_m = vtm::util::meters{GetParam()};
+  weak.tx_power_dbm = vtm::util::dbm{30.0};
+  strong.tx_power_dbm = vtm::util::dbm{46.0};
   EXPECT_GT(w::link_budget(strong).spectral_efficiency(),
             w::link_budget(weak).spectral_efficiency());
 }

@@ -8,12 +8,14 @@
 namespace vtm::core {
 
 struct toy_config {
+  // vtm-lint: allow(unit-suffix)  (this fixture targets config-validate)
   double capacity_mhz = 0.0;
   int vehicles = 0;
 };
 
 struct toy_stream_config {
   toy_config base;
+  // vtm-lint: allow(unit-suffix)  (this fixture targets config-validate)
   double arrival_rate_per_s = 0.0;
 };
 

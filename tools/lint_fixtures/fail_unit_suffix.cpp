@@ -1,0 +1,14 @@
+// Fixture for the unit-suffix rule: a raw double member with a unit suffix
+// in a public config struct must be a typed quantity. The rule must fire on
+// both the scalar and the vector member.
+#include <vector>
+
+namespace vtm::core {
+
+struct rogue_fleet_config {
+  double rsu_spacing_m = 1000.0;        // should be util::meters
+  std::vector<double> rsu_noise_dbm;    // should be std::vector<util::dbm>
+  double unit_cost = 5.0;               // no suffix: economics stays raw
+};
+
+}  // namespace vtm::core

@@ -16,3 +16,10 @@ double diagnostic_only_sum(const std::unordered_map<std::string, double>& m) {
   }
   return sum;
 }
+
+// A deliberately-raw suffixed member on the double side of the quantity
+// boundary: the allow marker must silence the unit-suffix rule.
+struct boundary_probe_params {
+  // vtm-lint: allow(unit-suffix)
+  double scratch_window_s = 0.0;
+};

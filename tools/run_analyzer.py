@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""GCC static-analyzer gate: run -fanalyzer over every first-party TU.
+
+Reads compile_commands.json from a build directory (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON), re-drives each src/ TU through
+`g++ -fanalyzer -fsyntax-only` with the TU's own include/define flags, and
+fails on any -Wanalyzer-* diagnostic that is not on the curated suppression
+list below. Tests/benches/examples are excluded on purpose: the analyzer's
+interprocedural exploration of gtest/benchmark macros is all framework code
+and drowns first-party signal.
+
+Usage: run_analyzer.py --build-dir build [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import shlex
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+# Curated suppressions. Each entry must carry a rationale; an entry without
+# one is a review error. Keep this list short — the tree is analyzer-clean
+# today, so anything new the analyzer reports is either a real defect or a
+# new checker false positive that earns its own documented entry.
+SUPPRESSIONS = (
+    # The bail-out diagnostic, not a code defect: it fires when a TU's
+    # exploded graph exceeds the analyzer's budget and only says "analysis
+    # was incomplete". Gating on it would make graph-size an API contract.
+    "-Wno-analyzer-too-complex",
+    # GCC's analyzer does not model the libstdc++ operator-new /
+    # allocator pairing and reports spurious leaks of container storage
+    # (GCC PR analyzer/105957 family: -Wanalyzer-malloc-leak false
+    # positives on std::vector growth). Real leaks in this codebase are
+    # caught by the dedicated ASan/LSan CI job, which runs the whole test
+    # suite under leak detection.
+    "-Wno-analyzer-malloc-leak",
+)
+
+# Flags from compile_commands.json worth forwarding: includes, defines,
+# standard, warnings. Codegen flags (-march, -O) are re-pinned below so the
+# analyzer run is identical across hosts.
+KEEP_FLAG_RE = re.compile(r"^(-I|-isystem|-D|-U|-std=)")
+
+ANALYZER_FLAGS = ["-O1", "-fanalyzer", "-fsyntax-only"]
+
+
+def analyzer_command(entry: dict) -> list[str] | None:
+    file = entry["file"]
+    if "/src/" not in file.replace("\\", "/"):
+        return None
+    args = (shlex.split(entry["command"]) if "command" in entry
+            else list(entry["arguments"]))
+    kept: list[str] = []
+    i = 1  # skip the compiler itself
+    while i < len(args):
+        arg = args[i]
+        if KEEP_FLAG_RE.match(arg):
+            kept.append(arg)
+            if arg in ("-I", "-isystem", "-D", "-U") and i + 1 < len(args):
+                i += 1
+                kept.append(args[i])
+        i += 1
+    return (["g++"] + kept + ANALYZER_FLAGS + list(SUPPRESSIONS) + [file])
+
+
+def run_one(cmd: list[str], directory: str) -> tuple[str, str]:
+    proc = subprocess.run(cmd, cwd=directory, capture_output=True, text=True)
+    findings = "\n".join(
+        line for line in proc.stderr.splitlines()
+        if "-Wanalyzer" in line or "internal compiler error" in line)
+    if proc.returncode != 0 and not findings:
+        findings = proc.stderr.strip()  # hard error: surface everything
+    return cmd[-1], findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args()
+
+    db_path = Path(args.build_dir) / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"run_analyzer: {db_path} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+    entries = json.loads(db_path.read_text())
+
+    work = []
+    for entry in entries:
+        cmd = analyzer_command(entry)
+        if cmd is not None:
+            work.append((cmd, entry["directory"]))
+    if not work:
+        print("run_analyzer: no src/ TUs in the compilation database",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for file, findings in pool.map(lambda w: run_one(*w), work):
+            if findings:
+                failures += 1
+                print(f"== {file}\n{findings}")
+    print(f"run_analyzer: {len(work)} TUs analyzed, "
+          f"{failures} with findings")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

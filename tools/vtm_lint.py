@@ -59,6 +59,7 @@ RULES = (
     "raw-random",
     "mutex-guarded-by",
     "config-validate",
+    "unit-suffix",
 )
 
 SCAN_DIRS = ("src", "bench", "examples", "tests", "tools")
@@ -255,6 +256,46 @@ def brace_body(text: str, open_idx: int) -> str:
     return text[open_idx:]
 
 
+# ---- rule: unit-suffix -------------------------------------------------------
+#
+# A raw `double` (or vector<double>) member whose name carries a unit suffix
+# inside a public config/params struct defeats the dimensional type system:
+# call sites can assign any number to it without saying what unit it is in.
+# New suffixed members must be typed quantities (util/quantity.hpp) — or
+# carry an explicit `// vtm-lint: allow(unit-suffix)` when they sit on the
+# raw-double side of the boundary on purpose (records, hot engine state).
+
+CONFIG_STRUCT_RE = re.compile(r"\bstruct\s+(\w+_(?:config|params))\b[^;{]*{")
+UNIT_SUFFIX_MEMBER_RE = re.compile(
+    r"^\s*(?:std::vector\s*<\s*double\s*>|double)\s+"
+    r"(\w+_(?:m|s|mps|mhz|dbm|mb|db|mb_s|per_s))\s*[;={]",
+)
+
+
+def check_unit_suffix(path: Path, raw: list[str],
+                      clean: list[str]) -> list[Finding]:
+    text = "\n".join(clean)
+    findings = []
+    for m in CONFIG_STRUCT_RE.finditer(text):
+        struct_name = m.group(1)
+        body = brace_body(text, m.end() - 1)
+        body_start_line = text.count("\n", 0, m.end() - 1)
+        for offset, line in enumerate(body.splitlines()):
+            member = UNIT_SUFFIX_MEMBER_RE.match(line)
+            if not member:
+                continue
+            line_no = body_start_line + offset + 1
+            if suppressed(raw, line_no, "unit-suffix"):
+                continue
+            findings.append(Finding(
+                path, line_no, "unit-suffix",
+                f"`{struct_name}::{member.group(1)}` is a raw double with a "
+                "unit suffix — public config fields must use a typed "
+                "quantity (util/quantity.hpp) so call sites cannot assign "
+                "a number in the wrong unit"))
+    return findings
+
+
 def check_config_validate(path: Path, raw: list[str],
                           clean: list[str]) -> list[Finding]:
     if path.suffix not in (".cpp", ".cc"):
@@ -311,6 +352,7 @@ def scan_file(path: Path, root: Path) -> list[Finding]:
     findings += check_raw_random(path, rel, raw, clean)
     findings += check_mutex_guarded_by(path, raw, clean)
     findings += check_config_validate(path, raw, clean)
+    findings += check_unit_suffix(path, raw, clean)
     return findings
 
 
