@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/trace.hpp"
 
 namespace vtm::core {
 
@@ -22,6 +23,7 @@ spot_market_config monopoly_config(const competitive_market_config& config) {
   mono.min_clearable_mhz = config.min_clearable_mhz;
   mono.policy = config.policy;
   mono.pool_capacity_mhz = config.msps.front().bandwidth_per_pool_mhz;
+  mono.trace = config.trace;
   return mono;
 }
 
@@ -109,6 +111,8 @@ competitive_outcome competitive_market::clear_oligopoly(
     std::span<const double> available_mhz) {
   competitive_outcome outcome;
   if (pending_.empty()) return outcome;
+  util::trace_span span(config_.trace, "comarket.clear");
+  span.arg("cohort", static_cast<double>(pending_.size()));
 
   // Sellers with less than the clearable minimum left sit this clearing out
   // (the monopoly engine's defer-below-minimum rule, applied per MSP).
@@ -173,6 +177,7 @@ competitive_outcome competitive_market::clear_oligopoly(
     outcome.certified = scripted.certified;
     outcome.solver_sweeps += scripted.iterations;
     outcome.objective_evals += scripted.objective_evals;
+    outcome.residual = scripted.residual;
 
     const auto& own = config_.msps[config_.learned_msp];
     market_params own_view;
@@ -216,6 +221,7 @@ competitive_outcome competitive_market::clear_oligopoly(
       outcome.certified = outcome.certified && rivals.certified;
       outcome.solver_sweeps += rivals.iterations;
       outcome.objective_evals += rivals.objective_evals;
+      outcome.residual = rivals.residual;
     }
   } else {
     const auto equilibrium = solve_price_competition(market, solve_options);
@@ -224,6 +230,7 @@ competitive_outcome competitive_market::clear_oligopoly(
     outcome.certified = equilibrium.certified;
     outcome.solver_sweeps += equilibrium.iterations;
     outcome.objective_evals += equilibrium.objective_evals;
+    outcome.residual = equilibrium.residual;
   }
   outcome.markets_cleared = 1;
   outcome.prices.assign(config_.msps.size(), 0.0);
@@ -307,6 +314,13 @@ competitive_outcome competitive_market::clear_oligopoly(
     outcome.grants.push_back(std::move(grant));
   }
   pending_ = std::move(still_pending);
+  span.arg("sweeps", static_cast<double>(outcome.solver_sweeps));
+  span.arg("objective_evals", static_cast<double>(outcome.objective_evals));
+  span.arg("residual", outcome.residual);
+  span.arg("warm_started", outcome.warm_started ? 1.0 : 0.0);
+  span.arg("converged", outcome.converged ? 1.0 : 0.0);
+  span.arg("granted", static_cast<double>(outcome.grants.size()));
+  span.arg("deferred", static_cast<double>(outcome.deferred));
   return outcome;
 }
 

@@ -91,6 +91,9 @@ struct competitive_outcome {
   bool warm_started = false; ///< Solve started from the previous clearing.
   std::size_t solver_sweeps = 0;    ///< Best-response sweeps spent.
   std::size_t objective_evals = 0;  ///< Objective calls across the solve(s).
+  /// Final best-response residual of the (last) fixed-point solve; 0 for the
+  /// M = 1 delegation, which prices analytically.
+  double residual = 0.0;
 };
 
 /// Economics shared by every clearing of one destination cell's book.
@@ -112,6 +115,10 @@ struct competitive_market_config {
   /// Best-response iteration budget (passed to solve_price_competition).
   double fixed_point_tol = 1e-7;
   std::size_t max_sweeps = 200;
+  /// Telemetry lane for per-clearing spans ("comarket.clear" carrying the
+  /// convergence certificate: sweeps, objective evals, residual, warm start).
+  /// Null disables; never influences clearing results.
+  util::trace_lane* trace = nullptr;
 };
 
 /// Pending-request book + oligopoly clearing logic for one destination cell.

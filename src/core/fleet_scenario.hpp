@@ -30,12 +30,34 @@
 #include "core/competitive_market.hpp"
 #include "core/pricing_policy.hpp"
 #include "core/scenario.hpp"
+#include "util/log.hpp"
 
 namespace vtm::sim {
 class road_graph;
 }  // namespace vtm::sim
 
+namespace vtm::util {
+class metrics_registry;
+class trace_session;
+}  // namespace vtm::util
+
 namespace vtm::core {
+
+/// Optional observability sinks for a fleet run (DESIGN.md §16). Null
+/// members disable the corresponding instrument family at the cost of one
+/// predictable branch per site; attached sinks never influence results —
+/// telemetry on vs off is bitwise-identical on `fleet_result`
+/// (tests/telemetry_test.cpp). Sinks must outlive the run and must not be
+/// shared across concurrently-executing runs (e.g. `run_fleet_sweep` seeds).
+struct fleet_telemetry {
+  /// Deterministic counters/gauges/histograms; the coordinator registers
+  /// the fleet schema, binds one lane per shard (plus one for itself), and
+  /// merges at the window barriers.
+  util::metrics_registry* metrics = nullptr;
+  /// Chrome-trace spans and instants, one lane per shard plus the
+  /// coordinator lane.
+  util::trace_session* trace = nullptr;
+};
 
 /// Fleet shape, economics, and clearing semantics. Physical fields are typed
 /// quantities (util/quantity.hpp); the engine unwraps via `.value()` at the
@@ -158,6 +180,12 @@ struct fleet_config {
   /// next barrier and counted in `fleet_result::late_handoffs` — but windows
   /// longer than the lookahead trade fidelity for fewer barriers.
   util::seconds window_s{0.0};
+
+  // Observability (DESIGN.md §16). Results are invariant to both: metrics
+  // merge deterministically at barriers, spans only read, and the logger's
+  // default-constructed state discards everything.
+  fleet_telemetry telemetry;
+  util::logger log;
 
   std::uint64_t seed = 2023;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "core/aotm.hpp"
@@ -247,7 +248,8 @@ shard_engine::shard_engine(const fleet_config& config,
                            std::span<const std::uint32_t> rsu_shard,
                            std::vector<vehicle_slot>& vehicles,
                            sim::shard_mailbox<shard_message>& mailbox,
-                           std::shared_ptr<pricing_policy> policy)
+                           std::shared_ptr<pricing_policy> policy,
+                           shard_telemetry telemetry)
     : config_(config),
       chain_(chain),
       graph_(config.graph.get()),
@@ -260,7 +262,8 @@ shard_engine::shard_engine(const fleet_config& config,
                    ? 0.0
                    : config.clearing_epoch_s.value()),
       msps_(resolved_fleet_msps(config)),
-      msp_chains_(msp_chains) {
+      msp_chains_(msp_chains),
+      tele_(std::move(telemetry)) {
   VTM_EXPECTS(rsu_count >= 1);
   VTM_EXPECTS(rsu_lo + rsu_count <= chain.count());
   VTM_EXPECTS(msp_chains_.size() == msps_.size());
@@ -286,6 +289,7 @@ shard_engine::shard_engine(const fleet_config& config,
     book_config.policy = std::move(policy);
     book_config.pricer = config.pricer;
     book_config.learned_msp = config.learned_msp;
+    book_config.trace = tele_.trace;
     comarkets_.reserve(pool_count);
     candidates_.reserve(pool_count);
     pool_links_.reserve(pool_count);
@@ -321,6 +325,7 @@ shard_engine::shard_engine(const fleet_config& config,
   // Copied into every pool's book below (one learned pricer serves the
   // whole chain; null selects the analytic oracle per book).
   market_config.policy = std::move(policy);
+  market_config.trace = tele_.trace;
 
   pools_.reserve(pool_count);
   markets_.reserve(pool_count);
@@ -447,6 +452,7 @@ void shard_engine::schedule_next_handover(std::size_t vehicle) {
     // scheduling time, so the destination (which owns the target pool) can
     // execute the handover at the exact kinematic crossing time.
     ++counters_.cross_shard_transfers;
+    if (tele_.metrics != nullptr) tele_.metrics->add(tele_.ids->boundary_posted);
     mailbox_.post(index_, dest,
                   boundary_handoff{vehicle, next->from_rsu, next->to_rsu,
                                    when});
@@ -462,6 +468,7 @@ void shard_engine::schedule_next_handover(std::size_t vehicle) {
 void shard_engine::on_handover(std::size_t vehicle, std::size_t from,
                                std::size_t to) {
   ++counters_.handovers;
+  if (tele_.metrics != nullptr) tele_.metrics->add(tele_.ids->handovers);
   clearing_request request;
   request.vehicle = vehicle;
   request.profile = vehicles_[vehicle].profile;
@@ -507,6 +514,13 @@ void shard_engine::run_clearing(std::size_t pidx) {
         // the request (and the vehicle with it) re-homes at the next
         // barrier, at this clearing's grid time.
         ++counters_.cross_shard_retargets;
+        if (tele_.metrics != nullptr)
+          tele_.metrics->add(tele_.ids->retarget_posted);
+        if (tele_.log.enabled(util::log_level::debug))
+          tele_.log.debug("re-home: vehicle " +
+                          std::to_string(request.vehicle) + " shard " +
+                          std::to_string(index_) + " -> " +
+                          std::to_string(dest));
         mailbox_.post(index_, dest,
                       retarget_handoff{std::move(request),
                                        epoch_grid_snap(queue_.now(),
@@ -557,9 +571,18 @@ void shard_engine::run_clearing(std::size_t pidx) {
     snapshot.price_cap = config_.price_cap;
     cohorts_.push_back(std::move(snapshot));
   }
+  if (tele_.metrics != nullptr && !book.empty())
+    tele_.metrics->observe(tele_.ids->cohort,
+                           static_cast<double>(book.size()));
   auto outcome = markets_[pidx].clear(available);
   counters_.deferred += outcome.deferred;
-  if (outcome.markets_cleared > 0) ++counters_.clearings;
+  if (outcome.markets_cleared > 0) {
+    ++counters_.clearings;
+    if (tele_.metrics != nullptr) tele_.metrics->add(tele_.ids->clearings);
+  }
+  if (tele_.metrics != nullptr)
+    for (const auto& grant : outcome.grants)
+      tele_.metrics->observe(tele_.ids->grant_mhz, grant.bandwidth_mhz);
 
   for (const auto& request : outcome.priced_out) {
     // Price too high for this VMU: the twin stays behind (service
@@ -601,13 +624,29 @@ void shard_engine::run_clearing_oligopoly(std::size_t pidx) {
     available[m] =
         std::max(0.0, msp_pools_[m][candidates_[pidx][m]].available_mhz());
 
+  if (tele_.metrics != nullptr && comarkets_[pidx].pending() > 0)
+    tele_.metrics->observe(tele_.ids->cohort,
+                           static_cast<double>(comarkets_[pidx].pending()));
   auto outcome = comarkets_[pidx].clear(available);
   counters_.deferred += outcome.deferred;
-  if (outcome.markets_cleared > 0) ++counters_.clearings;
-  if (!outcome.converged) ++counters_.unconverged_clearings;
+  if (outcome.markets_cleared > 0) {
+    ++counters_.clearings;
+    if (tele_.metrics != nullptr) tele_.metrics->add(tele_.ids->clearings);
+  }
+  if (!outcome.converged) {
+    ++counters_.unconverged_clearings;
+    if (tele_.log.enabled(util::log_level::warn))
+      tele_.log.warn("unconverged clearing: shard " + std::to_string(index_) +
+                     " pool " + std::to_string(pidx) + ", sweeps " +
+                     std::to_string(outcome.solver_sweeps) + ", residual " +
+                     std::to_string(outcome.residual));
+  }
   counters_.solver_sweeps += outcome.solver_sweeps;
   counters_.objective_evals += outcome.objective_evals;
   if (outcome.warm_started) ++counters_.warm_started_clearings;
+  if (tele_.metrics != nullptr)
+    for (const auto& grant : outcome.grants)
+      tele_.metrics->observe(tele_.ids->grant_mhz, grant.bandwidth_mhz);
 
   for (const auto& request : outcome.priced_out) {
     ++counters_.priced_out;
@@ -808,6 +847,7 @@ void shard_engine::deliver(const shard_message& message,
       // previous resolution landed close to the boundary): execute at the
       // barrier instead — skewed by less than one window, never dropped.
       ++counters_.late_handoffs;
+      if (tele_.metrics != nullptr) tele_.metrics->add(tele_.ids->late);
       at = queue_.now();
     }
     queue_.schedule(at, [this, vehicle = handoff->vehicle,
@@ -821,6 +861,7 @@ void shard_engine::deliver(const shard_message& message,
   double at = retarget.clearing_s;
   if (at < queue_.now()) {
     ++counters_.late_handoffs;
+    if (tele_.metrics != nullptr) tele_.metrics->add(tele_.ids->late);
     at = queue_.now();
   }
   const std::size_t pidx = pool_index(retarget.request.to_rsu);
@@ -828,10 +869,18 @@ void shard_engine::deliver(const shard_message& message,
   schedule_clearing(pidx, at);
 }
 
-void shard_engine::run_window(double t_end) { queue_.run_until(t_end); }
+void shard_engine::run_window(double t_end) {
+  util::trace_span span(tele_.trace, "shard.window");
+  span.arg("t_end", t_end);
+  queue_.run_until(t_end);
+}
 
 std::size_t shard_engine::drain_round() {
-  return queue_.run_all(std::numeric_limits<std::size_t>::max());
+  util::trace_span span(tele_.trace, "shard.drain");
+  const std::size_t events =
+      queue_.run_all(std::numeric_limits<std::size_t>::max());
+  span.arg("events", static_cast<double>(events));
+  return events;
 }
 
 void shard_engine::abandon_remaining() {
@@ -854,6 +903,29 @@ shard_engine::flush_data shard_engine::take_flush(
   flush.cohorts = std::move(cohorts_);
   cohorts_.clear();
   return flush;
+}
+
+std::size_t shard_engine::book_depth(
+    [[maybe_unused]] const util::barrier_phase& barrier) const {
+  std::size_t depth = 0;
+  for (const auto& market : markets_) depth += market.pending();
+  for (const auto& market : comarkets_) depth += market.pending();
+  return depth;
+}
+
+shard_engine::pool_usage shard_engine::pool_utilization(
+    [[maybe_unused]] const util::barrier_phase& barrier) const {
+  pool_usage usage;
+  for (const auto& pool : pools_) {
+    usage.allocated_mhz += pool.allocated_mhz();
+    usage.capacity_mhz += pool.capacity_mhz();
+  }
+  for (const auto& seller_pools : msp_pools_)
+    for (const auto& pool : seller_pools) {
+      usage.allocated_mhz += pool.allocated_mhz();
+      usage.capacity_mhz += pool.capacity_mhz();
+    }
+  return usage;
 }
 
 // ---- shard_coordinator ------------------------------------------------------
@@ -911,22 +983,48 @@ shard_coordinator::shard_coordinator(const fleet_config& config, bool spawn)
          candidate_chains.candidates(chain_.center_m(r)))
       VTM_EXPECTS(rsu_shard_[candidate] == rsu_shard_[r]);
 
+  init_telemetry();
+
   shards_.reserve(shard_count);
   lo = 0;
   for (std::size_t s = 0; s < shard_count; ++s) {
     const std::size_t count = base + (s < extra ? 1 : 0);
+    shard_telemetry tele;
+    if (trace_ != nullptr) tele.trace = trace_->lane(s);
+    if (metrics_ != nullptr) {
+      tele.metrics = &metrics_->lane(s);
+      tele.ids = &ids_;
+    }
+    tele.log = config_.log;
     shards_.push_back(std::make_unique<shard_engine>(
         config_, chain_, msp_chains_, s, lo, count, rsu_shard_, vehicles_,
-        mailbox_, policy_));
+        mailbox_, policy_, std::move(tele)));
     lo += count;
   }
 
   // Route mode: one mobility profile per graph route (slots point into
   // this, so it is built once and never resized again).
   if (config_.graph) {
+    // The graph self-measured its shortest-path and route-enumeration
+    // phases; export them here, where the run's trace lanes exist.
+    if (coord_trace_ != nullptr) {
+      const auto& gstats = config_.graph->stats();
+      coord_trace_->instant(
+          "graph.build",
+          {{"floyd_warshall_us",
+            static_cast<double>(gstats.floyd_warshall_ns) / 1000.0},
+           {"routes_us", static_cast<double>(gstats.routes_ns) / 1000.0},
+           {"routes", static_cast<double>(config_.graph->route_count())},
+           {"sites", static_cast<double>(config_.graph->rsu_count())}});
+    }
+    if (coord_metrics_ != nullptr)
+      coord_metrics_->set(ids_.graph_routes,
+                          static_cast<double>(config_.graph->route_count()));
+    util::trace_span span(coord_trace_, "coord.route_profiles");
     routes_.reserve(config_.graph->route_count());
     for (std::size_t r = 0; r < config_.graph->route_count(); ++r)
       routes_.push_back(config_.graph->make_route_profile(r));
+    span.arg("routes", static_cast<double>(routes_.size()));
     route_mode_ = true;
   }
 
@@ -979,6 +1077,45 @@ shard_coordinator::shard_coordinator(const fleet_config& config, bool spawn)
   }
 
   if (spawn) spawn_vehicles();
+}
+
+void shard_coordinator::init_telemetry() {
+  if (!util::telemetry_compiled()) return;
+  metrics_ = config_.telemetry.metrics;
+  trace_ = config_.telemetry.trace;
+  const std::size_t lanes = config_.shard_count + 1;  // +1: coordinator.
+  if (metrics_ != nullptr) {
+    ids_.handovers = metrics_->counter("fleet.handovers");
+    ids_.clearings = metrics_->counter("fleet.clearings");
+    ids_.boundary_posted = metrics_->counter("mailbox.boundary_posted");
+    ids_.retarget_posted = metrics_->counter("mailbox.retarget_posted");
+    ids_.delivered = metrics_->counter("mailbox.delivered");
+    ids_.late = metrics_->counter("mailbox.late");
+    ids_.arrivals = metrics_->counter("stream.arrivals");
+    ids_.retired = metrics_->counter("stream.retired");
+    ids_.live = metrics_->gauge("stream.live");
+    ids_.slot_high_water = metrics_->gauge("stream.slot_high_water");
+    ids_.deferral_depth = metrics_->gauge("stream.deferral_depth");
+    ids_.pool_utilization = metrics_->gauge("stream.pool_utilization");
+    ids_.graph_routes = metrics_->gauge("graph.routes");
+    ids_.cohort = metrics_->histogram(
+        "market.cohort", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    ids_.grant_mhz = metrics_->histogram("market.grant_mhz",
+                                         {1.0, 2.0, 5.0, 10.0, 20.0, 50.0});
+    metrics_->bind_lanes(lanes);
+    coord_metrics_ = &metrics_->lane(config_.shard_count);
+  }
+  if (trace_ != nullptr) {
+    trace_->ensure_lanes(lanes);
+    for (std::size_t s = 0; s < config_.shard_count; ++s)
+      trace_->set_lane_name(s, "shard " + std::to_string(s));
+    trace_->set_lane_name(config_.shard_count, "coordinator");
+    coord_trace_ = trace_->lane(config_.shard_count);
+  }
+}
+
+void shard_coordinator::merge_metrics() {
+  if (metrics_ != nullptr) metrics_->merge(barrier_);
 }
 
 void shard_coordinator::draw_spawn(vehicle_slot& slot) {
@@ -1052,6 +1189,7 @@ void shard_coordinator::spawn_vehicles() {
 }
 
 std::size_t shard_coordinator::exchange() {
+  util::trace_span span(coord_trace_, "coord.exchange");
   std::size_t delivered = 0;
   for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
     delivered += mailbox_.deliver(
@@ -1070,6 +1208,9 @@ std::size_t shard_coordinator::exchange() {
         },
         barrier_);
   }
+  if (coord_metrics_ != nullptr && delivered > 0)
+    coord_metrics_->add(ids_.delivered, delivered);
+  span.arg("delivered", static_cast<double>(delivered));
   return delivered;
 }
 
@@ -1103,12 +1244,16 @@ fleet_result shard_coordinator::run() {
         // the one place the barrier capability is legitimately acquired.
         const util::barrier_scope at_barrier(barrier_);
         const std::size_t delivered = exchange();
+        merge_metrics();
         if (draining) return delivered > 0;
         if (t_end >= config_.duration_s.value()) {
           draining = true;
           return true;
         }
         t_end = std::min(config_.duration_s.value(), t_end + window_s_);
+        if (config_.log.enabled(util::log_level::debug))
+          config_.log.debug("window advance: t_end " +
+                            std::to_string(t_end));
         return true;
       });
 
@@ -1116,10 +1261,15 @@ fleet_result shard_coordinator::run() {
   // quiesced, so the barrier capability holds for the final sweep + merge.
   const util::barrier_scope at_barrier(barrier_);
   for (auto& shard : shards_) shard->abandon_remaining();
-  return merge();
+  util::trace_span span(coord_trace_, "coord.merge");
+  fleet_result result = merge();
+  merge_metrics();
+  return result;
 }
 
 void shard_coordinator::inject_arrivals(double upto) {
+  util::trace_span span(coord_trace_, "coord.arrivals");
+  std::size_t admitted = 0;
   for (;;) {
     if (!arrival_pending_) {
       // Poisson arrivals: exponential inter-arrival gaps. The undrawn-gap
@@ -1130,7 +1280,7 @@ void shard_coordinator::inject_arrivals(double upto) {
     }
     if (next_arrival_s_ > upto ||
         next_arrival_s_ > stream_.horizon_s.value())
-      return;
+      break;
     arrival_pending_ = false;
     const double at = next_arrival_s_;
 
@@ -1157,12 +1307,17 @@ void shard_coordinator::inject_arrivals(double upto) {
     slot.twin->set_host_rsu(serving);
     owner_[v] = rsu_shard_[serving];
     shards_[owner_[v]]->inject(v, at);
+    ++admitted;
     ++live_;
     peak_live_ = std::max(peak_live_, live_);
   }
+  if (coord_metrics_ != nullptr && admitted > 0)
+    coord_metrics_->add(ids_.arrivals, admitted);
+  span.arg("admitted", static_cast<double>(admitted));
 }
 
 fleet_result shard_coordinator::flush_window(bool final) {
+  util::trace_span span(coord_trace_, "coord.flush");
   fleet_result window;
   std::vector<shard_engine::flush_data> data;
   data.reserve(shards_.size());
@@ -1253,6 +1408,7 @@ fleet_result shard_coordinator::flush_window(bool final) {
   // scheduled event, no booked request, and no in-flight migration — so
   // their slots recycle into the free list and memory stays bounded by the
   // live population.
+  std::size_t window_retired = 0;
   for (std::size_t v = 0; v < vehicles_.size(); ++v) {
     auto& slot = vehicles_[v];
     if (!slot.twin || (!final && !slot.exited)) continue;
@@ -1267,8 +1423,45 @@ fleet_result shard_coordinator::flush_window(bool final) {
     slot.route = nullptr;
     slot.exited = false;
     free_slots_.push_back(v);
+    ++window_retired;
     ++retired_;
     --live_;
+  }
+
+  // Flush snapshot: live twins, slot-arena high water, deferral-book depth,
+  // and aggregate pool utilization at this barrier. All values are
+  // deterministic functions of (seed, config) at this flush boundary, so
+  // they are metric-safe; the trace instant mirrors them for Perfetto.
+  if (coord_metrics_ != nullptr || coord_trace_ != nullptr) {
+    std::size_t depth = 0;
+    shard_engine::pool_usage usage;
+    for (const auto& shard : shards_) {
+      depth += shard->book_depth(barrier_);
+      const auto shard_usage = shard->pool_utilization(barrier_);
+      usage.allocated_mhz += shard_usage.allocated_mhz;
+      usage.capacity_mhz += shard_usage.capacity_mhz;
+    }
+    const double utilization = usage.capacity_mhz > 0.0
+                                   ? usage.allocated_mhz / usage.capacity_mhz
+                                   : 0.0;
+    if (coord_metrics_ != nullptr) {
+      coord_metrics_->set(ids_.live, static_cast<double>(live_));
+      coord_metrics_->set(ids_.slot_high_water,
+                          static_cast<double>(vehicles_.size()));
+      coord_metrics_->set(ids_.deferral_depth, static_cast<double>(depth));
+      coord_metrics_->set(ids_.pool_utilization, utilization);
+      if (window_retired > 0)
+        coord_metrics_->add(ids_.retired, window_retired);
+    }
+    if (coord_trace_ != nullptr)
+      coord_trace_->instant(
+          "stream.flush",
+          {{"live", static_cast<double>(live_)},
+           {"arena", static_cast<double>(vehicles_.size())},
+           {"deferral_depth", static_cast<double>(depth)},
+           {"pool_utilization", utilization},
+           {"completed", static_cast<double>(window.completed)},
+           {"retired", static_cast<double>(window_retired)}});
   }
   return window;
 }
@@ -1298,6 +1491,7 @@ streaming_result shard_coordinator::run_stream() {
       [&](std::size_t) {
         const util::barrier_scope at_barrier(barrier_);
         const std::size_t delivered = exchange();
+        merge_metrics();
         if (draining) return delivered > 0;
         // Emit every flush boundary this window crossed. A flush covers
         // events up to the barrier that emitted it (window granularity);
@@ -1310,6 +1504,10 @@ streaming_result shard_coordinator::run_stream() {
             // an earlier flush — so flushes 0..reseed_flush are
             // bitwise-unaffected, and the stream restarts cleanly from the
             // admitted-up-to point.
+            if (config_.log.enabled(util::log_level::info))
+              config_.log.info("stream reseed at flush " +
+                               std::to_string(flush_index) + " (seed " +
+                               std::to_string(stream_.reseed_seed) + ")");
             gen_ = util::rng(stream_.reseed_seed);
             arrival_pending_ = false;
             next_arrival_s_ = t_end;
@@ -1323,6 +1521,9 @@ streaming_result shard_coordinator::run_stream() {
           return true;
         }
         t_end = std::min(horizon, t_end + window_s_);
+        if (config_.log.enabled(util::log_level::debug))
+          config_.log.debug("window advance: t_end " +
+                            std::to_string(t_end));
         inject_arrivals(t_end);
         return true;
       });
@@ -1332,6 +1533,7 @@ streaming_result shard_coordinator::run_stream() {
   const util::barrier_scope at_barrier(barrier_);
   for (auto& shard : shards_) shard->abandon_remaining();
   flushes_.push_back(flush_window(/*final=*/true));
+  merge_metrics();
 
   streaming_result result;
   result.arrivals = arrivals_;

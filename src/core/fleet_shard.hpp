@@ -49,9 +49,12 @@
 #include "sim/mailbox.hpp"
 #include "sim/mobility.hpp"
 #include "sim/vt.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 #include "wireless/ofdma.hpp"
 
 namespace vtm::core {
@@ -119,6 +122,40 @@ struct retarget_handoff {
 
 using shard_message = std::variant<boundary_handoff, retarget_handoff>;
 
+/// Resolved ids of the fleet engine's metric schema, registered once by the
+/// coordinator (`shard_coordinator` ctor) and shared read-only by every
+/// shard. All recorded values are deterministic quantities (counts, cohort
+/// sizes, bandwidth) — never wall-clock — so merged metric values are
+/// bitwise-identical across reruns (DESIGN.md §16).
+struct fleet_metric_ids {
+  util::metric_id handovers = 0;        ///< Counter: coverage handovers.
+  util::metric_id clearings = 0;        ///< Counter: markets cleared.
+  util::metric_id boundary_posted = 0;  ///< Counter: boundary handoffs sent.
+  util::metric_id retarget_posted = 0;  ///< Counter: retarget handoffs sent.
+  util::metric_id delivered = 0;        ///< Counter: messages delivered.
+  util::metric_id late = 0;             ///< Counter: barrier-clamped msgs.
+  util::metric_id arrivals = 0;         ///< Counter: streaming arrivals.
+  util::metric_id retired = 0;          ///< Counter: retired twins.
+  util::metric_id live = 0;             ///< Gauge: live twins at last flush.
+  util::metric_id slot_high_water = 0;  ///< Gauge: slot-arena high water.
+  util::metric_id deferral_depth = 0;   ///< Gauge: pending book depth.
+  util::metric_id pool_utilization = 0; ///< Gauge: Σalloc / Σcap at flush.
+  util::metric_id graph_routes = 0;     ///< Gauge: graph route count.
+  util::metric_id cohort = 0;           ///< Histogram: clearing cohort size.
+  util::metric_id grant_mhz = 0;        ///< Histogram: granted bandwidth.
+};
+
+/// Telemetry hooks threaded into one shard engine. Everything is optional:
+/// null lanes make every recording call a cheap branch, and a
+/// default-constructed logger discards. Sinks never influence results —
+/// enforced by tests/telemetry_test.cpp's bitwise on/off comparison.
+struct shard_telemetry {
+  util::trace_lane* trace = nullptr;
+  util::metrics_lane* metrics = nullptr;
+  const fleet_metric_ids* ids = nullptr;
+  util::logger log;
+};
+
 /// One shard: the fleet engine scoped to a contiguous RSU range, advancing
 /// its own event queue under the coordinator's window protocol.
 class shard_engine {
@@ -170,7 +207,8 @@ class shard_engine {
                std::span<const std::uint32_t> rsu_shard,
                std::vector<vehicle_slot>& vehicles,
                sim::shard_mailbox<shard_message>& mailbox,
-               std::shared_ptr<pricing_policy> policy);
+               std::shared_ptr<pricing_policy> policy,
+               shard_telemetry telemetry = {});
 
   /// Take ownership of a spawned vehicle and schedule its next handover
   /// (posts a boundary handoff instead when the crossing leaves the shard).
@@ -232,6 +270,21 @@ class shard_engine {
     std::vector<cohort_snapshot> cohorts;
   };
   [[nodiscard]] flush_data take_flush(const util::barrier_phase& barrier)
+      VTM_REQUIRES(barrier);
+
+  /// Requests waiting in this shard's deferral books, summed over its pools.
+  /// Barrier only — reads state the lanes otherwise own.
+  [[nodiscard]] std::size_t book_depth(const util::barrier_phase& barrier)
+      const VTM_REQUIRES(barrier);
+
+  /// Aggregate pool usage across this shard's pools (per-MSP pools in
+  /// oligopoly mode). Barrier only.
+  struct pool_usage {
+    double allocated_mhz = 0.0;
+    double capacity_mhz = 0.0;
+  };
+  [[nodiscard]] pool_usage pool_utilization(const util::barrier_phase&
+                                                barrier) const
       VTM_REQUIRES(barrier);
 
  private:
@@ -300,6 +353,7 @@ class shard_engine {
   std::vector<completion_entry> ledger_;
   std::vector<migration_record> records_;
   std::vector<cohort_snapshot> cohorts_;
+  shard_telemetry tele_;  ///< Null/discarding when telemetry is off.
 };
 
 /// Owns the chain, the vehicle slots, the shards, and the window protocol.
@@ -330,8 +384,24 @@ class shard_coordinator {
   [[nodiscard]] double window_s() const noexcept { return window_s_; }
   [[nodiscard]] shard_engine& shard(std::size_t i) { return *shards_[i]; }
 
+  /// The coordinator's own trace lane (lane index `shard_count()` of the
+  /// run's `trace_session`), or null when tracing is off. Serial callers
+  /// (e.g. `run_fleet_scenario`) may record whole-run spans on it.
+  [[nodiscard]] util::trace_lane* coordinator_lane() noexcept {
+    return coord_trace_;
+  }
+
  private:
   shard_coordinator(const fleet_config& config, bool spawn);
+
+  /// Resolve the telemetry sinks from `config_.telemetry`: register the
+  /// metric schema, bind one metrics/trace lane per shard plus one for the
+  /// coordinator, and name the trace lanes. Serial-only (ctor).
+  void init_telemetry();
+  /// Fold every lane's metric deltas into the registry totals (lane-index
+  /// order — deterministic). Called at every window barrier and after the
+  /// final sweep.
+  void merge_metrics() VTM_REQUIRES(barrier_);
 
   void spawn_vehicles();
   /// Draw one vehicle's spawn state (route, position, speed, α, data) —
@@ -407,6 +477,14 @@ class shard_coordinator {
   util::barrier_phase barrier_;
   sim::shard_mailbox<shard_message> mailbox_;
   std::shared_ptr<pricing_policy> policy_;
+  // Telemetry sinks resolved from `config_.telemetry` (null when off) plus
+  // the registered metric schema; `coord_trace_`/`coord_metrics_` are the
+  // coordinator's own lanes (index == shard count).
+  util::metrics_registry* metrics_ = nullptr;
+  util::trace_session* trace_ = nullptr;
+  util::trace_lane* coord_trace_ = nullptr;
+  util::metrics_lane* coord_metrics_ = nullptr;
+  fleet_metric_ids ids_;
   std::vector<std::unique_ptr<shard_engine>> shards_;
   util::thread_pool pool_;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/contracts.hpp"
+#include "util/trace.hpp"
 
 namespace vtm::core {
 
@@ -41,14 +42,23 @@ void spot_market::submit(clearing_request request) {
 clearing_outcome spot_market::clear(double available_mhz) {
   VTM_EXPECTS(available_mhz >= 0.0);
   if (pending_.empty()) return {};
+  util::trace_span span(config_.trace, "market.clear");
+  span.arg("cohort", static_cast<double>(pending_.size()));
+  span.arg("available_mhz", available_mhz);
   if (available_mhz < config_.min_clearable_mhz.value()) {
     clearing_outcome outcome;
     outcome.deferred = pending_.size();
+    span.arg("deferred", static_cast<double>(outcome.deferred));
     return outcome;
   }
-  return config_.discipline == clearing_discipline::joint
-             ? clear_joint(available_mhz)
-             : clear_sequential(available_mhz);
+  clearing_outcome outcome =
+      config_.discipline == clearing_discipline::joint
+          ? clear_joint(available_mhz)
+          : clear_sequential(available_mhz);
+  span.arg("granted", static_cast<double>(outcome.grants.size()));
+  span.arg("deferred", static_cast<double>(outcome.deferred));
+  span.arg("priced_out", static_cast<double>(outcome.priced_out.size()));
+  return outcome;
 }
 
 clearing_outcome spot_market::clear_joint(double available_mhz) {

@@ -33,6 +33,10 @@
 #include "core/pricing_policy.hpp"
 #include "wireless/link.hpp"
 
+namespace vtm::util {
+class trace_lane;
+}  // namespace vtm::util
+
 namespace vtm::core {
 
 /// How a clearing prices the pending cohort.
@@ -87,6 +91,10 @@ struct spot_market_config {
   /// Nominal pool capacity anchoring observation normalization (<= 0 falls
   /// back to the clearing's available bandwidth).
   util::megahertz pool_capacity_mhz{0.0};
+  /// Telemetry lane for per-clearing spans ("market.clear" with cohort /
+  /// grant-count args). Null disables; the lane never influences clearing
+  /// results and must outlive the market.
+  util::trace_lane* trace = nullptr;
 };
 
 /// Pending-request book + clearing logic for one bandwidth pool.

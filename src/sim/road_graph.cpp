@@ -1,6 +1,7 @@
 #include "sim/road_graph.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -13,6 +14,13 @@ namespace {
 
 constexpr std::size_t npos = static_cast<std::size_t>(-1);
 constexpr double inf = std::numeric_limits<double>::infinity();
+
+/// Telemetry-only wall clock (never feeds simulation state).
+[[nodiscard]] std::int64_t build_clock_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace
 
@@ -76,6 +84,7 @@ road_graph::road_graph(std::vector<road_node> nodes,
   // iteration, so ties resolve to the lowest (edge, intermediate) indices on
   // every platform.
   const std::size_t n = nodes_.size();
+  const std::int64_t fw_start_ns = build_clock_ns();
   dist_.assign(n * n, inf);
   via_edge_.assign(n * n, npos);
   mid_node_.assign(n * n, npos);
@@ -101,7 +110,11 @@ road_graph::road_graph(std::vector<road_node> nodes,
       }
     }
 
+  const std::int64_t routes_start_ns = build_clock_ns();
+  stats_.floyd_warshall_ns = routes_start_ns - fw_start_ns;
+
   build_routes();
+  stats_.routes_ns = build_clock_ns() - routes_start_ns;
   VTM_EXPECTS(!routes_.empty());
 }
 

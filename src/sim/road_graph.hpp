@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -77,6 +78,15 @@ struct chain_view {
 
 class road_graph {
  public:
+  /// Construction timing + size stats, self-measured by the constructor
+  /// (telemetry only — wall-clock values never feed simulation state, so the
+  /// bitwise-determinism policy is unaffected; DESIGN.md §16). The fleet
+  /// coordinator exports these as a "graph.build" trace event.
+  struct build_stats {
+    std::int64_t floyd_warshall_ns = 0;  ///< All-pairs shortest-path phase.
+    std::int64_t routes_ns = 0;          ///< Route enumeration phase.
+  };
+
   /// Validates and freezes the topology, then computes all-pairs shortest
   /// node distances (deterministic Floyd–Warshall: strict improvement,
   /// ordered iteration) and the entry->exit routes. Sites must arrive sorted
@@ -182,6 +192,9 @@ class road_graph {
   }
   [[nodiscard]] std::size_t max_lanes() const noexcept { return max_lanes_; }
 
+  /// Constructor timing (see `build_stats`).
+  [[nodiscard]] const build_stats& stats() const noexcept { return stats_; }
+
   /// Lane count of the edge under arc position `pos_m` on route `r`
   /// (positions past the route end report the last edge).
   [[nodiscard]] std::size_t lanes_at(std::size_t r, double pos_m) const;
@@ -230,6 +243,7 @@ class road_graph {
   double min_boundary_gap_ = 0.0;
   double max_speed_factor_ = 1.0;
   std::size_t max_lanes_ = 1;
+  build_stats stats_;
 };
 
 }  // namespace vtm::sim

@@ -1,0 +1,131 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#include "util/contracts.hpp"
+
+namespace vtm::util {
+
+namespace {
+
+[[nodiscard]] std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Chrome traces use microsecond timestamps; keep sub-µs resolution.
+void write_us(std::ostream& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  out << buf;
+}
+
+void write_args(std::ostream& out, const trace_lane* lane,
+                std::uint32_t first, std::uint32_t count,
+                const std::vector<trace_arg>& args) {
+  (void)lane;
+  out << "\"args\":{";
+  for (std::uint32_t a = 0; a < count; ++a) {
+    if (a > 0) out << ',';
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", args[first + a].value);
+    out << '"' << args[first + a].key << "\":" << buf;
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void trace_lane::push(const char* name, char phase, std::int64_t ts_ns,
+                      std::int64_t dur_ns, const trace_arg* args,
+                      std::size_t count) {
+  event ev;
+  ev.name = name;
+  ev.phase = phase;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.arg_first = static_cast<std::uint32_t>(args_.size());
+  ev.arg_count = static_cast<std::uint32_t>(count);
+  args_.insert(args_.end(), args, args + count);
+  events_.push_back(ev);
+}
+
+void trace_lane::instant(const char* name,
+                         std::initializer_list<trace_arg> args) {
+  if (!telemetry_compiled()) return;
+  push(name, 'i', session_->now_ns(), 0, args.begin(), args.size());
+}
+
+void trace_span::finish() {
+  if (lane_ == nullptr) return;
+  const std::int64_t end = lane_->session_->now_ns();
+  lane_->push(name_, 'X', start_ns_, end - start_ns_, args_, argc_);
+  lane_ = nullptr;
+}
+
+trace_session::trace_session() : origin_ns_(steady_ns()) {}
+
+void trace_session::ensure_lanes(std::size_t count) {
+  while (lanes_.size() < count) {
+    lanes_.emplace_back();
+    lanes_.back().session_ = this;
+    lanes_.back().tid_ = lanes_.size() - 1;
+  }
+}
+
+void trace_session::set_lane_name(std::size_t i, std::string name) {
+  VTM_EXPECTS(i < lanes_.size());
+  if (lane_names_.size() <= i) lane_names_.resize(i + 1);
+  lane_names_[i] = std::move(name);
+}
+
+std::int64_t trace_session::now_ns() const noexcept {
+  return steady_ns() - origin_ns_;
+}
+
+std::size_t trace_session::event_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& lane : lanes_) total += lane.events_.size();
+  return total;
+}
+
+void trace_session::write_chrome_json(std::ostream& out) const {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  sep();
+  out << R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
+      << R"("args":{"name":"vtm fleet"}})";
+  for (std::size_t i = 0; i < lane_names_.size(); ++i) {
+    if (lane_names_[i].empty()) continue;
+    sep();
+    out << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << i
+        << R"(,"args":{"name":")" << lane_names_[i] << "\"}}";
+  }
+  for (const auto& lane : lanes_) {
+    for (const auto& ev : lane.events_) {
+      sep();
+      out << "{\"name\":\"" << ev.name << "\",\"ph\":\"" << ev.phase
+          << "\",\"pid\":0,\"tid\":" << lane.tid_ << ",\"ts\":";
+      write_us(out, ev.ts_ns);
+      if (ev.phase == 'X') {
+        out << ",\"dur\":";
+        write_us(out, ev.dur_ns);
+      } else if (ev.phase == 'i') {
+        out << ",\"s\":\"t\"";
+      }
+      out << ',';
+      write_args(out, &lane, ev.arg_first, ev.arg_count, lane.args_);
+      out << '}';
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace vtm::util

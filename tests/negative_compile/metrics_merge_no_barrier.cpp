@@ -1,0 +1,25 @@
+// vtm-negative-compile: requires(thread-safety)
+//
+// Negative-compile check for the metrics barrier protocol (DESIGN.md §16).
+//
+// `metrics_registry::merge` folds the per-lane delta buffers into the global
+// totals and may therefore only run at a window barrier, while every lane is
+// parked — it requires the `util::barrier_phase` capability. This file calls
+// it *without* acquiring the capability — what a mid-phase merge racing the
+// lane writers would look like — and MUST FAIL to compile under Clang with
+// `-Wthread-safety -Werror=thread-safety` (see deliver_requires_barrier.cpp
+// for the harness contract).
+#include "util/metrics.hpp"
+#include "util/sync.hpp"
+
+int main() {
+  vtm::util::metrics_registry registry;
+  const auto hits = registry.counter("hits");
+  registry.bind_lanes(2);
+  registry.lane(0).add(hits);
+  vtm::util::barrier_phase barrier;
+
+  // error: calling 'merge' requires holding 'barrier'
+  registry.merge(barrier);
+  return static_cast<int>(registry.counter_value(hits));
+}

@@ -1,0 +1,298 @@
+// Telemetry layer (DESIGN.md §16): metrics-registry unit behaviour, the
+// bitwise on-vs-off contract (attaching sinks must not perturb a single bit
+// of the fleet results, sharded / oligopoly / streaming alike), metric-merge
+// determinism across repeated multi-lane runs, the metrics-vs-result
+// cross-check, and the Chrome trace export.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "core/fleet_scenario.hpp"
+#include "util/metrics.hpp"
+#include "util/sync.hpp"
+#include "util/trace.hpp"
+
+namespace core = vtm::core;
+namespace util = vtm::util;
+
+namespace {
+
+core::fleet_config sharded_config() {
+  core::fleet_config config;
+  config.rsu_count = 8;
+  config.vehicle_count = 80;
+  config.duration_s = util::seconds{90.0};
+  config.shard_count = 4;
+  config.seed = 99;
+  return config;
+}
+
+core::fleet_config oligopoly_config() {
+  core::fleet_config config = sharded_config();
+  config.mode = core::market_mode::oligopoly;
+  for (std::size_t m = 0; m < 2; ++m)
+    config.msps.push_back({util::meters{0.0}, config.unit_cost,
+                           config.price_cap, config.bandwidth_per_pool_mhz});
+  return config;
+}
+
+core::streaming_config stream_config() {
+  core::streaming_config config;
+  config.base = sharded_config();
+  config.arrival_rate_per_s = util::per_second{30.0};
+  config.horizon_s = util::seconds{60.0};
+  config.flush_period_s = util::seconds{10.0};
+  return config;
+}
+
+void expect_identical(const core::fleet_result& a,
+                      const core::fleet_result& b) {
+  EXPECT_EQ(a.handovers, b.handovers);
+  EXPECT_EQ(a.deferred, b.deferred);
+  EXPECT_EQ(a.priced_out, b.priced_out);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.clearings, b.clearings);
+  EXPECT_EQ(a.max_cohort, b.max_cohort);
+  EXPECT_EQ(a.vehicles.size(), b.vehicles.size());
+  EXPECT_EQ(a.migrations.size(), b.migrations.size());
+  EXPECT_EQ(a.cross_shard_transfers, b.cross_shard_transfers);
+  EXPECT_EQ(a.cross_shard_retargets, b.cross_shard_retargets);
+  EXPECT_EQ(a.late_handoffs, b.late_handoffs);
+  EXPECT_EQ(a.msp_total_utility, b.msp_total_utility);
+  EXPECT_EQ(a.vmu_total_utility, b.vmu_total_utility);
+  EXPECT_EQ(a.mean_aotm, b.mean_aotm);
+  EXPECT_EQ(a.mean_amplification, b.mean_amplification);
+  EXPECT_EQ(a.mean_price, b.mean_price);
+  EXPECT_EQ(a.msp_utilities, b.msp_utilities);
+  EXPECT_EQ(a.msp_sold_mhz, b.msp_sold_mhz);
+  EXPECT_EQ(a.unconverged_clearings, b.unconverged_clearings);
+  EXPECT_EQ(a.solver_sweeps, b.solver_sweeps);
+  EXPECT_EQ(a.objective_evals, b.objective_evals);
+  EXPECT_EQ(a.warm_started_clearings, b.warm_started_clearings);
+}
+
+std::string metrics_json(const util::metrics_registry& registry) {
+  std::ostringstream out;
+  registry.write_json(out);
+  return out.str();
+}
+
+// --- registry unit behaviour -------------------------------------------------
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  util::metrics_registry registry;
+  const auto a = registry.counter("fleet.handovers");
+  const auto b = registry.counter("fleet.handovers");
+  EXPECT_EQ(a, b);
+  const auto g1 = registry.gauge("stream.live");
+  const auto g2 = registry.gauge("stream.live");
+  EXPECT_EQ(g1, g2);
+  const auto h1 = registry.histogram("market.cohort", {1.0, 4.0, 16.0});
+  const auto h2 = registry.histogram("market.cohort", {1.0, 4.0, 16.0});
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistry, MergeFoldsLaneDeltasInLaneOrder) {
+  util::metrics_registry registry;
+  const auto hits = registry.counter("hits");
+  const auto depth = registry.gauge("depth");
+  const auto sizes = registry.histogram("sizes", {1.0, 2.0, 4.0});
+  registry.bind_lanes(3);
+
+  registry.lane(0).add(hits, 2);
+  registry.lane(1).add(hits);
+  registry.lane(2).add(hits, 7);
+  // Gauge rule: the highest-indexed lane that wrote during the phase wins.
+  registry.lane(0).set(depth, 5.0);
+  registry.lane(1).set(depth, 3.0);
+  registry.lane(0).observe(sizes, 1.0);   // bucket [<=1]
+  registry.lane(1).observe(sizes, 3.0);   // bucket (2, 4]
+  registry.lane(2).observe(sizes, 99.0);  // overflow
+
+  util::barrier_phase barrier;
+  {
+    util::barrier_scope scope(barrier);
+    registry.merge(barrier);
+  }
+
+  EXPECT_EQ(registry.counter_value(hits), 10u);
+  EXPECT_EQ(registry.gauge_value(depth), 3.0);
+  const auto snap = registry.histogram_value(sizes);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 103.0);
+  EXPECT_EQ(snap.min, 1.0);
+  EXPECT_EQ(snap.max, 99.0);
+  ASSERT_EQ(snap.buckets.size(), 4u);  // three bounds + overflow
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 0u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+
+  // Merge consumed the deltas: folding again must not double-count, and a
+  // non-writing phase must leave the gauge at its last merged value.
+  {
+    util::barrier_scope scope(barrier);
+    registry.merge(barrier);
+  }
+  EXPECT_EQ(registry.counter_value(hits), 10u);
+  EXPECT_EQ(registry.gauge_value(depth), 3.0);
+}
+
+TEST(MetricsRegistry, JsonSerializationIsByteStable) {
+  const auto fill = [](util::metrics_registry& registry) {
+    const auto c = registry.counter("events");
+    const auto g = registry.gauge("utilization");
+    const auto h = registry.histogram("grant", {1.0, 5.0});
+    registry.bind_lanes(2);
+    registry.lane(0).add(c, 3);
+    registry.lane(1).set(g, 0.375);
+    registry.lane(1).observe(h, 2.5);
+    util::barrier_phase barrier;
+    util::barrier_scope scope(barrier);
+    registry.merge(barrier);
+  };
+  util::metrics_registry a;
+  util::metrics_registry b;
+  fill(a);
+  fill(b);
+  EXPECT_EQ(metrics_json(a), metrics_json(b));
+  EXPECT_NE(metrics_json(a).find("\"events\": 3"), std::string::npos);
+}
+
+// --- bitwise on-vs-off -------------------------------------------------------
+
+TEST(TelemetryBitwise, ShardedRunIsIdenticalWithAndWithoutSinks) {
+  const auto config = sharded_config();
+  const auto bare = core::run_fleet_scenario(config);
+
+  util::metrics_registry registry;
+  util::trace_session session;
+  auto instrumented = config;
+  instrumented.telemetry.metrics = &registry;
+  instrumented.telemetry.trace = &session;
+  const auto traced = core::run_fleet_scenario(instrumented);
+
+  expect_identical(bare, traced);
+  if (util::telemetry_compiled()) EXPECT_GT(session.event_count(), 0u);
+}
+
+TEST(TelemetryBitwise, OligopolyRunIsIdenticalWithAndWithoutSinks) {
+  const auto config = oligopoly_config();
+  const auto bare = core::run_fleet_scenario(config);
+
+  util::metrics_registry registry;
+  util::trace_session session;
+  auto instrumented = config;
+  instrumented.telemetry.metrics = &registry;
+  instrumented.telemetry.trace = &session;
+  const auto traced = core::run_fleet_scenario(instrumented);
+
+  expect_identical(bare, traced);
+}
+
+TEST(TelemetryBitwise, StreamingRunIsIdenticalWithAndWithoutSinks) {
+  const auto config = stream_config();
+  const auto bare = core::run_streaming_fleet(config);
+
+  util::metrics_registry registry;
+  util::trace_session session;
+  auto instrumented = config;
+  instrumented.base.telemetry.metrics = &registry;
+  instrumented.base.telemetry.trace = &session;
+  const auto traced = core::run_streaming_fleet(instrumented);
+
+  EXPECT_EQ(bare.arrivals, traced.arrivals);
+  EXPECT_EQ(bare.retired, traced.retired);
+  EXPECT_EQ(bare.peak_live, traced.peak_live);
+  EXPECT_EQ(bare.slot_high_water, traced.slot_high_water);
+  EXPECT_EQ(bare.flushes.size(), traced.flushes.size());
+  expect_identical(bare.totals, traced.totals);
+}
+
+// --- metric determinism and the result cross-check ---------------------------
+
+TEST(TelemetryDeterminism, MergedMetricsAreByteIdenticalAcrossRuns) {
+  if (!util::telemetry_compiled())
+    GTEST_SKIP() << "built with -DVTM_TELEMETRY=OFF";
+  const auto run_once = [](util::metrics_registry& registry) {
+    util::trace_session session;
+    auto config = sharded_config();
+    config.telemetry.metrics = &registry;
+    config.telemetry.trace = &session;
+    return core::run_fleet_scenario(config);
+  };
+  util::metrics_registry first;
+  util::metrics_registry second;
+  (void)run_once(first);
+  (void)run_once(second);
+  // The OS may interleave the four shard lanes differently on each run;
+  // the lane-order fold at the barriers must erase that.
+  EXPECT_EQ(metrics_json(first), metrics_json(second));
+}
+
+TEST(TelemetryDeterminism, CountersCrossCheckAgainstTheResult) {
+  if (!util::telemetry_compiled())
+    GTEST_SKIP() << "built with -DVTM_TELEMETRY=OFF";
+  util::metrics_registry registry;
+  auto config = sharded_config();
+  config.telemetry.metrics = &registry;
+  const auto result = core::run_fleet_scenario(config);
+
+  EXPECT_EQ(registry.counter_value(registry.counter("fleet.handovers")),
+            result.handovers);
+  EXPECT_EQ(registry.counter_value(registry.counter("fleet.clearings")),
+            result.clearings);
+  EXPECT_EQ(registry.counter_value(registry.counter("mailbox.late")),
+            result.late_handoffs);
+  EXPECT_GT(result.handovers, 0u);
+}
+
+TEST(TelemetryDeterminism, StreamCountersCrossCheckAgainstTheResult) {
+  if (!util::telemetry_compiled())
+    GTEST_SKIP() << "built with -DVTM_TELEMETRY=OFF";
+  util::metrics_registry registry;
+  auto config = stream_config();
+  config.base.telemetry.metrics = &registry;
+  const auto result = core::run_streaming_fleet(config);
+
+  EXPECT_EQ(registry.counter_value(registry.counter("stream.arrivals")),
+            result.arrivals);
+  EXPECT_EQ(registry.counter_value(registry.counter("stream.retired")),
+            result.retired);
+  EXPECT_EQ(registry.gauge_value(registry.gauge("stream.slot_high_water")),
+            static_cast<double>(result.slot_high_water));
+  EXPECT_GT(result.arrivals, 0u);
+}
+
+// --- trace export ------------------------------------------------------------
+
+TEST(TraceSession, ExportsChromeTraceEvents) {
+  if (!util::telemetry_compiled())
+    GTEST_SKIP() << "built with -DVTM_TELEMETRY=OFF";
+  util::trace_session session;
+  auto config = sharded_config();
+  config.telemetry.trace = &session;
+  (void)core::run_fleet_scenario(config);
+
+  ASSERT_GT(session.event_count(), 0u);
+  EXPECT_EQ(session.lane_count(), config.shard_count + 1);
+  std::ostringstream out;
+  session.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":", 0), 0u);
+  EXPECT_NE(json.find("\"fleet.run\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard.window\""), std::string::npos);
+  EXPECT_NE(json.find("\"coordinator\""), std::string::npos);
+}
+
+TEST(TraceSpan, NullLaneIsANoOp) {
+  util::trace_span span(nullptr, "nothing");
+  span.arg("k", 1.0);
+  span.finish();  // and the destructor runs after — both must be no-ops
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,16 @@
+// Lint fixture: MUST trip exactly `raw-io`.
+//
+// Library code writing straight to the console bypasses util::logger, so
+// embedders cannot silence or redirect it. std::snprintf into a buffer is
+// formatting, not I/O, and must NOT be flagged.
+#include <cstdio>
+#include <iostream>
+
+void report_progress(double fraction) {
+  std::cout << "progress: " << fraction << "\n";
+  std::fprintf(stderr, "progress: %.2f\n", fraction);
+}
+
+int format_progress(char* buffer, unsigned size, double fraction) {
+  return std::snprintf(buffer, size, "progress: %.2f", fraction);
+}

@@ -1,6 +1,7 @@
 // Lint fixture: must produce NO findings — every violation below carries a
 // `vtm-lint: allow(<rule>)` marker, proving the suppression mechanism works
 // (and keeping it honest: a marker for the wrong rule would not suppress).
+#include <iostream>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -23,3 +24,9 @@ struct boundary_probe_params {
   // vtm-lint: allow(unit-suffix)
   double scratch_window_s = 0.0;
 };
+
+// One-off diagnostic a maintainer left in on purpose: the marker must
+// silence the raw-io rule.
+void debug_dump(double value) {
+  std::cerr << "probe: " << value << "\n";  // vtm-lint: allow(raw-io)
+}

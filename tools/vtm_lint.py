@@ -35,6 +35,15 @@ sanitizers) cannot express:
       its own body* — a validate call elsewhere in the file does not protect
       an entry point a caller reaches directly.
 
+  raw-io
+      No direct console output (`std::cout`/`std::cerr`/`std::clog`, the
+      printf family, `puts`/`putchar`) inside `src/` — library code reports
+      through `util::logger` (caller-supplied sink) or returned results, so
+      embedders and the bench own every byte the process prints. The logger's
+      own stream sink (`src/util/log.cpp`) is the one allowed exception;
+      `std::snprintf` into a buffer is formatting, not I/O, and is not
+      flagged. Benches, examples, tests, and tools keep their stdout.
+
 A finding can be suppressed where it is intentional with a trailing or
 preceding-line comment:  // vtm-lint: allow(<rule-id>)
 
@@ -60,12 +69,15 @@ RULES = (
     "mutex-guarded-by",
     "config-validate",
     "unit-suffix",
+    "raw-io",
 )
 
 SCAN_DIRS = ("src", "bench", "examples", "tests", "tools")
 EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
 # The RNG facade is the one place the standard engines may appear.
 RAW_RANDOM_ALLOWED = {"src/util/rng.hpp", "src/util/rng.cpp"}
+# The logger's stream sink is the one library file that may write a stream.
+RAW_IO_ALLOWED = {"src/util/log.cpp"}
 
 ALLOW_RE = re.compile(r"vtm-lint:\s*allow\(([a-z-]+)\)")
 
@@ -198,6 +210,37 @@ def check_raw_random(path: Path, rel: str, raw: list[str],
                 path, i + 1, "raw-random",
                 f"`{m.group(1).strip()}` outside util::rng — all randomness "
                 "must flow through the seeded util::rng facade"))
+    return findings
+
+
+# ---- rule: raw-io ------------------------------------------------------------
+#
+# `\bprintf` deliberately does not match `snprintf`/`vsnprintf` (no word
+# boundary after the `n`): formatting into a caller's buffer is fine, only
+# writing to a stream/FILE* from library code is not.
+
+RAW_IO_RE = re.compile(
+    r"(std::cout|std::cerr|std::clog"
+    r"|\b(?:std::)?(?:printf|fprintf|vprintf|vfprintf|puts|fputs|putchar"
+    r"|fputc)\s*\()"
+)
+
+
+def check_raw_io(path: Path, rel: str, raw: list[str],
+                 clean: list[str]) -> list[Finding]:
+    library = rel.startswith("src/") and rel not in RAW_IO_ALLOWED
+    fixture = "lint_fixtures" in rel
+    if not (library or fixture):
+        return []
+    findings = []
+    for i, line in enumerate(clean):
+        m = RAW_IO_RE.search(line)
+        if m and not suppressed(raw, i + 1, "raw-io"):
+            findings.append(Finding(
+                path, i + 1, "raw-io",
+                f"`{m.group(1).strip().rstrip('(').strip()}` in library code "
+                "— src/ reports through util::logger (caller-supplied sink) "
+                "or returned results, never a raw stream"))
     return findings
 
 
@@ -353,6 +396,7 @@ def scan_file(path: Path, root: Path) -> list[Finding]:
     findings += check_mutex_guarded_by(path, raw, clean)
     findings += check_config_validate(path, raw, clean)
     findings += check_unit_suffix(path, raw, clean)
+    findings += check_raw_io(path, rel, raw, clean)
     return findings
 
 
